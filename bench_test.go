@@ -1,0 +1,377 @@
+package pico_test
+
+// bench_test.go regenerates every table and figure of the paper under
+// testing.B, one benchmark per experiment (see DESIGN.md's per-experiment
+// index), plus micro-benchmarks for the planner, the partition math, the
+// tensor engine, the wire codec and the TCP runtime. The figure benchmarks
+// report the experiment's headline quantity via b.ReportMetric so a bench
+// run doubles as a shape check:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale regeneration (paper durations, 60s BFS budgets) is
+// cmd/picobench's job; benchmarks use the Quick configuration.
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"pico"
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/experiments"
+	"pico/internal/nn"
+	"pico/internal/partition"
+	"pico/internal/runtime"
+	"pico/internal/schemes"
+	"pico/internal/simulate"
+	"pico/internal/tensor"
+	"pico/internal/wire"
+)
+
+// runExperiment is the shared driver for figure/table benchmarks.
+func runExperiment(b *testing.B, id string) []experiments.Table {
+	b.Helper()
+	cfg := experiments.Quick()
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	return tables
+}
+
+func BenchmarkFig2LayerProfile(b *testing.B)    { runExperiment(b, "fig2") }
+func BenchmarkFig4FusedRedundancy(b *testing.B) { runExperiment(b, "fig4") }
+
+func BenchmarkFig8VGG16Capacity(b *testing.B) {
+	runExperiment(b, "fig8")
+	reportCapacityMetrics(b, nn.VGG16())
+}
+
+func BenchmarkFig9YOLOv2Capacity(b *testing.B) {
+	runExperiment(b, "fig9")
+	reportCapacityMetrics(b, nn.YOLOv2())
+}
+
+// reportCapacityMetrics attaches the headline Fig. 8/9 numbers: the PICO
+// period on 8x600MHz and its throughput gain over EFL.
+func reportCapacityMetrics(b *testing.B, m *nn.Model) {
+	b.Helper()
+	cl := cluster.Homogeneous(8, 600e6)
+	plan, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	efl, err := schemes.EarlyFusedLayer(m, cl, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(plan.PeriodSeconds, "pico-period-s")
+	b.ReportMetric(efl.Seconds/plan.PeriodSeconds, "gain-vs-efl")
+}
+
+func BenchmarkFig10VGG16Latency(b *testing.B) {
+	tables := runExperiment(b, "fig10")
+	reportLatencyMetrics(b, tables)
+}
+
+func BenchmarkFig11YOLOv2Latency(b *testing.B) {
+	tables := runExperiment(b, "fig11")
+	reportLatencyMetrics(b, tables)
+}
+
+// reportLatencyMetrics attaches the heaviest-workload EFL/APICO latency
+// ratio (the paper's 1.7–6.5x claim).
+func reportLatencyMetrics(b *testing.B, tables []experiments.Table) {
+	b.Helper()
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		b.Fatal("empty latency tables")
+	}
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	efl := atofCell(b, last[1])
+	apico := atofCell(b, last[4])
+	b.ReportMetric(efl/apico, "latency-reduction-x")
+}
+
+func BenchmarkFig12GraphSpeedup(b *testing.B) {
+	runExperiment(b, "fig12")
+	cl := cluster.Homogeneous(8, 600e6)
+	for _, m := range []*nn.Model{nn.ResNet34(), nn.InceptionV3()} {
+		plan, err := core.PlanPipeline(m, cl, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		single, err := core.SingleDevice(m, cl, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(single.PeriodSeconds/plan.PeriodSeconds, m.Name+"-speedup-x")
+	}
+}
+
+func BenchmarkTable1Utilization(b *testing.B) {
+	runExperiment(b, "table1")
+	// Headline: PICO's average utilization on the heterogeneous cluster.
+	cl := cluster.PaperHeterogeneous()
+	plan, err := core.PlanPipeline(nn.VGG16(), cl, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := simulate.RunClosedLoop(simulate.FromPlan("PICO", plan), 100, cl.Size())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sum float64
+	for k := range cl.Devices {
+		sum += res.Utilization(k)
+	}
+	b.ReportMetric(sum/float64(cl.Size()), "pico-avg-util")
+}
+
+func BenchmarkTable2PlannerCost(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkFig13PICOvsBFS(b *testing.B)    { runExperiment(b, "fig13") }
+func BenchmarkBandwidthSweep(b *testing.B)    { runExperiment(b, "bandwidth") }
+
+func BenchmarkAblationGreedy(b *testing.B)         { runExperiment(b, "ablation-greedy") }
+func BenchmarkAblationBalancedStrips(b *testing.B) { runExperiment(b, "ablation-strips") }
+func BenchmarkAblationLatencyBound(b *testing.B)   { runExperiment(b, "ablation-tlim") }
+func BenchmarkAblationEWMA(b *testing.B)           { runExperiment(b, "ablation-ewma") }
+func BenchmarkAblationRFMode(b *testing.B)         { runExperiment(b, "ablation-rfmode") }
+
+// --- Micro-benchmarks on the core machinery ---
+
+func BenchmarkPlannerVGG16x8(b *testing.B) {
+	m := nn.VGG16()
+	cl := cluster.PaperHeterogeneous()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanPipeline(m, cl, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerInceptionV3x8(b *testing.B) {
+	m := nn.InceptionV3()
+	cl := cluster.Homogeneous(8, 600e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanPipeline(m, cl, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBalancedPartition(b *testing.B) {
+	m := nn.VGG16Conv()
+	calc := partition.NewCalc(m)
+	weights := []float64{2.4e9, 2.4e9, 1.6e9, 1.6e9, 1.2e9, 1.2e9, 1.2e9, 1.2e9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		calc.Balanced(0, 10, weights)
+	}
+}
+
+func BenchmarkRegionFLOPs(b *testing.B) {
+	m := nn.YOLOv2()
+	calc := partition.NewCalc(m)
+	outH := m.OutShape(17).H
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		calc.SegmentRegionFLOPs(0, 18, partition.Range{Lo: 0, Hi: outH / 8})
+	}
+}
+
+func BenchmarkConvForwardTile(b *testing.B) {
+	m := nn.ToyChain("bench", 4, 2, 16, 64)
+	exec, err := tensor.NewExecutor(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.RandomInput(m.Input, 1)
+	outH := m.Output().H
+	part := partition.Range{Lo: 0, Hi: outH / 2}
+	inR := exec.InputRange(0, m.NumLayers(), part)
+	tile := in.SliceRows(inR.Lo, inR.Hi)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.RunSegment(0, m.NumLayers(), tile, part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireTensorCodec(b *testing.B) {
+	t := tensor.RandomInput(nn.Shape{C: 64, H: 56, W: 56}, 1)
+	b.SetBytes(int64(4 * t.Elems()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload := wire.EncodeTensor(t)
+		if _, err := wire.DecodeTensor(t.C, t.H, t.W, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorOpenLoop(b *testing.B) {
+	cl := cluster.PaperHeterogeneous()
+	plan, err := core.PlanPipeline(nn.VGG16(), cl, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := simulate.FromPlan("PICO", plan)
+	arrivals := simulate.PoissonArrivals(0.3, 3600, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.RunOpenLoop(prof, arrivals, cl.Size()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuntimePipelineThroughput(b *testing.B) {
+	m := nn.ToyChain("bench-rt", 6, 2, 8, 32)
+	cl := cluster.Homogeneous(3, 600e6)
+	plan, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lc, err := runtime.StartLocalCluster(3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	p, err := runtime.NewPipeline(plan, lc.Addrs, runtime.PipelineOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	in := tensor.RandomInput(m.Input, 1)
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			res := <-p.Results()
+			if res.Err != nil {
+				b.Errorf("task %d: %v", res.ID, res.Err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Submit(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func BenchmarkAdaptiveSwitcher(b *testing.B) {
+	profiles, sw, est, err := pico.NewAdaptive(nn.VGG16(), cluster.PaperHeterogeneous(), 0.5, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = profiles
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Observe(float64(i) * 0.7)
+		sw.Choose(est.Rate())
+	}
+}
+
+// atofCell parses a formatted seconds cell.
+func atofCell(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("bad cell %q: %v", s, err)
+	}
+	return v
+}
+
+func BenchmarkAblationGrid(b *testing.B) { runExperiment(b, "ablation-grid") }
+
+func BenchmarkExtMobileNet(b *testing.B) { runExperiment(b, "ext-mobilenet") }
+
+func BenchmarkGridExecutorRemote(b *testing.B) {
+	m := nn.ToyChain("bench-grid", 4, 2, 8, 32)
+	lc, err := runtime.StartLocalCluster(4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	out := m.Output()
+	tiles := partition.GridPartition(out.H, out.W, 2, 2)
+	addrs := []string{lc.Addrs[0], lc.Addrs[1], lc.Addrs[2], lc.Addrs[3]}
+	ge, err := runtime.NewGridExecutor(m, 0, m.NumLayers(), tiles, addrs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ge.Close()
+	in := tensor.RandomInput(m.Input, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ge.Infer(int64(i), in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSegmentRect(b *testing.B) {
+	m := nn.ToyChain("bench-rect", 4, 2, 16, 64)
+	exec, err := tensor.NewExecutor(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.RandomInput(m.Input, 1)
+	out := m.Output()
+	tile := partition.Rect{
+		Rows: partition.Range{Lo: 0, Hi: out.H / 2},
+		Cols: partition.Range{Lo: 0, Hi: out.W / 2},
+	}
+	calc := partition.NewCalc(m)
+	need := calc.SegmentRects(0, m.NumLayers(), tile)[0]
+	sub := in.SliceRect(need)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.RunSegmentRect(0, m.NumLayers(), sub, tile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanSaveLoad(b *testing.B) {
+	plan, err := core.PlanPipeline(nn.VGG16(), cluster.PaperHeterogeneous(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := core.SavePlan(&buf, plan); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.LoadPlan(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerMobileNetV1(b *testing.B) {
+	m := nn.MobileNetV1()
+	cl := cluster.Homogeneous(8, 600e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanPipeline(m, cl, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationOverlap(b *testing.B) { runExperiment(b, "ablation-overlap") }

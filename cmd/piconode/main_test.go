@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"net"
+
+	"pico/internal/runtime"
+	"pico/internal/wire"
+)
+
+func TestServeAndShutdown(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	ready := make(chan *runtime.Worker, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-id", "test-node", "-quiet"}, &out, &errBuf, ready)
+	}()
+	var w *runtime.Worker
+	select {
+	case w = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never became ready")
+	}
+	// The daemon answers pings.
+	conn, err := net.Dial("tcp", w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewConn(conn)
+	defer wc.Close()
+	if msg, err := wc.Recv(); err != nil || msg.Type != wire.MsgHello {
+		t.Fatalf("hello: %v %v", msg, err)
+	}
+	if err := wc.Send(wire.MsgPing, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := wc.Recv(); err != nil || msg.Type != wire.MsgPong {
+		t.Fatalf("pong: %v %v", msg, err)
+	}
+	// Clean shutdown path (listener close, not signal). The worker waits
+	// for live connections, so release ours first.
+	if err := wc.Send(wire.MsgShutdown, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rc := <-done:
+		if rc != 0 {
+			t.Fatalf("rc = %d, stderr: %s", rc, errBuf.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not exit after Close")
+	}
+	if !strings.Contains(out.String(), "listening on") {
+		t.Fatalf("stdout: %s", out.String())
+	}
+}
+
+func TestBadAddress(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if rc := run([]string{"-addr", "256.0.0.1:99999"}, &out, &errBuf, nil); rc == 0 {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if rc := run([]string{"-nope"}, &out, &errBuf, nil); rc != 2 {
+		t.Fatal("bad flag accepted")
+	}
+}

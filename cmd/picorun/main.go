@@ -1,0 +1,220 @@
+// Command picorun is the coordinator: it plans a PICO pipeline for a model
+// on the given workers, executes a batch of inferences over TCP, verifies
+// the outputs against a local reference execution, and reports latency and
+// throughput.
+//
+//	picorun -workers 127.0.0.1:9101,127.0.0.1:9102 -model toy -tasks 20
+//
+// Worker speeds for planning are given with -speeds (effective MAC/s per
+// worker, comma separated); without it the cluster is assumed homogeneous at
+// 600 MHz Raspberry Pi speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/runtime"
+	"pico/internal/tensor"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("picorun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workersFlag = fs.String("workers", "", "comma-separated worker addresses (required)")
+		speedsFlag  = fs.String("speeds", "", "comma-separated effective MAC/s per worker (optional)")
+		modelName   = fs.String("model", "toy", "toy | fig13toy | vgg16 | yolov2 | resnet34 | inceptionv3 | mobilenetv1")
+		tasks       = fs.Int("tasks", 10, "number of inferences to run")
+		seed        = fs.Int64("seed", 1, "weight/input seed")
+		verify      = fs.Bool("verify", true, "check outputs against a local reference execution")
+		savePlan    = fs.String("saveplan", "", "write the computed plan as JSON to this file")
+		loadPlan    = fs.String("loadplan", "", "execute a previously saved plan instead of planning")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *workersFlag == "" {
+		fmt.Fprintln(stderr, "picorun: -workers is required")
+		return 2
+	}
+	addrs := strings.Split(*workersFlag, ",")
+	m, err := modelByName(*modelName)
+	if err != nil {
+		fmt.Fprintf(stderr, "picorun: %v\n", err)
+		return 1
+	}
+
+	cl := cluster.Homogeneous(len(addrs), 600e6)
+	if *speedsFlag != "" {
+		parts := strings.Split(*speedsFlag, ",")
+		if len(parts) != len(addrs) {
+			fmt.Fprintf(stderr, "picorun: %d speeds for %d workers\n", len(parts), len(addrs))
+			return 2
+		}
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(stderr, "picorun: bad speed %q\n", p)
+				return 2
+			}
+			cl.Devices[i].Capacity = v
+			cl.Devices[i].Alpha = 1
+		}
+	}
+
+	var plan *core.Plan
+	if *loadPlan != "" {
+		f, err := os.Open(*loadPlan)
+		if err != nil {
+			fmt.Fprintf(stderr, "picorun: %v\n", err)
+			return 1
+		}
+		plan, err = core.LoadPlan(f)
+		_ = f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "picorun: %v\n", err)
+			return 1
+		}
+		m = plan.Model
+		if plan.Cluster.Size() != len(addrs) {
+			fmt.Fprintf(stderr, "picorun: plan wants %d devices, got %d workers\n", plan.Cluster.Size(), len(addrs))
+			return 2
+		}
+	} else {
+		var err error
+		plan, err = core.PlanPipeline(m, cl, core.Options{})
+		if err != nil {
+			fmt.Fprintf(stderr, "picorun: plan: %v\n", err)
+			return 1
+		}
+	}
+	if *savePlan != "" {
+		f, err := os.Create(*savePlan)
+		if err != nil {
+			fmt.Fprintf(stderr, "picorun: %v\n", err)
+			return 1
+		}
+		if err := core.SavePlan(f, plan); err != nil {
+			_ = f.Close()
+			fmt.Fprintf(stderr, "picorun: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "picorun: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "plan saved to %s\n", *savePlan)
+	}
+	fmt.Fprint(stdout, plan.Describe())
+
+	addrMap := make(map[int]string, len(addrs))
+	for i, a := range addrs {
+		addrMap[i] = strings.TrimSpace(a)
+	}
+	p, err := runtime.NewPipeline(plan, addrMap, runtime.PipelineOptions{Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(stderr, "picorun: connect: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := p.Close(); err != nil {
+			fmt.Fprintf(stderr, "picorun: close: %v\n", err)
+		}
+	}()
+
+	var ref *tensor.Executor
+	if *verify {
+		ref, err = tensor.NewExecutor(m, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "picorun: %v\n", err)
+			return 1
+		}
+	}
+
+	inputs := make([]tensor.Tensor, *tasks)
+	for i := range inputs {
+		inputs[i] = tensor.RandomInput(m.Input, *seed+int64(i))
+	}
+
+	start := time.Now()
+	go func() {
+		for _, in := range inputs {
+			if _, err := p.Submit(in); err != nil {
+				fmt.Fprintf(stderr, "picorun: submit: %v\n", err)
+				return
+			}
+		}
+	}()
+	completed := 0
+	var totalLatency time.Duration
+	for res := range p.Results() {
+		if res.Err != nil {
+			fmt.Fprintf(stderr, "picorun: task %d: %v\n", res.ID, res.Err)
+			return 1
+		}
+		lat := res.Done.Sub(res.Submitted)
+		totalLatency += lat
+		if ref != nil {
+			want, err := ref.Run(inputs[res.ID-1])
+			if err != nil {
+				fmt.Fprintf(stderr, "picorun: reference: %v\n", err)
+				return 1
+			}
+			if !tensor.Equal(want, res.Output) {
+				fmt.Fprintf(stderr, "picorun: task %d output MISMATCH (max diff %g)\n",
+					res.ID, tensor.MaxAbsDiff(want, res.Output))
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "task %2d done in %v\n", res.ID, lat.Round(time.Microsecond))
+		completed++
+		if completed == *tasks {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "completed %d tasks in %v (%.2f/min), mean latency %v",
+		completed, elapsed.Round(time.Millisecond),
+		float64(completed)/elapsed.Minutes(),
+		(totalLatency / time.Duration(completed)).Round(time.Microsecond))
+	if *verify {
+		fmt.Fprint(stdout, ", all outputs verified against local reference")
+	}
+	fmt.Fprintln(stdout)
+	return 0
+}
+
+func modelByName(name string) (*nn.Model, error) {
+	switch name {
+	case "toy":
+		return nn.ToyChain("toy", 8, 3, 16, 64), nil
+	case "fig13toy":
+		return nn.Fig13Toy(), nil
+	case "vgg16":
+		return nn.VGG16(), nil
+	case "yolov2":
+		return nn.YOLOv2(), nil
+	case "resnet34":
+		return nn.ResNet34(), nil
+	case "inceptionv3":
+		return nn.InceptionV3(), nil
+	case "mobilenetv1":
+		return nn.MobileNetV1(), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+}

@@ -1,0 +1,129 @@
+// Object detection over real TCP workers: a camera feeds frames into a
+// YOLO-style detector pipelined across four worker processes on localhost,
+// exactly the dataflow of the paper's Fig. 6 (split -> distribute ->
+// gather -> stitch -> forward). Every output is verified bit-for-bit
+// against a local reference execution.
+//
+// The network is a scaled-down YOLOv2 (same topology, fewer channels,
+// 112x112 input) so the demo runs in seconds on one machine; the full
+// YOLOv2 runs the same code path, just slower.
+//
+//	go run ./examples/objectdetect
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pico"
+)
+
+// tinyYOLO mirrors YOLOv2's shape — conv/pool backbone plus a 1x1 detection
+// head — at 1/8 the channel width and 112x112 input.
+func tinyYOLO() (*pico.Model, error) {
+	conv := func(name string, k, outC int) pico.Layer {
+		l := pico.Layer{Name: name, Kind: pico.Conv, KH: k, KW: k, SH: 1, SW: 1, OutC: outC, Act: pico.LeakyReLU}
+		if k == 3 {
+			l.PH, l.PW = 1, 1
+		}
+		return l
+	}
+	pool := func(name string) pico.Layer {
+		return pico.Layer{Name: name, Kind: pico.MaxPool, KH: 2, KW: 2, SH: 2, SW: 2, Act: pico.NoAct}
+	}
+	m := &pico.Model{
+		Name:  "tiny-yolo",
+		Input: pico.Shape{C: 3, H: 112, W: 112},
+		Layers: []pico.Layer{
+			conv("c1", 3, 8), pool("p1"),
+			conv("c2", 3, 16), pool("p2"),
+			conv("c3", 3, 32), conv("c4", 1, 16), conv("c5", 3, 32), pool("p3"),
+			conv("c6", 3, 64), conv("c7", 1, 32), conv("c8", 3, 64), pool("p4"),
+			conv("c9", 3, 128), conv("c10", 3, 128),
+			conv("head", 1, 55), // 5 anchors x (6 classes + 5)
+		},
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "objectdetect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	model, err := tinyYOLO()
+	if err != nil {
+		return err
+	}
+	cl := pico.Homogeneous(4, 600e6)
+	plan, err := pico.PlanPipeline(model, cl, pico.PlanOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.Describe())
+
+	// Four worker processes on loopback ports stand in for the Pi rack.
+	lc, err := pico.StartLocalCluster(4, nil)
+	if err != nil {
+		return err
+	}
+	defer lc.Close()
+	const seed = 2024
+	p, err := pico.NewPipeline(plan, lc.Addrs, pico.PipelineOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	ref, err := pico.NewExecutor(model, seed)
+	if err != nil {
+		return err
+	}
+
+	const frames = 12
+	inputs := make([]pico.Tensor, frames)
+	for i := range inputs {
+		inputs[i] = pico.RandomInput(model.Input, int64(i)) // synthetic camera frames
+	}
+	fmt.Printf("\nstreaming %d frames through the pipeline...\n", frames)
+	start := time.Now()
+	go func() {
+		for _, in := range inputs {
+			if _, err := p.Submit(in); err != nil {
+				fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+				return
+			}
+		}
+	}()
+	verified := 0
+	for res := range p.Results() {
+		if res.Err != nil {
+			return res.Err
+		}
+		want, err := ref.Run(inputs[res.ID-1])
+		if err != nil {
+			return err
+		}
+		if !pico.TensorsEqual(want, res.Output) {
+			return fmt.Errorf("frame %d detection grid differs from reference", res.ID)
+		}
+		fmt.Printf("frame %2d: %dx%dx%d detection grid in %v (verified)\n",
+			res.ID, res.Output.C, res.Output.H, res.Output.W,
+			res.Done.Sub(res.Submitted).Round(time.Millisecond))
+		verified++
+		if verified == frames {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\n%d frames in %v — %.1f fps, every detection grid bit-identical to single-device inference\n",
+		frames, elapsed.Round(time.Millisecond), float64(frames)/elapsed.Seconds())
+	return nil
+}

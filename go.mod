@@ -1,0 +1,3 @@
+module pico
+
+go 1.22

@@ -1,0 +1,63 @@
+package cluster
+
+import "fmt"
+
+// Constants describing the paper's testbed (§V-A): Raspberry Pi 4B boards
+// pinned to one ARM core, behind a 50 Mbps WiFi access point.
+const (
+	// WiFi50MbpsBps is the access-point bandwidth in bytes per second.
+	WiFi50MbpsBps = 50e6 / 8
+
+	// MACsPerCycle is the sustained multiply-accumulates per CPU cycle a
+	// single Cortex-A72 core achieves on NNPACK-accelerated convolutions.
+	// NEON issues a 4-wide fused multiply-add per cycle at peak; ~50%
+	// efficiency on real conv loops gives 2 MAC/cycle, which puts a
+	// single-core 600 MHz VGG-16 inference at ~13 s — consistent with
+	// single-core Raspberry Pi measurements.
+	MACsPerCycle = 2.0
+)
+
+// RPi4B returns a Raspberry Pi 4B device profile pinned to one core at the
+// given CPU frequency.
+func RPi4B(id string, freqHz float64) Device {
+	return Device{
+		ID:       id,
+		Capacity: freqHz * MACsPerCycle,
+		Alpha:    1,
+		FreqHz:   freqHz,
+	}
+}
+
+// Homogeneous builds a cluster of n identical Raspberry Pi 4B devices at the
+// given frequency behind the 50 Mbps access point — the configuration of the
+// paper's capacity experiments (Figs. 8, 9, 12).
+func Homogeneous(n int, freqHz float64) *Cluster {
+	devices := make([]Device, n)
+	for i := range devices {
+		devices[i] = RPi4B(fmt.Sprintf("pi-%d", i), freqHz)
+	}
+	return &Cluster{Devices: devices, BandwidthBps: WiFi50MbpsBps}
+}
+
+// PaperHeterogeneous builds the 8-device heterogeneous cluster of the
+// paper's Table I: 2x 1.2 GHz, 2x 800 MHz and 4x 600 MHz Raspberry Pi 4Bs.
+func PaperHeterogeneous() *Cluster {
+	freqs := []float64{1.2e9, 1.2e9, 800e6, 800e6, 600e6, 600e6, 600e6, 600e6}
+	devices := make([]Device, len(freqs))
+	for i, f := range freqs {
+		devices[i] = RPi4B(fmt.Sprintf("pi-%d-%dMHz", i, int(f/1e6)), f)
+	}
+	return &Cluster{Devices: devices, BandwidthBps: WiFi50MbpsBps}
+}
+
+// Fig13Heterogeneous builds the 6-device heterogeneous cluster used by the
+// paper's PICO-vs-BFS comparison (Fig. 13): a spread of frequencies on the
+// same access point.
+func Fig13Heterogeneous() *Cluster {
+	freqs := []float64{1.2e9, 1.0e9, 800e6, 800e6, 600e6, 600e6}
+	devices := make([]Device, len(freqs))
+	for i, f := range freqs {
+		devices[i] = RPi4B(fmt.Sprintf("pi-%d-%dMHz", i, int(f/1e6)), f)
+	}
+	return &Cluster{Devices: devices, BandwidthBps: WiFi50MbpsBps}
+}

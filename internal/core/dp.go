@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pico/internal/cluster"
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// Options configure the PICO planner.
+type Options struct {
+	// LatencyLimit is T_lim: pipeline latencies above it are pruned
+	// (Eq. 1). Zero means unbounded.
+	LatencyLimit float64
+	// MaxStages caps the number of pipeline stages. Zero means no cap
+	// beyond the device count.
+	MaxStages int
+	// NoHeterogeneityAdaptation skips Algorithm 2 and maps the
+	// homogenised plan positionally onto the real devices with equal
+	// strips — the ablation baseline for the greedy adaptation.
+	NoHeterogeneityAdaptation bool
+	// OverlapCommCompute plans with T = max(T_comp, T_comm) instead of
+	// the paper's sum — devices that transfer while computing.
+	OverlapCommCompute bool
+}
+
+// homStage is a stage of the homogeneous solution: segment [From, To) on
+// Workers average devices.
+type homStage struct {
+	From, To int
+	Workers  int
+}
+
+// dpPoint is one Pareto-optimal (period, latency) trade-off for a
+// (prefix length, device budget) state, with the last-stage choice recorded
+// for reconstruction (the R/S arrays of Algorithm 1): the final stage is
+// [cut, j) holding a budget of `budget` devices of which `workers` carry
+// strips. cut == -1 means the whole prefix is a single stage.
+//
+// The paper's Algorithm 1 memoises a single (period, latency) per state and
+// prunes with the remaining T_lim, which can wrongly declare tight latency
+// bounds infeasible (the memoised min-period solution may bust a bound that
+// a higher-period/lower-latency solution meets). We strengthen the memo to
+// the full Pareto frontier, making the latency constraint exact at the same
+// asymptotic cost.
+type dpPoint struct {
+	period  float64
+	latency float64
+	cut     int
+	budget  int
+	workers int
+	subIdx  int
+}
+
+// planner runs Algorithm 1 on the homogenised cluster.
+type planner struct {
+	cm       *CostModel
+	speed    float64 // homogenised per-device effective speed
+	L        int
+	D        int
+	limit    float64
+	memo     [][]dpPoint
+	memoSet  []bool
+	tsMemo   []float64 // Ts[from][to][p], -1 when unset
+	tsBest   []float64 // min over q <= p of Ts[from][to][q]
+	tsBestQ  []int     // the q achieving tsBest
+	maxParts int
+}
+
+func newPlanner(cm *CostModel, speed float64, devices int, limit float64) *planner {
+	p := &planner{
+		cm:       cm,
+		speed:    speed,
+		L:        cm.M.NumLayers(),
+		D:        devices,
+		limit:    limit,
+		maxParts: devices,
+	}
+	p.memo = make([][]dpPoint, (p.L+1)*(p.D+1))
+	p.memoSet = make([]bool, (p.L+1)*(p.D+1))
+	n := p.L * (p.L + 1) * (p.D + 1)
+	p.tsMemo = make([]float64, n)
+	p.tsBest = make([]float64, n)
+	p.tsBestQ = make([]int, n)
+	for i := range p.tsMemo {
+		p.tsMemo[i] = -1
+		p.tsBest[i] = -1
+	}
+	return p
+}
+
+func (p *planner) tsIdx(from, to, q int) int {
+	return (from*(p.L+1)+to)*(p.D+1) + q
+}
+
+// ts returns Ts[from][to][q]: the cost of segment [from, to) equally split
+// over q average devices (Eq. 9 on the homogenised cluster).
+func (p *planner) ts(from, to, q int) float64 {
+	idx := p.tsIdx(from, to, q)
+	if v := p.tsMemo[idx]; v >= 0 {
+		return v
+	}
+	total, _, _ := p.cm.EqualStageCost(from, to, q, p.speed)
+	p.tsMemo[idx] = total
+	return total
+}
+
+// tsMin returns the best stage cost for [from, to) using at most pMax
+// devices, and the device count achieving it. Allowing a stage to idle part
+// of its device budget is what lets PICO "use a subset of edge devices
+// instead of the entire cluster" (§V-B).
+func (p *planner) tsMin(from, to, pMax int) (float64, int) {
+	idx := p.tsIdx(from, to, pMax)
+	if v := p.tsBest[idx]; v >= 0 {
+		return v, p.tsBestQ[idx]
+	}
+	best := math.Inf(1)
+	bestQ := 1
+	for q := 1; q <= pMax; q++ {
+		if t := p.ts(from, to, q); t < best-1e-15 {
+			best = t
+			bestQ = q
+		}
+	}
+	p.tsBest[idx] = best
+	p.tsBestQ[idx] = bestQ
+	return best, bestQ
+}
+
+// solve computes the Pareto frontier of (period, latency) for pipelines over
+// layers [0, j) with a budget of d devices, implementing the recurrence of
+// Eq. (13) with memoisation and exact T_lim pruning. The returned frontier
+// is sorted by increasing period (and strictly decreasing latency); it is
+// empty when no pipeline meets the latency limit.
+func (p *planner) solve(j, d int) []dpPoint {
+	mi := j*(p.D+1) + d
+	if p.memoSet[mi] {
+		return p.memo[mi]
+	}
+	var candidates []dpPoint
+	// Base: the whole prefix as one stage.
+	base, baseQ := p.tsMin(0, j, d)
+	if p.limit <= 0 || base <= p.limit {
+		candidates = append(candidates, dpPoint{period: base, latency: base, cut: -1, budget: d, workers: baseQ})
+	}
+	// Split: prefix [0, s) with d-q devices, final stage [s, j) with q.
+	for s := 1; s < j; s++ {
+		for q := 1; q < d; q++ {
+			stage, stageQ := p.tsMin(s, j, q)
+			if p.limit > 0 && stage > p.limit {
+				continue
+			}
+			for si, sub := range p.solve(s, d-q) {
+				lat := sub.latency + stage
+				if p.limit > 0 && lat > p.limit {
+					continue
+				}
+				candidates = append(candidates, dpPoint{
+					period:  math.Max(sub.period, stage),
+					latency: lat,
+					cut:     s, budget: q, workers: stageQ, subIdx: si,
+				})
+			}
+		}
+	}
+	frontier := paretoFilter(candidates)
+	p.memo[mi] = frontier
+	p.memoSet[mi] = true
+	return frontier
+}
+
+// paretoFilter keeps the non-dominated (period, latency) points, sorted by
+// increasing period.
+func paretoFilter(points []dpPoint) []dpPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].period != points[b].period {
+			return points[a].period < points[b].period
+		}
+		return points[a].latency < points[b].latency
+	})
+	var frontier []dpPoint
+	bestLat := math.Inf(1)
+	for _, pt := range points {
+		if pt.latency < bestLat-1e-15 {
+			frontier = append(frontier, pt)
+			bestLat = pt.latency
+		}
+	}
+	return frontier
+}
+
+// reconstruct builds the homogeneous stage list for frontier point pi of
+// state (j, d) — the BuildStrategy walk of Algorithm 1.
+func (p *planner) reconstruct(j, d, pi int) []homStage {
+	if !p.memoSet[j*(p.D+1)+d] {
+		panic("core: reconstruct before solve")
+	}
+	pt := p.memo[j*(p.D+1)+d][pi]
+	if pt.cut < 0 {
+		return []homStage{{From: 0, To: j, Workers: pt.workers}}
+	}
+	stages := p.reconstruct(pt.cut, d-pt.budget, pt.subIdx)
+	return append(stages, homStage{From: pt.cut, To: j, Workers: pt.workers})
+}
+
+// PlanPipeline runs the full PICO planner (Algorithms 1 + 2) and returns the
+// pipelined cooperation plan for the model on the cluster.
+func PlanPipeline(m *nn.Model, c *cluster.Cluster, opts Options) (*Plan, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	cm := NewCostModel(m, c)
+	if opts.OverlapCommCompute {
+		cm.Combine = CostMax
+	}
+
+	// Step 1 (Eq. 12 + Alg. 1): optimise on the homogenised cluster.
+	avgSpeed := c.AverageEffectiveSpeed()
+	pl := newPlanner(cm, avgSpeed, c.Size(), opts.LatencyLimit)
+	frontier := pl.solve(m.NumLayers(), c.Size())
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("core: no pipeline meets the latency limit %.3fs", opts.LatencyLimit)
+	}
+	homStages := pl.reconstruct(m.NumLayers(), c.Size(), 0)
+	if opts.MaxStages > 0 && len(homStages) > opts.MaxStages {
+		return nil, fmt.Errorf("core: optimal pipeline needs %d stages, cap is %d", len(homStages), opts.MaxStages)
+	}
+
+	// Step 2 (Alg. 2): adapt the stage set to the heterogeneous devices.
+	var plan *Plan
+	if opts.NoHeterogeneityAdaptation {
+		plan = assignPositional(cm, homStages)
+	} else {
+		plan = adaptToHeterogeneity(cm, homStages)
+	}
+	plan.recompute(cm)
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("core: planner produced invalid plan: %w", err)
+	}
+	return plan, nil
+}
+
+// assignPositional maps homogeneous stages onto devices in index order with
+// equal strips (the no-adaptation ablation).
+func assignPositional(cm *CostModel, homStages []homStage) *Plan {
+	plan := &Plan{Model: cm.M, Cluster: cm.C}
+	next := 0
+	for _, hs := range homStages {
+		idx := make([]int, hs.Workers)
+		for i := range idx {
+			idx[i] = next
+			next++
+		}
+		outH := cm.M.OutShape(hs.To - 1).H
+		plan.Stages = append(plan.Stages, Stage{
+			From: hs.From, To: hs.To,
+			DeviceIdx: idx,
+			Parts:     partition.Equal(outH, hs.Workers),
+		})
+	}
+	return plan
+}
+
+// SingleDevice builds the trivial plan that runs the whole model on one
+// device — the 1-device baseline of the speedup figures.
+func SingleDevice(m *nn.Model, c *cluster.Cluster, deviceIdx int) (*Plan, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if deviceIdx < 0 || deviceIdx >= c.Size() {
+		return nil, fmt.Errorf("core: device index %d out of range", deviceIdx)
+	}
+	cm := NewCostModel(m, c)
+	outH := m.Output().H
+	plan := &Plan{
+		Model:   m,
+		Cluster: c,
+		Stages: []Stage{{
+			From: 0, To: m.NumLayers(),
+			DeviceIdx: []int{deviceIdx},
+			Parts:     []partition.Range{partition.Full(outH)},
+		}},
+	}
+	plan.recompute(cm)
+	return plan, nil
+}
+
+// OneStagePlan builds the fused-layer plan that runs the whole model as a
+// single stage across every cluster device with capacity-balanced strips —
+// the executable form of the one-stage scheme APICO switches to under light
+// workloads (§IV-C).
+func OneStagePlan(m *nn.Model, c *cluster.Cluster) (*Plan, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	cm := NewCostModel(m, c)
+	idx := make([]int, c.Size())
+	for i := range idx {
+		idx[i] = i
+	}
+	parts := cm.Calc.Balanced(0, m.NumLayers(), cm.DeviceSpeeds(idx))
+	plan := &Plan{
+		Model:   m,
+		Cluster: c,
+		Stages: []Stage{{
+			From: 0, To: m.NumLayers(),
+			DeviceIdx: idx,
+			Parts:     parts,
+		}},
+	}
+	plan.recompute(cm)
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("core: one-stage plan invalid: %w", err)
+	}
+	return plan, nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pico/internal/cluster"
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// Stage is one pipeline stage: a contiguous layer segment replicated over a
+// device subset, each device producing one output strip.
+type Stage struct {
+	// From, To delimit the model segment [From, To).
+	From, To int
+	// DeviceIdx are indices into the cluster's device slice.
+	DeviceIdx []int
+	// Parts are the per-device output row ranges, parallel to DeviceIdx.
+	// Empty ranges mark devices that idle in this stage.
+	Parts []partition.Range
+	// CompSeconds is T_comp (Eq. 6) for this stage.
+	CompSeconds float64
+	// CommSeconds is the stage's communication contribution to T(S):
+	// the full T_comm (Eq. 8) under the paper's serialized cost model,
+	// or only the portion not hidden behind computation when the plan was
+	// built with OverlapCommCompute.
+	CommSeconds float64
+}
+
+// Seconds returns the stage execution time T(S) = T_comp + T_comm (Eq. 9).
+func (s *Stage) Seconds() float64 { return s.CompSeconds + s.CommSeconds }
+
+// Workers returns how many devices hold a non-empty strip.
+func (s *Stage) Workers() int {
+	n := 0
+	for _, p := range s.Parts {
+		if !p.Empty() {
+			n++
+		}
+	}
+	return n
+}
+
+// Plan is a complete pipelined cooperation scheme for one model on one
+// cluster.
+type Plan struct {
+	Model   *nn.Model
+	Cluster *cluster.Cluster
+	Stages  []Stage
+	// PeriodSeconds is P(M, D, S) (Eq. 10): the slowest stage time — the
+	// reciprocal of steady-state throughput.
+	PeriodSeconds float64
+	// LatencySeconds is T(M, D, S) (Eq. 11): the sum of stage times — the
+	// time one task spends traversing the pipeline.
+	LatencySeconds float64
+}
+
+// recompute refreshes stage costs and the period/latency aggregates.
+func (p *Plan) recompute(cm *CostModel) {
+	p.PeriodSeconds = 0
+	p.LatencySeconds = 0
+	for i := range p.Stages {
+		st := &p.Stages[i]
+		speeds := cm.DeviceSpeeds(st.DeviceIdx)
+		total, comp, _ := cm.StageCost(st.From, st.To, speeds, st.Parts)
+		st.CompSeconds = comp
+		st.CommSeconds = total - comp
+		t := st.Seconds()
+		p.LatencySeconds += t
+		if t > p.PeriodSeconds {
+			p.PeriodSeconds = t
+		}
+	}
+}
+
+// Throughput returns the steady-state tasks per second, 1/period.
+func (p *Plan) Throughput() float64 {
+	if p.PeriodSeconds <= 0 {
+		return 0
+	}
+	return 1 / p.PeriodSeconds
+}
+
+// UsedDevices returns the indices of devices holding at least one non-empty
+// strip in any stage, in first-use order.
+func (p *Plan) UsedDevices() []int {
+	seen := make(map[int]bool)
+	var used []int
+	for _, st := range p.Stages {
+		for k, di := range st.DeviceIdx {
+			if !st.Parts[k].Empty() && !seen[di] {
+				seen[di] = true
+				used = append(used, di)
+			}
+		}
+	}
+	return used
+}
+
+// Stats aggregates per-device work and redundancy over one task traversal —
+// the quantities behind the paper's Table I.
+type Stats struct {
+	// DeviceFLOPs[k] is the work device k performs per task.
+	DeviceFLOPs []float64
+	// DeviceRedundant[k] is the overlap-attributed redundant portion.
+	DeviceRedundant []float64
+	// DeviceBusySeconds[k] is device k's compute-busy time per task.
+	DeviceBusySeconds []float64
+}
+
+// TotalFLOPs returns the work all devices perform per task.
+func (s *Stats) TotalFLOPs() float64 {
+	var sum float64
+	for _, f := range s.DeviceFLOPs {
+		sum += f
+	}
+	return sum
+}
+
+// RedundancyRatio returns the cluster-wide redundant fraction.
+func (s *Stats) RedundancyRatio() float64 {
+	total := s.TotalFLOPs()
+	if total == 0 {
+		return 0
+	}
+	var red float64
+	for _, r := range s.DeviceRedundant {
+		red += r
+	}
+	return red / total
+}
+
+// Stats computes per-device work, redundancy and busy time for one task.
+func (p *Plan) Stats(cm *CostModel) *Stats {
+	n := len(p.Cluster.Devices)
+	st := &Stats{
+		DeviceFLOPs:       make([]float64, n),
+		DeviceRedundant:   make([]float64, n),
+		DeviceBusySeconds: make([]float64, n),
+	}
+	for _, stage := range p.Stages {
+		red := cm.Calc.Redundancy(stage.From, stage.To, stage.Parts)
+		for k, di := range stage.DeviceIdx {
+			st.DeviceFLOPs[di] += red.PerDeviceFLOPs[k]
+			st.DeviceRedundant[di] += red.PerDeviceRedundant[k]
+			speed := p.Cluster.Devices[di].EffectiveSpeed()
+			if speed > 0 {
+				st.DeviceBusySeconds[di] += red.PerDeviceFLOPs[k] / speed
+			}
+		}
+	}
+	return st
+}
+
+// Describe renders a human-readable multi-line plan summary.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline for %s on %d devices: %d stages, period %.3fs, latency %.3fs\n",
+		p.Model.Name, p.Cluster.Size(), len(p.Stages), p.PeriodSeconds, p.LatencySeconds)
+	for i, st := range p.Stages {
+		fmt.Fprintf(&b, "  stage %d: layers [%d,%d) on %d device(s), comp %.3fs + comm %.3fs\n",
+			i, st.From, st.To, st.Workers(), st.CompSeconds, st.CommSeconds)
+		for k, di := range st.DeviceIdx {
+			if st.Parts[k].Empty() {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-18s rows %v\n", p.Cluster.Devices[di].ID, st.Parts[k])
+		}
+	}
+	return b.String()
+}
+
+// Validate checks structural consistency: contiguous full-model coverage,
+// no device reused across stages, strips covering each stage output exactly.
+func (p *Plan) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("core: plan has no stages")
+	}
+	if p.Stages[0].From != 0 || p.Stages[len(p.Stages)-1].To != p.Model.NumLayers() {
+		return fmt.Errorf("core: plan does not cover the model: [%d,%d)",
+			p.Stages[0].From, p.Stages[len(p.Stages)-1].To)
+	}
+	usedDevice := make(map[int]int)
+	for i, st := range p.Stages {
+		if i > 0 && st.From != p.Stages[i-1].To {
+			return fmt.Errorf("core: stage %d starts at %d, previous ended at %d", i, st.From, p.Stages[i-1].To)
+		}
+		if len(st.DeviceIdx) != len(st.Parts) {
+			return fmt.Errorf("core: stage %d has %d devices but %d parts", i, len(st.DeviceIdx), len(st.Parts))
+		}
+		if st.Workers() == 0 {
+			return fmt.Errorf("core: stage %d has no working device", i)
+		}
+		for k, di := range st.DeviceIdx {
+			if st.Parts[k].Empty() {
+				continue
+			}
+			if prev, ok := usedDevice[di]; ok {
+				return fmt.Errorf("core: device %d in stages %d and %d", di, prev, i)
+			}
+			usedDevice[di] = i
+		}
+		// Strips must tile the stage output exactly.
+		outH := p.Model.OutShape(st.To - 1).H
+		covered := make([]int, outH)
+		for _, r := range st.Parts {
+			for row := r.Lo; row < r.Hi; row++ {
+				if row < 0 || row >= outH {
+					return fmt.Errorf("core: stage %d strip %v outside [0,%d)", i, r, outH)
+				}
+				covered[row]++
+			}
+		}
+		for row, c := range covered {
+			if c != 1 {
+				return fmt.Errorf("core: stage %d row %d covered %d times", i, row, c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"pico/internal/cluster"
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// planFile is the on-disk JSON form of a Plan: fully self-contained (model
+// geometry, cluster profile, stage assignments), so a coordinator can plan
+// once and redeploy the same pipeline later or on another host.
+type planFile struct {
+	Version int         `json:"version"`
+	Model   modelFile   `json:"model"`
+	Cluster clusterFile `json:"cluster"`
+	Stages  []stageFile `json:"stages"`
+	Period  float64     `json:"period_seconds"`
+	Latency float64     `json:"latency_seconds"`
+}
+
+type modelFile struct {
+	Name   string     `json:"name"`
+	Input  nn.Shape   `json:"input"`
+	Layers []nn.Layer `json:"layers"`
+}
+
+type clusterFile struct {
+	Devices      []cluster.Device `json:"devices"`
+	BandwidthBps float64          `json:"bandwidth_bps"`
+}
+
+type stageFile struct {
+	From      int               `json:"from"`
+	To        int               `json:"to"`
+	DeviceIdx []int             `json:"device_idx"`
+	Parts     []partition.Range `json:"parts"`
+}
+
+// planFileVersion guards against loading plans from incompatible builds.
+const planFileVersion = 1
+
+// SavePlan writes the plan as self-contained JSON.
+func SavePlan(w io.Writer, p *Plan) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("core: refusing to save invalid plan: %w", err)
+	}
+	pf := planFile{
+		Version: planFileVersion,
+		Model:   modelFile{Name: p.Model.Name, Input: p.Model.Input, Layers: p.Model.Layers},
+		Cluster: clusterFile{Devices: p.Cluster.Devices, BandwidthBps: p.Cluster.BandwidthBps},
+		Period:  p.PeriodSeconds,
+		Latency: p.LatencySeconds,
+	}
+	for _, st := range p.Stages {
+		pf.Stages = append(pf.Stages, stageFile{
+			From: st.From, To: st.To,
+			DeviceIdx: st.DeviceIdx, Parts: st.Parts,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(pf); err != nil {
+		return fmt.Errorf("core: encode plan: %w", err)
+	}
+	return nil
+}
+
+// LoadPlan reads a plan saved by SavePlan, revalidates it and recomputes the
+// period/latency aggregates from the embedded cluster profile (so a stale
+// file cannot smuggle wrong numbers).
+func LoadPlan(r io.Reader) (*Plan, error) {
+	var pf planFile
+	if err := json.NewDecoder(r).Decode(&pf); err != nil {
+		return nil, fmt.Errorf("core: decode plan: %w", err)
+	}
+	if pf.Version != planFileVersion {
+		return nil, fmt.Errorf("core: plan file version %d, want %d", pf.Version, planFileVersion)
+	}
+	m := &nn.Model{Name: pf.Model.Name, Input: pf.Model.Input, Layers: pf.Model.Layers}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: plan file model: %w", err)
+	}
+	c := &cluster.Cluster{Devices: pf.Cluster.Devices, BandwidthBps: pf.Cluster.BandwidthBps}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("core: plan file cluster: %w", err)
+	}
+	plan := &Plan{Model: m, Cluster: c}
+	for _, st := range pf.Stages {
+		plan.Stages = append(plan.Stages, Stage{
+			From: st.From, To: st.To,
+			DeviceIdx: st.DeviceIdx, Parts: st.Parts,
+		})
+	}
+	plan.recompute(NewCostModel(m, c))
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("core: plan file stages: %w", err)
+	}
+	return plan, nil
+}
+
+// ToDOT renders the plan as a Graphviz digraph: one box per stage listing
+// its layer segment and per-device strips, edges carrying the inter-stage
+// feature-map sizes. Paste into `dot -Tsvg` for pipeline diagrams.
+func (p *Plan) ToDOT() string {
+	var b strings.Builder
+	b.WriteString("digraph pico {\n  rankdir=LR;\n  node [shape=record, fontname=\"monospace\"];\n")
+	fmt.Fprintf(&b, "  source [shape=oval, label=\"source\\n%v\"];\n", p.Model.Input)
+	for i, st := range p.Stages {
+		var devs strings.Builder
+		for k, di := range st.DeviceIdx {
+			if st.Parts[k].Empty() {
+				continue
+			}
+			fmt.Fprintf(&devs, "|%s rows %v", p.Cluster.Devices[di].ID, st.Parts[k])
+		}
+		fmt.Fprintf(&b, "  s%d [label=\"{stage %d: layers [%d,%d)\\nT=%.3fs%s}\"];\n",
+			i, i, st.From, st.To, st.Seconds(), devs.String())
+	}
+	fmt.Fprintf(&b, "  source -> s0 [label=\"%.2f MB\"];\n", float64(p.Model.Input.Bytes())/1e6)
+	for i := 1; i < len(p.Stages); i++ {
+		bytes := float64(p.Model.OutShape(p.Stages[i-1].To-1).Bytes()) / 1e6
+		fmt.Fprintf(&b, "  s%d -> s%d [label=\"%.2f MB\"];\n", i-1, i, bytes)
+	}
+	fmt.Fprintf(&b, "  sink [shape=oval, label=\"result\\n%v\"];\n", p.Model.Output())
+	fmt.Fprintf(&b, "  s%d -> sink;\n", len(p.Stages)-1)
+	b.WriteString("}\n")
+	return b.String()
+}

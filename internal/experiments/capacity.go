@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strconv"
+
+	"pico/internal/cluster"
+	"pico/internal/nn"
+	"pico/internal/simulate"
+)
+
+// capacitySchemes are the series of Figures 8 and 9.
+var capacitySchemes = []string{"LW", "EFL", "OFL", "PICO"}
+
+// capacityFigure reproduces one of Figures 8/9: the inference period per
+// scheme as the homogeneous cluster grows, at three CPU frequencies, plus
+// the accomplished tasks per minute with 8 devices. The shape to match:
+// PICO lowest period everywhere; LW barely improves (or worsens) with more
+// devices; EFL/OFL saturate past ~4 devices.
+func capacityFigure(figID string, m *nn.Model, cfg Config) ([]Table, error) {
+	freqs := []struct {
+		label string
+		hz    float64
+	}{
+		{"600MHz", 600e6},
+		{"800MHz", 800e6},
+		{"1GHz", 1e9},
+	}
+	var tables []Table
+	for fi, fr := range freqs {
+		t := Table{
+			ID:      figID + string(rune('a'+fi)),
+			Title:   m.Name + " inference period (s) vs devices at " + fr.label,
+			Columns: append([]string{"devices"}, capacitySchemes...),
+		}
+		for _, n := range cfg.Devices {
+			cl := cluster.Homogeneous(n, fr.hz)
+			sp, err := buildProfiles(m, cl, capacitySchemes)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{strconv.Itoa(n)}
+			for _, name := range capacitySchemes {
+				res, err := simulate.RunClosedLoop(sp.profiles[name], cfg.ClosedLoopTasks, n)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, secs(1/res.Throughput()))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+
+	// Panel (d): tasks per minute with 8 devices at each frequency.
+	tput := Table{
+		ID:      figID + "d",
+		Title:   m.Name + " accomplished tasks per minute, 8 devices",
+		Columns: append([]string{"cpu"}, capacitySchemes...),
+	}
+	for _, fr := range freqs {
+		cl := cluster.Homogeneous(8, fr.hz)
+		sp, err := buildProfiles(m, cl, capacitySchemes)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fr.label}
+		for _, name := range capacitySchemes {
+			res, err := simulate.RunClosedLoop(sp.profiles[name], cfg.ClosedLoopTasks, 8)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, perMin(res.Throughput()))
+		}
+		tput.AddRow(row...)
+	}
+	tput.Notes = append(tput.Notes,
+		"paper reports 1.8–6.2x throughput improvement of PICO over the baselines")
+	return append(tables, tput), nil
+}
+
+// Fig8 reproduces Figure 8 (VGG16 cluster capacity).
+func Fig8(cfg Config) ([]Table, error) { return capacityFigure("fig8", nn.VGG16(), cfg) }
+
+// Fig9 reproduces Figure 9 (YOLOv2 cluster capacity).
+func Fig9(cfg Config) ([]Table, error) { return capacityFigure("fig9", nn.YOLOv2(), cfg) }
+
+// Bandwidth reproduces the abstract's "various network settings" claim: the
+// per-scheme period on 8 devices as the shared WLAN bandwidth varies. PICO's
+// advantage must persist across bandwidths, with layer-wise collapsing at
+// the low end.
+func Bandwidth(cfg Config) ([]Table, error) {
+	m := nn.VGG16()
+	bws := []struct {
+		label string
+		bps   float64
+	}{
+		{"10Mbps", 10e6 / 8},
+		{"25Mbps", 25e6 / 8},
+		{"50Mbps", 50e6 / 8},
+		{"100Mbps", 100e6 / 8},
+		{"500Mbps", 500e6 / 8},
+	}
+	t := Table{
+		ID:      "bandwidth",
+		Title:   "vgg16 inference period (s) on 8x600MHz vs WLAN bandwidth",
+		Columns: append([]string{"bandwidth"}, capacitySchemes...),
+	}
+	speedup := Table{
+		ID:      "bandwidth-speedup",
+		Title:   "PICO throughput gain over best one-stage scheme",
+		Columns: []string{"bandwidth", "gain"},
+	}
+	for _, bw := range bws {
+		cl := cluster.Homogeneous(8, 600e6)
+		cl.BandwidthBps = bw.bps
+		sp, err := buildProfiles(m, cl, capacitySchemes)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{bw.label}
+		best := 0.0
+		var pico float64
+		for _, name := range capacitySchemes {
+			res, err := simulate.RunClosedLoop(sp.profiles[name], cfg.ClosedLoopTasks, 8)
+			if err != nil {
+				return nil, err
+			}
+			period := 1 / res.Throughput()
+			row = append(row, secs(period))
+			if name == "PICO" {
+				pico = period
+			} else if name != "LW" && (best == 0 || period < best) {
+				best = period
+			}
+		}
+		t.AddRow(row...)
+		speedup.AddRow(bw.label, f2(best/pico)+"x")
+	}
+	return []Table{t, speedup}, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"pico/internal/nn"
+)
+
+// Fig2 reproduces Figure 2: the per-layer communication and computation
+// share of VGG16 and YOLOv2. Computation is the layer's MAC count;
+// communication is its output feature-map size (what must move if the layer
+// boundary becomes a cut point). The paper's headline observations —
+// convolutions provide >99% of the computation, and per-layer shares vary
+// widely — must reproduce exactly, since both are pure functions of layer
+// geometry.
+func Fig2(cfg Config) ([]Table, error) {
+	var tables []Table
+	for _, m := range []*nn.Model{nn.VGG16(), nn.YOLOv2()} {
+		t := Table{
+			ID:      "fig2-" + m.Name,
+			Title:   "per-layer computation and communication share (" + m.Name + ")",
+			Columns: []string{"layer", "kind", "flops(G)", "comp%", "out(MB)", "comm%"},
+		}
+		total := float64(m.TotalFLOPs())
+		var totalBytes float64
+		for i := 0; i < m.NumLayers(); i++ {
+			totalBytes += float64(m.OutShape(i).Bytes())
+		}
+		var convFLOPs float64
+		for i := 0; i < m.NumLayers(); i++ {
+			l := &m.Layers[i]
+			flops := float64(m.LayerFLOPs(i))
+			if l.Kind == nn.Conv {
+				convFLOPs += flops
+			}
+			bytes := float64(m.OutShape(i).Bytes())
+			t.AddRow(l.Name, l.Kind.String(), gflops(flops), pct(flops/total),
+				f2(bytes/1e6), pct(bytes/totalBytes))
+		}
+		t.Notes = append(t.Notes,
+			"conv layers provide "+pct(convFLOPs/total)+" of computation (paper: 99.19% VGG16, 99.59% YOLOv2)")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strconv"
+
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// Fig4 reproduces Figure 4: the fused-layer scheme's redundant computation
+// on VGG16 as the fused prefix deepens and the device count grows —
+// (a) FLOPs per device and (b) total FLOPs across devices, both relative to
+// the single-device baseline. The paper's shape: per-device work shrinks
+// with more devices but the total climbs steeply once many layers fuse,
+// which is the motivation for pipelining.
+func Fig4(cfg Config) ([]Table, error) {
+	m := nn.VGG16Conv()
+	calc := partition.NewCalc(m)
+	perDev := Table{
+		ID:      "fig4a",
+		Title:   "fused-layer FLOPs per device, VGG16 (G MACs)",
+		Columns: []string{"fused-layers"},
+	}
+	total := Table{
+		ID:      "fig4b",
+		Title:   "fused-layer total FLOPs of all devices, VGG16 (G MACs)",
+		Columns: []string{"fused-layers"},
+	}
+	devices := []int{1, 2, 4, 8}
+	for _, d := range devices {
+		perDev.Columns = append(perDev.Columns, strconv.Itoa(d)+"-dev")
+		total.Columns = append(total.Columns, strconv.Itoa(d)+"-dev")
+	}
+	for to := 1; to <= m.NumLayers(); to++ {
+		outH := m.OutShape(to - 1).H
+		rowA := []string{strconv.Itoa(to)}
+		rowB := []string{strconv.Itoa(to)}
+		for _, d := range devices {
+			parts := partition.Equal(outH, d)
+			var worst, sum int64
+			for _, p := range parts {
+				f := calc.SegmentRegionFLOPs(0, to, p)
+				sum += f
+				if f > worst {
+					worst = f
+				}
+			}
+			rowA = append(rowA, gflops(float64(worst)))
+			rowB = append(rowB, gflops(float64(sum)))
+		}
+		perDev.AddRow(rowA...)
+		total.AddRow(rowB...)
+	}
+	total.Notes = append(total.Notes,
+		"total work with 8 devices must exceed the 1-device column once many layers fuse (overlap growth, §II-C)")
+	return []Table{perDev, total}, nil
+}

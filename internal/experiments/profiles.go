@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/schemes"
+	"pico/internal/simulate"
+)
+
+// schemeProfiles evaluates every compared scheme on one model and cluster,
+// returning simulator profiles keyed in presentation order.
+type schemeProfiles struct {
+	names    []string
+	profiles map[string]*simulate.ExecProfile
+	plans    map[string]*core.Plan // for PICO-family entries
+}
+
+// buildProfiles constructs the requested schemes. Unknown names are
+// rejected so experiments cannot silently drop a series.
+func buildProfiles(m *nn.Model, c *cluster.Cluster, names []string) (*schemeProfiles, error) {
+	sp := &schemeProfiles{
+		profiles: make(map[string]*simulate.ExecProfile, len(names)),
+		plans:    make(map[string]*core.Plan, 2),
+	}
+	for _, name := range names {
+		var prof *simulate.ExecProfile
+		switch name {
+		case "LW":
+			lw, err := schemes.LayerWise(m, c)
+			if err != nil {
+				return nil, err
+			}
+			prof = lw.Profile()
+		case "EFL":
+			efl, err := schemes.EarlyFusedLayer(m, c, 0)
+			if err != nil {
+				return nil, err
+			}
+			prof = efl.Profile()
+		case "OFL":
+			ofl, err := schemes.OptimalFusedLayer(m, c, schemes.OFLOptions{})
+			if err != nil {
+				return nil, err
+			}
+			prof = ofl.Profile()
+		case "PICO":
+			plan, err := core.PlanPipeline(m, c, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			sp.plans[name] = plan
+			prof = simulate.FromPlan("PICO", plan)
+		default:
+			return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+		}
+		prof.Name = name
+		sp.names = append(sp.names, name)
+		sp.profiles[name] = prof
+	}
+	return sp, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"pico/internal/cluster"
+	"pico/internal/nn"
+	"pico/internal/simulate"
+)
+
+// Table1 reproduces the paper's Table I: per-device CPU utilization and
+// redundancy ratios on the heterogeneous cluster (2x1.2GHz, 2x800MHz,
+// 4x600MHz) for every scheme, under saturated (back-to-back) arrivals.
+// Shape to match: LW lowest utilization and near-zero redundancy; EFL high
+// utilization on the slow devices with the worst redundancy; PICO the best
+// average utilization at low redundancy (its balanced strips load fast and
+// slow devices alike).
+func Table1(cfg Config) ([]Table, error) {
+	cl := cluster.PaperHeterogeneous()
+	var tables []Table
+	for _, m := range []*nn.Model{nn.VGG16(), nn.YOLOv2()} {
+		t := Table{
+			ID:      "table1-" + m.Name,
+			Title:   "utilization / redundancy per heterogeneous device (" + m.Name + ")",
+			Columns: []string{"scheme", "metric"},
+		}
+		for _, d := range cl.Devices {
+			t.Columns = append(t.Columns, d.ID[len("pi-0-"):])
+		}
+		t.Columns = append(t.Columns, "average")
+		sp, err := buildProfiles(m, cl, capacitySchemes)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range capacitySchemes {
+			res, err := simulate.RunClosedLoop(sp.profiles[name], cfg.ClosedLoopTasks, cl.Size())
+			if err != nil {
+				return nil, err
+			}
+			utilRow := []string{name, "Utili"}
+			reduRow := []string{"", "Redu"}
+			var utilSum, reduSum float64
+			for k := range cl.Devices {
+				u := res.Utilization(k)
+				r := res.RedundancyRatio(k)
+				utilSum += u
+				reduSum += r
+				utilRow = append(utilRow, pct(u))
+				reduRow = append(reduRow, pct(r))
+			}
+			n := float64(cl.Size())
+			utilRow = append(utilRow, pct(utilSum/n))
+			reduRow = append(reduRow, pct(reduSum/n))
+			t.AddRow(utilRow...)
+			t.AddRow(reduRow...)
+		}
+		t.Notes = append(t.Notes,
+			"paper averages — "+m.Name+" utilization: LW 37%/36%, EFL 68%/69%, OFL 70%/75%, PICO 77%/95%;",
+			"redundancy: LW ~1-2%, EFL 19%/37%, OFL 11%/12%, PICO 5%/8% (VGG16/YOLOv2)")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,56 @@
+package nn
+
+import "fmt"
+
+// MobileNetV1 builds the MobileNet v1 architecture (Howard et al.) — the
+// depthwise-separable edge CNN family the paper cites among compression
+// approaches ([11]). It is provided as an extension beyond the paper's four
+// evaluation models: its alternating depthwise 3x3 / pointwise 1x1 structure
+// stresses the planner with many thin layers whose compute-to-communication
+// ratio is far below VGG's.
+//
+// Structure: a 3x3 stride-2 stem, then 13 depthwise-separable blocks
+// (depthwise 3x3 + pointwise 1x1, each a separate chain layer), global
+// average pooling and the classifier — 28 planner-visible layers over a
+// 3x224x224 input, ~568M MACs.
+func MobileNetV1() *Model {
+	dw := func(name string, c, stride int) Layer {
+		return Layer{
+			Name: name + "_dw", Kind: Conv,
+			KH: 3, KW: 3, SH: stride, SW: stride, PH: 1, PW: 1,
+			OutC: c, Groups: c, Act: ReLU, BatchNorm: true,
+		}
+	}
+	pw := func(name string, outC int) Layer {
+		return Layer{
+			Name: name + "_pw", Kind: Conv,
+			KH: 1, KW: 1, SH: 1, SW: 1,
+			OutC: outC, Act: ReLU, BatchNorm: true,
+		}
+	}
+	layers := []Layer{
+		{Name: "stem", Kind: Conv, KH: 3, KW: 3, SH: 2, SW: 2, PH: 1, PW: 1, OutC: 32, Act: ReLU, BatchNorm: true},
+	}
+	// (input channels, output channels, stride of the depthwise conv).
+	cfg := []struct {
+		in, out, stride int
+	}{
+		{32, 64, 1},
+		{64, 128, 2}, {128, 128, 1},
+		{128, 256, 2}, {256, 256, 1},
+		{256, 512, 2},
+		{512, 512, 1}, {512, 512, 1}, {512, 512, 1}, {512, 512, 1}, {512, 512, 1},
+		{512, 1024, 2}, {1024, 1024, 1},
+	}
+	for i, b := range cfg {
+		name := fmt.Sprintf("sep%d", i+1)
+		layers = append(layers, dw(name, b.in, b.stride), pw(name, b.out))
+	}
+	layers = append(layers,
+		Layer{Name: "gap", Kind: GlobalAvgPool, Act: NoAct},
+		FC("fc", 1000, NoAct),
+	)
+	m := &Model{Name: "mobilenetv1", Input: Shape{C: 3, H: 224, W: 224}, Layers: layers}
+	mustValidate(m)
+	return m
+}

@@ -1,0 +1,64 @@
+package nn
+
+import "fmt"
+
+// ResNet34 builds the ResNet-34 architecture (He et al., 2016) as a chain of
+// graph blocks: a convolutional stem followed by 16 residual blocks, a global
+// average pool and the classifier. Each residual block is a Block layer with
+// a two-convolution main path and an identity (or 1x1 projection) shortcut,
+// matching the paper's block-as-special-layer treatment (§IV-B, Fig. 5).
+func ResNet34() *Model {
+	layers := []Layer{
+		{Name: "conv1", Kind: Conv, KH: 7, KW: 7, SH: 2, SW: 2, PH: 3, PW: 3, OutC: 64, Act: ReLU, BatchNorm: true},
+		{Name: "pool1", Kind: MaxPool, KH: 3, KW: 3, SH: 2, SW: 2, PH: 1, PW: 1, Act: NoAct},
+	}
+	stageBlocks := []struct {
+		n    int
+		outC int
+	}{
+		{3, 64}, {4, 128}, {6, 256}, {3, 512},
+	}
+	for si, st := range stageBlocks {
+		for bi := 0; bi < st.n; bi++ {
+			stride := 1
+			// The first block of stages 2-4 downsamples and projects.
+			project := si > 0 && bi == 0
+			if project {
+				stride = 2
+			}
+			layers = append(layers, ResidualBlock(
+				fmt.Sprintf("res%d_%d", si+2, bi+1), st.outC, stride, project))
+		}
+	}
+	layers = append(layers,
+		Layer{Name: "gap", Kind: GlobalAvgPool, Act: NoAct},
+		FC("fc", 1000, NoAct),
+	)
+	m := &Model{Name: "resnet34", Input: Shape{C: 3, H: 224, W: 224}, Layers: layers}
+	mustValidate(m)
+	return m
+}
+
+// ResidualBlock builds a basic (two 3x3 convolutions) residual block with
+// outC channels. stride applies to the first convolution; when project is
+// true the shortcut is a strided 1x1 projection, otherwise the identity.
+func ResidualBlock(name string, outC, stride int, project bool) Layer {
+	main := []Layer{
+		{Name: name + "_a", Kind: Conv, KH: 3, KW: 3, SH: stride, SW: stride, PH: 1, PW: 1, OutC: outC, Act: ReLU, BatchNorm: true},
+		{Name: name + "_b", Kind: Conv, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, OutC: outC, Act: NoAct, BatchNorm: true},
+	}
+	var shortcut []Layer
+	if project {
+		shortcut = []Layer{
+			{Name: name + "_proj", Kind: Conv, KH: 1, KW: 1, SH: stride, SW: stride, OutC: outC, Act: NoAct, BatchNorm: true},
+		}
+	}
+	return Layer{
+		Name:    name,
+		Kind:    Block,
+		Paths:   [][]Layer{main, shortcut},
+		Combine: Add,
+		// The elementwise sum is followed by ReLU.
+		Act: ReLU,
+	}
+}

@@ -1,0 +1,72 @@
+package nn
+
+import "fmt"
+
+// ToyChain builds a small chain of 3x3 convolutions with a max-pool inserted
+// every poolEvery convolutions (0 disables pooling), over a 1-channel
+// square input of the given side. These are the "several toy models with
+// different numbers of layers" the paper uses to compare PICO against the
+// exhaustive BFS optimum (Table II).
+func ToyChain(name string, convLayers, poolEvery, channels, inputSide int) *Model {
+	if convLayers <= 0 {
+		panic("nn: ToyChain needs at least one conv layer")
+	}
+	var layers []Layer
+	pools := 0
+	for i := 1; i <= convLayers; i++ {
+		layers = append(layers, Conv3x3(fmt.Sprintf("conv%d", i), channels, ReLU))
+		if poolEvery > 0 && i%poolEvery == 0 && i < convLayers {
+			pools++
+			layers = append(layers, MaxPool2x2(fmt.Sprintf("pool%d", pools)))
+		}
+	}
+	m := &Model{Name: name, Input: Shape{C: 1, H: inputSide, W: inputSide}, Layers: layers}
+	mustValidate(m)
+	return m
+}
+
+// Fig13Toy builds the tiny model of the paper's Fig. 13 comparison: 8
+// convolution layers and 2 pooling layers over 64x64 single-channel inputs
+// ("the standard 64x64 MNIST dataset" per the paper).
+func Fig13Toy() *Model {
+	var layers []Layer
+	outC := []int{32, 32, 64, 64, 128, 128, 128, 128}
+	for i, c := range outC {
+		layers = append(layers, Conv3x3(fmt.Sprintf("conv%d", i+1), c, ReLU))
+		if i == 3 || i == 5 {
+			layers = append(layers, MaxPool2x2(fmt.Sprintf("pool%d", i/2)))
+		}
+	}
+	m := &Model{Name: "fig13-toy", Input: Shape{C: 1, H: 64, W: 64}, Layers: layers}
+	mustValidate(m)
+	return m
+}
+
+// TinyGraph builds a small graph model (stem + residual blocks + an
+// inception-style block) used by tests that need block handling without the
+// cost of the full ResNet34/InceptionV3 architectures.
+func TinyGraph() *Model {
+	layers := []Layer{
+		{Name: "stem", Kind: Conv, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, OutC: 8, Act: ReLU},
+		ResidualBlock("res1", 8, 1, false),
+		ResidualBlock("res2", 16, 2, true),
+		{
+			Name: "mix", Kind: Block, Combine: Concat, Act: NoAct,
+			Paths: [][]Layer{
+				{Conv1x1("mix_1x1", 8, ReLU)},
+				{
+					Conv1x1("mix_3x3r", 4, ReLU),
+					Conv3x3("mix_3x3", 8, ReLU),
+				},
+				{
+					{Name: "mix_pool", Kind: AvgPool, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, Act: NoAct},
+					Conv1x1("mix_poolp", 4, ReLU),
+				},
+			},
+		},
+		Conv3x3("head", 8, ReLU),
+	}
+	m := &Model{Name: "tiny-graph", Input: Shape{C: 3, H: 32, W: 32}, Layers: layers}
+	mustValidate(m)
+	return m
+}

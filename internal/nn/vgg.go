@@ -1,0 +1,49 @@
+package nn
+
+import "fmt"
+
+// VGG16 builds the VGG-16 architecture (Simonyan & Zisserman, 2014) used
+// throughout the paper's evaluation: 13 convolution layers, 5 max-pooling
+// layers and 3 fully connected layers over a 3x224x224 input. (Table I of the
+// paper prints the input as 244x244; the standard ImageNet input is 224x224.)
+func VGG16() *Model {
+	cfg := []struct {
+		convs int
+		outC  int
+	}{
+		{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+	}
+	var layers []Layer
+	for bi, blk := range cfg {
+		for ci := 0; ci < blk.convs; ci++ {
+			layers = append(layers, Conv3x3(fmt.Sprintf("conv%d_%d", bi+1, ci+1), blk.outC, ReLU))
+		}
+		layers = append(layers, MaxPool2x2(fmt.Sprintf("pool%d", bi+1)))
+	}
+	layers = append(layers,
+		FC("fc6", 4096, ReLU),
+		FC("fc7", 4096, ReLU),
+		FC("fc8", 1000, NoAct),
+	)
+	m := &Model{Name: "vgg16", Input: Shape{C: 3, H: 224, W: 224}, Layers: layers}
+	mustValidate(m)
+	return m
+}
+
+// VGG16Conv builds the convolutional trunk of VGG-16 only (13 conv + 5 pool),
+// the portion the feature-map-partition schemes operate on. Some experiments
+// (e.g. the fused-layer redundancy sweep of Fig. 4) use the trunk because the
+// fully connected head cannot be spatially partitioned.
+func VGG16Conv() *Model {
+	full := VGG16()
+	layers := full.Layers[:len(full.Layers)-3]
+	m := &Model{Name: "vgg16-conv", Input: full.Input, Layers: layers}
+	mustValidate(m)
+	return m
+}
+
+func mustValidate(m *Model) {
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("nn: builder produced invalid model: %v", err))
+	}
+}

@@ -1,0 +1,81 @@
+package nn
+
+import "fmt"
+
+// YOLOv2 builds the YOLOv2 detection network (Redmon & Farhadi, 2017) as the
+// paper models it: a chain of 23 convolution layers and 5 max-pooling layers
+// over a 3x448x448 input.
+//
+// The real YOLOv2 contains a passthrough (route + reorg) connection that
+// concatenates layer-16 features into the detection head. The paper treats
+// YOLOv2 as a pure chain ("There are 23 conv and 5 pooling layers in YOLO"),
+// and we follow it: the passthrough is linearized by widening the input of
+// the post-concat convolution (conv22 sees 1280 channels, its true fan-in),
+// which preserves the per-layer FLOPs profile of the detection head.
+func YOLOv2() *Model {
+	leaky := LeakyReLU
+	dn := func(name string, k, outC int) Layer {
+		l := Layer{Name: name, Kind: Conv, KH: k, KW: k, SH: 1, SW: 1, OutC: outC, Act: leaky, BatchNorm: true}
+		if k == 3 {
+			l.PH, l.PW = 1, 1
+		}
+		return l
+	}
+	var layers []Layer
+	conv := 0
+	add := func(k, outC int) {
+		conv++
+		layers = append(layers, dn(fmt.Sprintf("conv%d", conv), k, outC))
+	}
+	pool := 0
+	addPool := func() {
+		pool++
+		layers = append(layers, MaxPool2x2(fmt.Sprintf("pool%d", pool)))
+	}
+
+	// Darknet-19 backbone (without its 1000-way classifier conv).
+	add(3, 32)
+	addPool()
+	add(3, 64)
+	addPool()
+	add(3, 128)
+	add(1, 64)
+	add(3, 128)
+	addPool()
+	add(3, 256)
+	add(1, 128)
+	add(3, 256)
+	addPool()
+	add(3, 512)
+	add(1, 256)
+	add(3, 512)
+	add(1, 256)
+	add(3, 512)
+	addPool()
+	add(3, 1024)
+	add(1, 512)
+	add(3, 1024)
+	add(1, 512)
+	add(3, 1024)
+
+	// Detection head. conv21 widens 1024 -> 1280 in place of the
+	// passthrough concat (linearization, see doc comment); conv22 then has
+	// its true 1280-channel fan-in.
+	add(3, 1024) // conv19
+	add(3, 1024) // conv20
+	conv++
+	layers = append(layers, Layer{
+		Name: fmt.Sprintf("conv%d", conv), Kind: Conv,
+		KH: 1, KW: 1, SH: 1, SW: 1, OutC: 1280, Act: leaky, BatchNorm: true,
+	}) // conv21
+	add(3, 1024) // conv22
+	conv++
+	layers = append(layers, Layer{
+		Name: fmt.Sprintf("conv%d", conv), Kind: Conv,
+		KH: 1, KW: 1, SH: 1, SW: 1, OutC: 425, Act: NoAct,
+	}) // conv23: 5 anchors * (80 classes + 5)
+
+	m := &Model{Name: "yolov2", Input: Shape{C: 3, H: 448, W: 448}, Layers: layers}
+	mustValidate(m)
+	return m
+}

@@ -1,0 +1,124 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Balanced computes capacity-aware strips for segment [from, to): the
+// divide-and-conquer re-balancing of Algorithm 2 (line 10). It returns one
+// output row range per device such that the maximum per-device compute time
+// (region FLOPs divided by capacity) is minimized. Weights are effective
+// device speeds, i.e. ϑ(d_k)/α_k in the paper's Eq. (5).
+//
+// The search is a binary "divide and conquer" on the bottleneck time: for a
+// candidate period every device greedily takes the longest prefix of the
+// remaining rows it can finish in time, which is feasibility-monotone in the
+// candidate, so bisection converges to the optimum for this assignment
+// order. Devices are tried fastest-first so large strips land on fast
+// devices.
+//
+// If any layer in the segment requires the full input feature map (fully
+// connected, global pooling), spatial splitting is impossible: the whole
+// output goes to the fastest device and all other strips are empty.
+func (c *Calc) Balanced(from, to int, weights []float64) []Range {
+	p := len(weights)
+	if p == 0 {
+		return nil
+	}
+	outH := c.M.OutShape(to - 1).H
+	order := speedOrder(weights)
+
+	if c.segmentNeedsFullInput(from, to) || outH == 1 {
+		parts := make([]Range, p)
+		parts[order[0]] = Range{0, outH}
+		return parts
+	}
+
+	// Upper bound: the fastest device computes everything.
+	maxW := weights[order[0]]
+	if maxW <= 0 {
+		return Equal(outH, p)
+	}
+	hi := float64(c.SegmentRegionFLOPs(from, to, Full(outH))) / maxW
+	lo := 0.0
+	// Bisect the candidate period. 48 iterations puts the relative error
+	// far below one row's worth of work.
+	for iter := 0; iter < 48; iter++ {
+		mid := (lo + hi) / 2
+		if c.feasible(from, to, outH, weights, order, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	parts, ok := c.assign(from, to, outH, weights, order, hi)
+	if !ok {
+		// hi started feasible and only shrank while feasible, but guard
+		// against floating-point edge cases by retrying with slack.
+		parts, ok = c.assign(from, to, outH, weights, order, hi*(1+1e-9)+1e-12)
+		if !ok {
+			panic(fmt.Sprintf("partition: Balanced failed for segment [%d,%d)", from, to))
+		}
+	}
+	return parts
+}
+
+func (c *Calc) segmentNeedsFullInput(from, to int) bool {
+	for i := from; i < to; i++ {
+		if c.M.Layers[i].NeedsFullInput() {
+			return true
+		}
+	}
+	return false
+}
+
+// speedOrder returns device indices sorted by descending weight (stable on
+// index for determinism).
+func speedOrder(weights []float64) []int {
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weights[order[a]] > weights[order[b]]
+	})
+	return order
+}
+
+func (c *Calc) feasible(from, to, outH int, weights []float64, order []int, period float64) bool {
+	_, ok := c.assign(from, to, outH, weights, order, period)
+	return ok
+}
+
+// assign greedily hands out maximal strips under the candidate period.
+func (c *Calc) assign(from, to, outH int, weights []float64, order []int, period float64) ([]Range, bool) {
+	parts := make([]Range, len(weights))
+	offset := 0
+	for _, di := range order {
+		if offset >= outH {
+			break
+		}
+		w := weights[di]
+		if w <= 0 {
+			continue
+		}
+		budget := period * w
+		// Binary search the largest row count r with
+		// FLOPs(offset, offset+r) <= budget. FLOPs is monotone in r.
+		lo, hiR := 0, outH-offset
+		for lo < hiR {
+			mid := (lo + hiR + 1) / 2
+			if float64(c.SegmentRegionFLOPs(from, to, Range{offset, offset + mid})) <= budget {
+				lo = mid
+			} else {
+				hiR = mid - 1
+			}
+		}
+		if lo > 0 {
+			parts[di] = Range{offset, offset + lo}
+			offset += lo
+		}
+	}
+	return parts, offset >= outH
+}

@@ -1,0 +1,259 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"pico/internal/nn"
+)
+
+func TestGridPartitionCoversExactly(t *testing.T) {
+	tiles := GridPartition(10, 7, 3, 2)
+	if len(tiles) != 6 {
+		t.Fatalf("tiles = %d", len(tiles))
+	}
+	covered := make([][]bool, 10)
+	for i := range covered {
+		covered[i] = make([]bool, 7)
+	}
+	for _, tile := range tiles {
+		for r := tile.Rows.Lo; r < tile.Rows.Hi; r++ {
+			for c := tile.Cols.Lo; c < tile.Cols.Hi; c++ {
+				if covered[r][c] {
+					t.Fatalf("cell (%d,%d) covered twice", r, c)
+				}
+				covered[r][c] = true
+			}
+		}
+	}
+	for r := range covered {
+		for c := range covered[r] {
+			if !covered[r][c] {
+				t.Fatalf("cell (%d,%d) uncovered", r, c)
+			}
+		}
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	r := Rect{Rows: Range{1, 3}, Cols: Range{2, 6}}
+	if r.Cells() != 8 || r.Empty() {
+		t.Fatalf("Cells/Empty wrong for %v", r)
+	}
+	if !(Rect{Rows: Range{1, 1}, Cols: Range{0, 5}}).Empty() {
+		t.Fatal("empty rows must make rect empty")
+	}
+	if FullRect(4, 5).Cells() != 20 {
+		t.Fatal("FullRect wrong")
+	}
+}
+
+func TestRectFLOPsMatchesRowRegionForFullWidth(t *testing.T) {
+	// A full-width rectangle must cost exactly what the 1D row machinery
+	// computes for the same rows — the two code paths must agree.
+	m := nn.VGG16Conv()
+	c := NewCalc(m)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		from := rng.Intn(m.NumLayers() - 1)
+		to := from + 1 + rng.Intn(min(6, m.NumLayers()-from))
+		outShape := m.OutShape(to - 1)
+		lo := rng.Intn(outShape.H)
+		hi := lo + 1 + rng.Intn(outShape.H-lo)
+		rowFlops := c.SegmentRegionFLOPs(from, to, Range{lo, hi})
+		rectFlops := c.SegmentRectFLOPs(from, to, Rect{Rows: Range{lo, hi}, Cols: Full(outShape.W)})
+		if rowFlops != rectFlops {
+			t.Fatalf("segment [%d,%d) rows [%d,%d): row %d != rect %d", from, to, lo, hi, rowFlops, rectFlops)
+		}
+	}
+}
+
+func TestRectFLOPsGraphModel(t *testing.T) {
+	m := nn.TinyGraph()
+	c := NewCalc(m)
+	outShape := m.Output()
+	full := c.SegmentRectFLOPs(0, m.NumLayers(), FullRect(outShape.H, outShape.W))
+	if full != m.TotalFLOPs() {
+		t.Fatalf("full-rect FLOPs %d != model %d", full, m.TotalFLOPs())
+	}
+}
+
+func TestGridStatsStripEquivalence(t *testing.T) {
+	// A 1 x p grid is exactly p row strips: GridStats must agree with the
+	// strip redundancy accounting.
+	m := nn.VGG16Conv()
+	c := NewCalc(m)
+	from, to := 0, 7
+	outShape := m.OutShape(to - 1)
+	const p = 4
+	tiles := GridPartition(outShape.H, outShape.W, p, 1)
+	grid := c.GridStats(from, to, tiles)
+	strips := c.Redundancy(from, to, Equal(outShape.H, p))
+	if rel := (grid.TotalFLOPs - strips.TotalFLOPs) / strips.TotalFLOPs; rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("grid total %.6g != strip total %.6g", grid.TotalFLOPs, strips.TotalFLOPs)
+	}
+	if rel := (grid.RedundantFLOPs - strips.RedundantFLOPs) / (strips.RedundantFLOPs + 1); rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("grid redundant %.6g != strip redundant %.6g", grid.RedundantFLOPs, strips.RedundantFLOPs)
+	}
+}
+
+func TestGridBeatsSkinnyStrips(t *testing.T) {
+	// The overlap halo scales with cut length: p row strips cut (p-1)
+	// widths, a sqrt(p) x sqrt(p) grid cuts ~2(sqrt(p)-1) — so for large p
+	// on a square map the DeepThings grid wins on BOTH per-device input
+	// footprint and total redundant work.
+	m := nn.VGG16Conv()
+	c := NewCalc(m)
+	from, to := 0, 10 // through pool3
+	outShape := m.OutShape(to - 1)
+	const p = 16
+	strips := c.GridStats(from, to, GridPartition(outShape.H, outShape.W, p, 1))
+	grid := c.GridStats(from, to, GridPartition(outShape.H, outShape.W, 4, 4))
+	if grid.MaxInputBytes >= strips.MaxInputBytes {
+		t.Fatalf("grid footprint %d >= strip footprint %d", grid.MaxInputBytes, strips.MaxInputBytes)
+	}
+	if grid.TotalFLOPs >= strips.TotalFLOPs {
+		t.Fatalf("16-way grid total %.4g >= skinny strips %.4g", grid.TotalFLOPs, strips.TotalFLOPs)
+	}
+	if grid.Ratio() <= 0 || strips.Ratio() <= 0 {
+		t.Fatal("deep fusion must show redundancy in both layouts")
+	}
+	// At p=2 the comparison flips: one horizontal cut (W) beats one
+	// vertical-plus-nothing... a 1x2 column grid cuts H >= W is equal on a
+	// square map; assert strips are at least as good there.
+	strips2 := c.GridStats(from, to, GridPartition(outShape.H, outShape.W, 2, 1))
+	cols2 := c.GridStats(from, to, GridPartition(outShape.H, outShape.W, 1, 2))
+	if strips2.TotalFLOPs > cols2.TotalFLOPs*1.05 {
+		t.Fatalf("2 row strips %.4g much worse than 2 column strips %.4g on a square map",
+			strips2.TotalFLOPs, cols2.TotalFLOPs)
+	}
+}
+
+func TestGridStatsSingleTileNoRedundancy(t *testing.T) {
+	m := nn.VGG16Conv()
+	c := NewCalc(m)
+	outShape := m.OutShape(4)
+	stats := c.GridStats(0, 5, []Rect{FullRect(outShape.H, outShape.W)})
+	if stats.RedundantFLOPs != 0 {
+		t.Fatalf("single tile redundancy %.4g", stats.RedundantFLOPs)
+	}
+	if stats.TotalFLOPs != float64(m.SegmentFLOPs(0, 5)) {
+		t.Fatalf("single tile total %.6g != %.6g", stats.TotalFLOPs, float64(m.SegmentFLOPs(0, 5)))
+	}
+	if stats.MaxTileFLOPs != stats.TotalFLOPs {
+		t.Fatal("bottleneck of one tile must equal total")
+	}
+}
+
+func TestCoveredCells(t *testing.T) {
+	rects := []Rect{
+		{Rows: Range{0, 2}, Cols: Range{0, 2}},
+		{Rows: Range{1, 3}, Cols: Range{1, 3}}, // overlaps 1 cell
+	}
+	if got := coveredCells(rects, 3, 3); got != 7 {
+		t.Fatalf("covered = %d, want 7", got)
+	}
+	if got := coveredCells(nil, 4, 4); got != 0 {
+		t.Fatalf("covered = %d, want 0", got)
+	}
+	// Rects beyond the extent are clamped.
+	if got := coveredCells([]Rect{{Rows: Range{-5, 99}, Cols: Range{-5, 99}}}, 2, 2); got != 4 {
+		t.Fatalf("covered = %d, want 4", got)
+	}
+}
+
+func TestRectBytes(t *testing.T) {
+	m := nn.VGG16()
+	c := NewCalc(m)
+	// Boundary 0 is the 3x224x224 input.
+	b := c.RectBytes(0, Rect{Rows: Range{0, 10}, Cols: Range{0, 20}})
+	if b != int64(10*20*3*4) {
+		t.Fatalf("RectBytes = %d", b)
+	}
+}
+
+func TestPathRangesAndHeights(t *testing.T) {
+	m := nn.TinyGraph()
+	c := NewCalc(m)
+	blk := &m.Layers[1] // res1: identity + two 3x3 convs
+	main := blk.Paths[0]
+	inH := m.InShape(1).H
+	needs := c.PathRanges(main, Range{4, 8}, inH)
+	if len(needs) != len(main)+1 {
+		t.Fatalf("PathRanges len = %d", len(needs))
+	}
+	// Two 3x3 s1 convs: [4,8) needs [2,10) at the path input.
+	if needs[0] != (Range{2, 10}) {
+		t.Fatalf("path input range = %v, want [2,10)", needs[0])
+	}
+	if needs[len(needs)-1] != (Range{4, 8}) {
+		t.Fatalf("path output range = %v", needs[len(needs)-1])
+	}
+	heights := c.PathHeights(main, inH)
+	if len(heights) != len(main)+1 || heights[0] != inH || heights[len(heights)-1] != inH {
+		t.Fatalf("PathHeights = %v", heights)
+	}
+}
+
+func TestPathRectsGraph(t *testing.T) {
+	m := nn.TinyGraph()
+	c := NewCalc(m)
+	blk := &m.Layers[1]
+	main := blk.Paths[0]
+	in := m.InShape(1)
+	out := Rect{Rows: Range{4, 8}, Cols: Range{2, 6}}
+	needs := c.PathRects(main, out, in)
+	if len(needs) != len(main)+1 {
+		t.Fatalf("PathRects len = %d", len(needs))
+	}
+	if needs[0].Rows != (Range{2, 10}) || needs[0].Cols != (Range{0, 8}) {
+		t.Fatalf("path input rect = %v, want [2,10)x[0,8)", needs[0])
+	}
+}
+
+func TestGridStatsGraphModelMatchesStripEquivalent(t *testing.T) {
+	// Exercise blockUniqueFLOPs: 1 x p grids on a graph model must agree
+	// with the strip redundancy machinery.
+	m := nn.TinyGraph()
+	c := NewCalc(m)
+	out := m.Output()
+	grid := c.GridStats(0, m.NumLayers(), GridPartition(out.H, out.W, 3, 1))
+	strips := c.Redundancy(0, m.NumLayers(), Equal(out.H, 3))
+	if rel := (grid.TotalFLOPs - strips.TotalFLOPs) / strips.TotalFLOPs; rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("graph grid total %.6g != strip total %.6g", grid.TotalFLOPs, strips.TotalFLOPs)
+	}
+	if rel := (grid.RedundantFLOPs - strips.RedundantFLOPs) / (strips.RedundantFLOPs + 1); rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("graph grid redundant %.6g != strip redundant %.6g", grid.RedundantFLOPs, strips.RedundantFLOPs)
+	}
+	// A 2D graph grid still produces sane stats.
+	g22 := c.GridStats(0, m.NumLayers(), GridPartition(out.H, out.W, 2, 2))
+	if g22.TotalFLOPs <= 0 || g22.Ratio() < 0 || g22.Ratio() >= 1 {
+		t.Fatalf("graph 2x2 grid stats: %+v", g22)
+	}
+}
+
+func TestRectAndStatsStrings(t *testing.T) {
+	r := Rect{Rows: Range{1, 2}, Cols: Range{3, 4}}
+	if r.String() != "[1,2)x[3,4)" {
+		t.Fatalf("Rect.String = %q", r.String())
+	}
+	var zero GridStats
+	if zero.Ratio() != 0 {
+		t.Fatal("zero GridStats ratio must be 0")
+	}
+	var rs RedundancyStats
+	if rs.Ratio() != 0 {
+		t.Fatal("zero RedundancyStats ratio must be 0")
+	}
+}
+
+func TestGridStatsFullInputLayer(t *testing.T) {
+	// A segment containing fc: grid back-prop must demand the whole map.
+	m := nn.VGG16()
+	c := NewCalc(m)
+	rects := c.SegmentRects(17, 19, FullRect(1, 1)) // pool5 + fc6
+	in := m.InShape(17)
+	if rects[0].Rows != (Range{0, in.H}) || rects[0].Cols != (Range{0, in.W}) {
+		t.Fatalf("fc-crossing rect = %v, want full %dx%d", rects[0], in.H, in.W)
+	}
+}

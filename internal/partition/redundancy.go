@@ -1,0 +1,169 @@
+package partition
+
+import (
+	"fmt"
+
+	"pico/internal/nn"
+)
+
+// RedundancyStats quantifies overlap-induced recomputation when the devices
+// of one stage each produce a strip of segment [from, to).
+//
+// For every atomic layer (descending into block paths) and every output row,
+// the row's FLOPs are counted once per device that computes it; with
+// multiplicity m, (m-1) copies are redundant. Redundant work is attributed
+// to the computing devices in equal shares, giving the per-device redundancy
+// ratios of the paper's Table I.
+type RedundancyStats struct {
+	// TotalFLOPs is the work actually performed, Σ_k θ(M; F^k).
+	TotalFLOPs float64
+	// RedundantFLOPs is the portion computed more than once.
+	RedundantFLOPs float64
+	// PerDeviceFLOPs is each device's performed work.
+	PerDeviceFLOPs []float64
+	// PerDeviceRedundant is each device's attributed redundant work.
+	PerDeviceRedundant []float64
+}
+
+// Ratio returns the global redundancy ratio (0 when no work is performed).
+func (s *RedundancyStats) Ratio() float64 {
+	if s.TotalFLOPs == 0 {
+		return 0
+	}
+	return s.RedundantFLOPs / s.TotalFLOPs
+}
+
+// DeviceRatio returns device k's redundancy ratio.
+func (s *RedundancyStats) DeviceRatio(k int) float64 {
+	if s.PerDeviceFLOPs[k] == 0 {
+		return 0
+	}
+	return s.PerDeviceRedundant[k] / s.PerDeviceFLOPs[k]
+}
+
+// layerOccupancy is one atomic layer's per-device computed output rows.
+type layerOccupancy struct {
+	perRow float64 // MACs per output row
+	outH   int
+	ranges []Range // one per device
+}
+
+// Redundancy computes overlap statistics for the given per-device output
+// strips of segment [from, to). len(parts) is the device count; empty ranges
+// denote idle devices.
+func (c *Calc) Redundancy(from, to int, parts []Range) RedundancyStats {
+	occ := c.collectOccupancy(from, to, parts)
+	n := len(parts)
+	stats := RedundancyStats{
+		PerDeviceFLOPs:     make([]float64, n),
+		PerDeviceRedundant: make([]float64, n),
+	}
+	for _, lo := range occ {
+		if lo.perRow == 0 {
+			continue
+		}
+		for row := 0; row < lo.outH; row++ {
+			var owners []int
+			for k, r := range lo.ranges {
+				if row >= r.Lo && row < r.Hi {
+					owners = append(owners, k)
+				}
+			}
+			m := len(owners)
+			if m == 0 {
+				continue
+			}
+			stats.TotalFLOPs += lo.perRow * float64(m)
+			for _, k := range owners {
+				stats.PerDeviceFLOPs[k] += lo.perRow
+			}
+			if m > 1 {
+				red := lo.perRow * float64(m-1)
+				stats.RedundantFLOPs += red
+				share := red / float64(m)
+				for _, k := range owners {
+					stats.PerDeviceRedundant[k] += share
+				}
+			}
+		}
+	}
+	return stats
+}
+
+// collectOccupancy walks every atomic layer in [from, to) and records the
+// output rows each device computes, descending into block paths.
+func (c *Calc) collectOccupancy(from, to int, parts []Range) []layerOccupancy {
+	n := len(parts)
+	// Per-device boundary ranges through the chain.
+	perDevice := make([][]Range, n)
+	for k, p := range parts {
+		perDevice[k] = c.SegmentRanges(from, to, p)
+	}
+	var occ []layerOccupancy
+	shapes := c.M.Shapes()
+	for i := from; i < to; i++ {
+		l := &c.M.Layers[i]
+		outRanges := make([]Range, n)
+		for k := range parts {
+			outRanges[k] = perDevice[k][i-from+1]
+		}
+		if l.Kind == nn.Block {
+			occ = append(occ, c.blockOccupancy(l, shapes[i], outRanges)...)
+			continue
+		}
+		occ = append(occ, layerOccupancy{
+			perRow: float64(rowFLOPs(l, shapes[i], shapes[i+1])),
+			outH:   c.M.OutShape(i).H,
+			ranges: outRanges,
+		})
+	}
+	return occ
+}
+
+// blockOccupancy expands a block into its path layers, back-propagating each
+// device's block-output range through every path.
+func (c *Calc) blockOccupancy(blk *nn.Layer, blockIn nn.Shape, outRanges []Range) []layerOccupancy {
+	n := len(outRanges)
+	var occ []layerOccupancy
+	for _, path := range blk.Paths {
+		if len(path) == 0 {
+			continue // identity shortcut performs no work
+		}
+		shapes := make([]nn.Shape, len(path)+1)
+		shapes[0] = blockIn
+		for i := range path {
+			next, err := path[i].OutShape(shapes[i])
+			if err != nil {
+				panic(fmt.Sprintf("partition: invalid block path layer %q: %v", path[i].Name, err))
+			}
+			shapes[i+1] = next
+		}
+		// Per-device needed output rows of each path layer.
+		needs := make([][]Range, n) // needs[k][i] = output rows of path[i]
+		for k, out := range outRanges {
+			needs[k] = make([]Range, len(path)+1)
+			r := out
+			for i := len(path) - 1; i >= 0; i-- {
+				needs[k][i+1] = r
+				r = c.layerInRange(&path[i], r, shapes[i].H)
+			}
+		}
+		for i := range path {
+			if path[i].Kind == nn.Block {
+				// Nested blocks are not produced by any builder; guard
+				// explicitly rather than mis-account silently.
+				panic("partition: nested blocks are not supported")
+			}
+			ranges := make([]Range, n)
+			for k := range outRanges {
+				ranges[k] = needs[k][i+1]
+			}
+			occ = append(occ, layerOccupancy{
+				perRow: float64(rowFLOPs(&path[i], shapes[i], shapes[i+1])),
+				outH:   shapes[i+1].H,
+				ranges: ranges,
+			})
+		}
+	}
+	return occ
+}

@@ -1,0 +1,203 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTheorem2Basics(t *testing.T) {
+	// At λ -> 0 the estimate tends to p + t (one service at the bottleneck
+	// plus the traversal).
+	got := Theorem2Latency(0, 2, 5)
+	if math.Abs(got-7) > 1e-12 {
+		t.Fatalf("Theorem2Latency(0,2,5) = %v, want 7", got)
+	}
+	// Unstable at pλ >= 1.
+	if !math.IsInf(Theorem2Latency(0.5, 2, 5), 1) {
+		t.Fatal("unstable system must estimate +Inf")
+	}
+	if !math.IsInf(Theorem2Latency(0.6, 2, 5), 1) {
+		t.Fatal("overloaded system must estimate +Inf")
+	}
+	// Degenerate period returns the latency alone.
+	if Theorem2Latency(1, 0, 3) != 3 {
+		t.Fatal("zero period must return t")
+	}
+}
+
+func TestTheorem2MatchesMD1Algebra(t *testing.T) {
+	// The paper's first term p(2-pλ)/(2(1-pλ)) equals the textbook M/D/1
+	// sojourn p + λp²/(2(1-λp)).
+	f := func(l8, p8 uint8) bool {
+		lambda := float64(l8%50) / 100 // 0 .. 0.49
+		p := 0.1 + float64(p8%19)/10   // 0.1 .. 1.9
+		if lambda*p >= 0.99 {
+			return true
+		}
+		a := Theorem2Latency(lambda, p, 0)
+		b := MD1Sojourn(lambda, p)
+		return math.Abs(a-b) < 1e-9*(1+b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMD1WaitPlusServiceIsSojourn(t *testing.T) {
+	lambda, p := 0.3, 2.0
+	if math.Abs(MD1Wait(lambda, p)+p-MD1Sojourn(lambda, p)) > 1e-12 {
+		t.Fatal("wait + service != sojourn")
+	}
+	if MD1Wait(0.3, 0) != 0 || MD1Sojourn(0.3, 0) != 0 {
+		t.Fatal("zero service must be zero")
+	}
+	if !math.IsInf(MD1Wait(1, 1), 1) {
+		t.Fatal("saturated M/D/1 wait must be +Inf")
+	}
+}
+
+func TestTheorem2MonotoneInLambda(t *testing.T) {
+	prev := 0.0
+	for i := 0; i < 9; i++ {
+		lambda := float64(i) * 0.05
+		lat := Theorem2Latency(lambda, 2, 6)
+		if lat < prev {
+			t.Fatalf("latency decreased at λ=%.2f", lambda)
+		}
+		prev = lat
+	}
+}
+
+func TestPipelineBeatsOneStageUnderLoad(t *testing.T) {
+	// The core APICO trade-off: a pipeline (small p, big t) loses at low λ
+	// and wins at high λ against a one-stage scheme (p == t, moderate).
+	// Realistic asymmetry (VGG-16-like): the pipeline's traversal latency
+	// is ~3x the one-stage scheme's, its period ~2.5x smaller.
+	pipeline := Candidate{Name: "pico", Period: 1, Latency: 6}
+	oneStage := Candidate{Name: "ofl", Period: 2.5, Latency: 2.5}
+	if pipeline.EstimatedLatency(0.01) < oneStage.EstimatedLatency(0.01) {
+		t.Fatal("one-stage scheme must win at light load")
+	}
+	if pipeline.EstimatedLatency(0.39) > oneStage.EstimatedLatency(0.39) {
+		t.Fatal("pipeline must win near the one-stage saturation point")
+	}
+}
+
+func TestEstimatorConverges(t *testing.T) {
+	e, err := NewEstimator(0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 tasks/second for 300 seconds.
+	tm := 0.0
+	for i := 0; i < 600; i++ {
+		e.Observe(tm)
+		tm += 0.5
+	}
+	if r := e.Rate(); math.Abs(r-2) > 0.2 {
+		t.Fatalf("estimated rate %v, want ~2", r)
+	}
+	// Then silence: a single late arrival folds in the quiet windows and
+	// the estimate collapses.
+	e.Observe(tm + 200)
+	if r := e.Rate(); r > 0.1 {
+		t.Fatalf("estimate after silence = %v, want ~0", r)
+	}
+}
+
+func TestEstimatorEquationForm(t *testing.T) {
+	// One closed window with k arrivals must yield exactly
+	// λ_t = β·(k/W) + (1-β)·λ_{t-1}.
+	e, err := NewEstimator(0.25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{0, 1, 2, 3} {
+		e.Observe(tm) // 4 arrivals inside window [0,4)
+	}
+	e.Observe(4.5) // closes the window
+	want := 0.25 * (4.0 / 4.0)
+	if math.Abs(e.Rate()-want) > 1e-12 {
+		t.Fatalf("rate = %v, want %v", e.Rate(), want)
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(0, 10); err == nil {
+		t.Fatal("beta 0 accepted")
+	}
+	if _, err := NewEstimator(1.5, 10); err == nil {
+		t.Fatal("beta >1 accepted")
+	}
+	if _, err := NewEstimator(0.5, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestSwitcherPicksPipelineUnderLoad(t *testing.T) {
+	sw, err := NewSwitcher([]Candidate{
+		{Name: "ofl", Period: 2.5, Latency: 2.5},
+		{Name: "pico", Period: 1, Latency: 6},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Choose(0.01); got != 0 {
+		t.Fatalf("light load picked %d, want one-stage", got)
+	}
+	if got := sw.Choose(0.39); got != 1 {
+		t.Fatalf("heavy load picked %d, want pipeline", got)
+	}
+	if sw.Current() != 1 {
+		t.Fatal("Current out of sync")
+	}
+	// Back to light load.
+	if got := sw.Choose(0.01); got != 0 {
+		t.Fatalf("return to light load picked %d", got)
+	}
+}
+
+func TestSwitcherHysteresis(t *testing.T) {
+	sw, err := NewSwitcher([]Candidate{
+		{Name: "a", Period: 1.0, Latency: 1.0},
+		{Name: "b", Period: 0.99, Latency: 0.99},
+	}, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b is ~1% better — below the 10% margin, so the incumbent stays.
+	if got := sw.Choose(0.1); got != 0 {
+		t.Fatalf("hysteresis ignored: switched to %d", got)
+	}
+}
+
+func TestSwitcherAvoidsUnstableScheme(t *testing.T) {
+	sw, err := NewSwitcher([]Candidate{
+		{Name: "slow", Period: 3, Latency: 3},
+		{Name: "fast", Period: 1, Latency: 5},
+	}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ = 0.5: slow is unstable (pλ = 1.5), fast must be chosen even with
+	// hysteresis in play.
+	if got := sw.Choose(0.5); got != 1 {
+		t.Fatalf("picked unstable scheme %d", got)
+	}
+}
+
+func TestSwitcherValidation(t *testing.T) {
+	if _, err := NewSwitcher(nil, 0); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	if _, err := NewSwitcher([]Candidate{{Name: "x", Period: 0, Latency: 1}}, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := NewSwitcher([]Candidate{{Name: "x", Period: 2, Latency: 1}}, 0); err == nil {
+		t.Fatal("latency < period accepted")
+	}
+	if _, err := NewSwitcher([]Candidate{{Name: "x", Period: 1, Latency: 1}}, -1); err == nil {
+		t.Fatal("negative hysteresis accepted")
+	}
+}

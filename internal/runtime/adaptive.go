@@ -1,0 +1,209 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pico/internal/core"
+	"pico/internal/tensor"
+)
+
+// RateEstimator consumes arrival timestamps (seconds) and estimates the
+// current task rate. Implemented by queueing.Estimator.
+type RateEstimator interface {
+	Observe(t float64)
+	Rate() float64
+}
+
+// SchemeChooser selects a candidate index for an estimated rate.
+// Implemented by queueing.Switcher.
+type SchemeChooser interface {
+	Choose(rate float64) int
+}
+
+// AdaptiveCandidate is one cooperation scheme the adaptive coordinator can
+// run: a named plan (e.g. the PICO pipeline and a one-stage fused plan).
+type AdaptiveCandidate struct {
+	Name string
+	Plan *core.Plan
+}
+
+// Adaptive is the runtime realization of APICO (§IV-C): it watches the
+// arrival rate, asks the chooser which candidate to run, and — because the
+// candidates share the physical devices — reconfigures only after draining
+// the incumbent pipeline. Every device holds all model segments (weights
+// derive from the shared seed), so a switch is a control-plane operation:
+// close the old stage drivers, start the new ones.
+type Adaptive struct {
+	cands []AdaptiveCandidate
+	addrs map[int]string
+	opts  PipelineOptions
+	est   RateEstimator
+	sw    SchemeChooser
+	now   func() time.Time
+
+	out chan TaskResult
+
+	// submitMu serializes Submit (including the drain-and-switch path) so
+	// a concurrent Submit can never observe the pipeline mid-swap.
+	submitMu sync.Mutex
+
+	mu      sync.Mutex
+	cur     int
+	pipe    *Pipeline
+	nextID  int64
+	started time.Time
+	closed  bool
+	// forwarding tracks the live forwarder goroutine draining pipe.
+	forwarding sync.WaitGroup
+	// use counts tasks per candidate name.
+	use map[string]int
+}
+
+// NewAdaptive connects the first candidate's pipeline and prepares the
+// switching machinery. All candidates must run on the same device set
+// (addrs must cover every device any candidate uses).
+func NewAdaptive(cands []AdaptiveCandidate, addrs map[int]string, est RateEstimator, sw SchemeChooser, opts PipelineOptions) (*Adaptive, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("runtime: no adaptive candidates")
+	}
+	for i, c := range cands {
+		if c.Plan == nil {
+			return nil, fmt.Errorf("runtime: candidate %d (%s) has no plan", i, c.Name)
+		}
+	}
+	a := &Adaptive{
+		cands:   cands,
+		addrs:   addrs,
+		opts:    opts,
+		est:     est,
+		sw:      sw,
+		now:     time.Now,
+		out:     make(chan TaskResult, 16),
+		started: time.Now(),
+		use:     make(map[string]int),
+	}
+	if err := a.openLocked(0); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// openLocked builds the pipeline for candidate idx and starts its result
+// forwarder. Callers hold a.mu (or are in the constructor).
+func (a *Adaptive) openLocked(idx int) error {
+	pipe, err := NewPipeline(a.cands[idx].Plan, a.addrs, a.opts)
+	if err != nil {
+		return fmt.Errorf("runtime: open candidate %s: %w", a.cands[idx].Name, err)
+	}
+	a.cur = idx
+	a.pipe = pipe
+	a.forwarding.Add(1)
+	go func(p *Pipeline) {
+		defer a.forwarding.Done()
+		for res := range p.Results() {
+			a.mu.Lock()
+			a.nextID++
+			res.ID = a.nextID
+			a.mu.Unlock()
+			a.out <- res
+		}
+	}(pipe)
+	return nil
+}
+
+// Submit routes one task: the estimator observes the arrival, the chooser
+// picks a candidate, and if it differs from the incumbent the old pipeline
+// is drained and the new one opened before the task is enqueued. The drain
+// makes Submit block for up to one pipeline traversal during a switch —
+// the same reconfiguration stall the simulator models.
+func (a *Adaptive) Submit(input tensor.Tensor) error {
+	a.submitMu.Lock()
+	defer a.submitMu.Unlock()
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("runtime: adaptive coordinator closed")
+	}
+	a.est.Observe(a.now().Sub(a.started).Seconds())
+	want := a.sw.Choose(a.est.Rate())
+	if want < 0 || want >= len(a.cands) {
+		a.mu.Unlock()
+		return fmt.Errorf("runtime: chooser picked %d of %d candidates", want, len(a.cands))
+	}
+	if want != a.cur {
+		old := a.pipe
+		a.pipe = nil
+		a.mu.Unlock()
+		// Drain outside the lock: Close blocks until in-flight tasks
+		// finish, and the forwarder needs a.mu to renumber results.
+		if err := old.Close(); err != nil {
+			return fmt.Errorf("runtime: drain before switch: %w", err)
+		}
+		a.mu.Lock()
+		if err := a.openLocked(want); err != nil {
+			a.mu.Unlock()
+			return err
+		}
+	}
+	pipe := a.pipe
+	if pipe == nil {
+		// A previous switch failed to open its pipeline; retry now.
+		if err := a.openLocked(a.cur); err != nil {
+			a.mu.Unlock()
+			return err
+		}
+		pipe = a.pipe
+	}
+	a.use[a.cands[a.cur].Name]++
+	a.mu.Unlock()
+	_, err := pipe.Submit(input)
+	return err
+}
+
+// Results delivers completed tasks with coordinator-level sequence IDs.
+// The channel closes after Close.
+func (a *Adaptive) Results() <-chan TaskResult { return a.out }
+
+// Current returns the incumbent candidate's name.
+func (a *Adaptive) Current() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cands[a.cur].Name
+}
+
+// SchemeTasks returns how many tasks each candidate has executed.
+func (a *Adaptive) SchemeTasks() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.use))
+	for k, v := range a.use {
+		out[k] = v
+	}
+	return out
+}
+
+// Close drains the active pipeline and closes the result stream. It takes
+// the submit lock, so a concurrent Submit either completes before the close
+// or observes the closed state — never a half-switched coordinator.
+func (a *Adaptive) Close() error {
+	a.submitMu.Lock()
+	defer a.submitMu.Unlock()
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	pipe := a.pipe
+	a.pipe = nil
+	a.mu.Unlock()
+	var err error
+	if pipe != nil {
+		err = pipe.Close()
+	}
+	a.forwarding.Wait()
+	close(a.out)
+	return err
+}

@@ -1,0 +1,501 @@
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/partition"
+	"pico/internal/tensor"
+)
+
+// fakeEstimator returns a scripted sequence of rates.
+type fakeEstimator struct {
+	mu    sync.Mutex
+	rates []float64
+	idx   int
+}
+
+func (f *fakeEstimator) Observe(float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.idx < len(f.rates)-1 {
+		f.idx++
+	}
+}
+
+func (f *fakeEstimator) Rate() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rates[f.idx]
+}
+
+// rateChooser picks candidate 1 above the threshold.
+type rateChooser float64
+
+func (rc rateChooser) Choose(rate float64) int {
+	if rate > float64(rc) {
+		return 1
+	}
+	return 0
+}
+
+// adaptiveFixture builds a one-stage + pipeline candidate pair on a toy
+// model with 3 local workers.
+func adaptiveFixture(t *testing.T) ([]AdaptiveCandidate, *LocalCluster, *nn.Model) {
+	t.Helper()
+	m := nn.ToyChain("ad", 6, 2, 6, 32)
+	cl := cluster.Homogeneous(3, 600e6)
+	oneStage, err := core.OneStagePlan(m, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pipeline.Stages) < 2 {
+		t.Fatal("pipeline plan degenerated to one stage")
+	}
+	lc := startCluster(t, 3, nil)
+	return []AdaptiveCandidate{
+		{Name: "one-stage", Plan: oneStage},
+		{Name: "pipeline", Plan: pipeline},
+	}, lc, m
+}
+
+func TestAdaptiveRuntimeSwitches(t *testing.T) {
+	cands, lc, m := adaptiveFixture(t)
+	// Rates: first 3 submissions light, then heavy.
+	est := &fakeEstimator{rates: []float64{0, 0, 0, 10, 10, 10, 10, 10}}
+	a, err := NewAdaptive(cands, lc.Addrs, est, rateChooser(1), PipelineOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := tensor.NewExecutor(m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const tasks = 7
+	inputs := make([]tensor.Tensor, tasks)
+	for i := range inputs {
+		inputs[i] = tensor.RandomInput(m.Input, int64(i))
+	}
+	var consumerErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i := 0
+		for res := range a.Results() {
+			if res.Err != nil {
+				consumerErr = res.Err
+				return
+			}
+			if res.ID != int64(i+1) {
+				consumerErr = errors.New("results out of order")
+				return
+			}
+			want, err := ref.Run(inputs[i])
+			if err != nil {
+				consumerErr = err
+				return
+			}
+			if !tensor.Equal(want, res.Output) {
+				consumerErr = errors.New("adaptive output differs from reference")
+				return
+			}
+			i++
+		}
+		if i != tasks {
+			consumerErr = errors.New("missing results")
+		}
+	}()
+
+	if got := a.Current(); got != "one-stage" {
+		t.Fatalf("initial scheme %q", got)
+	}
+	for _, in := range inputs {
+		if err := a.Submit(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Current(); got != "pipeline" {
+		t.Fatalf("scheme after heavy load %q, want pipeline", got)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if consumerErr != nil {
+		t.Fatal(consumerErr)
+	}
+	use := a.SchemeTasks()
+	if use["one-stage"] == 0 || use["pipeline"] == 0 {
+		t.Fatalf("scheme usage %v, want both", use)
+	}
+	if use["one-stage"]+use["pipeline"] != tasks {
+		t.Fatalf("scheme usage %v does not sum to %d", use, tasks)
+	}
+}
+
+func TestAdaptiveSwitchBackAndForth(t *testing.T) {
+	cands, lc, m := adaptiveFixture(t)
+	est := &fakeEstimator{rates: []float64{0, 10, 0, 10, 0, 10}}
+	a, err := NewAdaptive(cands, lc.Addrs, est, rateChooser(1), PipelineOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range a.Results() {
+		}
+	}()
+	in := tensor.RandomInput(m.Input, 0)
+	for i := 0; i < 5; i++ {
+		if err := a.Submit(in); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+	if err := a.Submit(in); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+}
+
+func TestAdaptiveValidatesInputs(t *testing.T) {
+	if _, err := NewAdaptive(nil, nil, &fakeEstimator{rates: []float64{0}}, rateChooser(1), PipelineOptions{}); err == nil {
+		t.Fatal("no candidates accepted")
+	}
+	if _, err := NewAdaptive([]AdaptiveCandidate{{Name: "x"}}, nil, &fakeEstimator{rates: []float64{0}}, rateChooser(1), PipelineOptions{}); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}
+
+func TestWorkerStatsAccumulate(t *testing.T) {
+	m := nn.ToyChain("ws", 4, 2, 6, 32)
+	cl := cluster.Homogeneous(2, 600e6)
+	plan, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := startCluster(t, 2, nil)
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const tasks = 4
+	in := tensor.RandomInput(m.Input, 1)
+	go func() {
+		for i := 0; i < tasks; i++ {
+			if _, err := p.Submit(in); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < tasks; i++ {
+		res := <-p.Results()
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	stats := p.WorkerStats()
+	var tiles int
+	for di, st := range stats {
+		if st.ComputeSeconds < 0 {
+			t.Fatalf("device %d negative compute time", di)
+		}
+		tiles += st.Tiles
+	}
+	// Every task produces one tile per working device.
+	workers := 0
+	for _, st := range plan.Stages {
+		workers += st.Workers()
+	}
+	if tiles != tasks*workers {
+		t.Fatalf("tiles = %d, want %d", tiles, tasks*workers)
+	}
+}
+
+func TestWorkerStatsReflectEmulatedSpeed(t *testing.T) {
+	// Two equal strips on devices with 4x different emulated speed: the
+	// slow device must report ~4x the compute time.
+	m := nn.ToyChain("em", 4, 0, 8, 32)
+	lc := startCluster(t, 2, []float64{4e7, 1e7})
+	plan := &core.Plan{
+		Model:   m,
+		Cluster: cluster.Homogeneous(2, 600e6),
+		Stages: []core.Stage{{
+			From: 0, To: m.NumLayers(),
+			DeviceIdx: []int{0, 1},
+			Parts:     []partition.Range{{Lo: 0, Hi: 16}, {Lo: 16, Hi: 32}},
+		}},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Submit(tensor.RandomInput(m.Input, 1)); err != nil {
+		t.Fatal(err)
+	}
+	res := <-p.Results()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	stats := p.WorkerStats()
+	fast, slow := stats[0].ComputeSeconds, stats[1].ComputeSeconds
+	if slow < 2*fast {
+		t.Fatalf("slow device %.4fs vs fast %.4fs: emulation not visible", slow, fast)
+	}
+}
+
+func TestPipelineSurvivesWorkerCrash(t *testing.T) {
+	m := nn.ToyChain("crash", 4, 2, 6, 32)
+	cl := cluster.Homogeneous(2, 600e6)
+	plan, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := StartLocalCluster(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note: no cleanup via startCluster — we abort one worker manually.
+	defer lc.Workers[0].Close()
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandomInput(m.Input, 1)
+	if _, err := p.Submit(in); err != nil {
+		t.Fatal(err)
+	}
+	res := <-p.Results()
+	if res.Err != nil {
+		t.Fatalf("healthy task failed: %v", res.Err)
+	}
+	// Crash the last worker (it holds the final stage or a strip of it).
+	if err := lc.Workers[1].Abort(); err != nil && !errors.Is(err, errClosed) {
+		t.Logf("abort: %v", err)
+	}
+	if _, err := p.Submit(in); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res = <-p.Results():
+	case <-time.After(10 * time.Second):
+		t.Fatal("crashed-worker task never completed")
+	}
+	if res.Err == nil {
+		t.Fatal("task touching a crashed worker reported success")
+	}
+	// The pipeline still shuts down cleanly.
+	if err := p.Close(); err != nil {
+		t.Logf("close after crash: %v", err)
+	}
+}
+
+func TestStageSpansShowPipelining(t *testing.T) {
+	// Two tasks through a two-stage pipeline with emulated compute: task
+	// 2's stage-0 span must overlap task 1's stage-1 span.
+	m := nn.ToyChain("spans", 6, 0, 6, 32)
+	plan := &core.Plan{
+		Model:   m,
+		Cluster: cluster.Homogeneous(2, 600e6),
+		Stages: []core.Stage{
+			{From: 0, To: 3, DeviceIdx: []int{0}, Parts: []partition.Range{partition.Full(m.OutShape(2).H)}},
+			{From: 3, To: 6, DeviceIdx: []int{1}, Parts: []partition.Range{partition.Full(m.OutShape(5).H)}},
+		},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lc := startCluster(t, 2, []float64{5e6, 5e6})
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	in := tensor.RandomInput(m.Input, 1)
+	for i := 0; i < 2; i++ {
+		if _, err := p.Submit(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var results []TaskResult
+	for i := 0; i < 2; i++ {
+		res := <-p.Results()
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		results = append(results, res)
+	}
+	for _, res := range results {
+		if len(res.Spans) != 2 {
+			t.Fatalf("task %d has %d spans, want 2", res.ID, len(res.Spans))
+		}
+		// Spans are ordered and non-overlapping within one task.
+		if res.Spans[0].End.After(res.Spans[1].Start) {
+			t.Fatalf("task %d stage spans overlap within the task", res.ID)
+		}
+		if !res.Spans[0].Start.Before(res.Spans[0].End) {
+			t.Fatalf("task %d has empty span", res.ID)
+		}
+	}
+	// Cross-task overlap: task 2 in stage 0 while task 1 in stage 1.
+	t1Stage1 := results[0].Spans[1]
+	t2Stage0 := results[1].Spans[0]
+	if !(t2Stage0.Start.Before(t1Stage1.End) && t1Stage1.Start.Before(t2Stage0.End)) {
+		t.Fatalf("no pipelining visible: task1 stage1 %v-%v, task2 stage0 %v-%v",
+			t1Stage1.Start, t1Stage1.End, t2Stage0.Start, t2Stage0.End)
+	}
+}
+
+func TestGridExecutorMatchesReference(t *testing.T) {
+	m := nn.ToyChain("grid-rt", 5, 2, 8, 33)
+	lc := startCluster(t, 4, nil)
+	out := m.Output()
+	tiles := partition.GridPartition(out.H, out.W, 2, 2)
+	addrs := []string{lc.Addrs[0], lc.Addrs[1], lc.Addrs[2], lc.Addrs[3]}
+	ge, err := NewGridExecutor(m, 0, m.NumLayers(), tiles, addrs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ge.Close()
+	ref, err := tensor.NewExecutor(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := int64(1); task <= 3; task++ {
+		in := tensor.RandomInput(m.Input, task)
+		want, err := ref.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ge.Infer(task, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(want, got) {
+			t.Fatalf("task %d: grid result differs by %g", task, tensor.MaxAbsDiff(want, got))
+		}
+	}
+}
+
+func TestGridExecutorValidation(t *testing.T) {
+	m := nn.ToyChain("grid-v", 3, 0, 4, 16)
+	lc := startCluster(t, 1, nil)
+	tiles := partition.GridPartition(16, 16, 1, 1)
+	if _, err := NewGridExecutor(m, 0, 99, tiles, []string{lc.Addrs[0]}, 1); err == nil {
+		t.Fatal("bad segment accepted")
+	}
+	if _, err := NewGridExecutor(m, 0, 3, tiles, nil, 1); err == nil {
+		t.Fatal("tile/worker mismatch accepted")
+	}
+	if _, err := NewGridExecutor(&nn.Model{Name: "bad"}, 0, 1, tiles, []string{lc.Addrs[0]}, 1); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestMeasureAndDiscoverCluster(t *testing.T) {
+	// Two emulated workers, 4x speed apart: discovery must fit speeds in
+	// roughly that ratio, and the resulting cluster must plan.
+	lc := startCluster(t, 2, []float64{4e7, 1e7})
+	probe := nn.ToyChain("probe", 3, 0, 8, 32)
+	addrs := []string{lc.Addrs[0], lc.Addrs[1]}
+	cl, err := DiscoverCluster(addrs, probe, 1, 2, cluster.WiFi50MbpsBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Size() != 2 {
+		t.Fatalf("discovered %d devices", cl.Size())
+	}
+	ratio := cl.Devices[0].EffectiveSpeed() / cl.Devices[1].EffectiveSpeed()
+	// The emulation floor is the modelled time, so the ratio should land
+	// near 4 (allow wide tolerance for real-compute contamination on the
+	// fast worker).
+	if ratio < 1.5 {
+		t.Fatalf("speed ratio %.2f: heterogeneity not discovered", ratio)
+	}
+	plan, err := core.PlanPipeline(probe, cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Errors: unreachable worker.
+	if _, err := DiscoverCluster([]string{"127.0.0.1:1"}, probe, 1, 1, 1e6); err == nil {
+		t.Fatal("unreachable worker accepted")
+	}
+	if _, err := DiscoverCluster(nil, probe, 1, 1, 1e6); err == nil {
+		t.Fatal("empty worker list accepted")
+	}
+	if _, err := MeasureWorker(lc.Addrs[0], &nn.Model{Name: "bad"}, 1, 1); err == nil {
+		t.Fatal("invalid probe accepted")
+	}
+}
+
+func TestWorkerServesMultipleCoordinators(t *testing.T) {
+	// Two independent grid executors share the same workers concurrently;
+	// every result must stay bit-exact (one handler goroutine per conn).
+	m := nn.ToyChain("share", 4, 2, 6, 24)
+	lc := startCluster(t, 2, nil)
+	out := m.Output()
+	tiles := partition.GridPartition(out.H, out.W, 2, 1)
+	addrs := []string{lc.Addrs[0], lc.Addrs[1]}
+	ref, err := tensor.NewExecutor(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ge, err := NewGridExecutor(m, 0, m.NumLayers(), tiles, addrs, 3)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer ge.Close()
+			for task := int64(0); task < 4; task++ {
+				in := tensor.RandomInput(m.Input, int64(g)*100+task)
+				want, err := ref.Run(in)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := ge.Infer(task, in)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !tensor.Equal(want, got) {
+					errs <- errors.New("shared-worker result mismatch")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"pico/internal/nn"
+	"pico/internal/partition"
+	"pico/internal/tensor"
+	"pico/internal/wire"
+)
+
+// GridExecutor distributes a fused model segment across workers as a
+// DeepThings-style 2D tile grid: split the input into (overlapping)
+// rectangular regions, execute each tile remotely, stitch the output grid.
+// It is the single-stage grid counterpart of the strip-based Pipeline.
+type GridExecutor struct {
+	model   *nn.Model
+	from    int
+	to      int
+	tiles   []partition.Rect
+	calc    *partition.Calc
+	seed    int64
+	clients []*workerClient
+}
+
+// NewGridExecutor connects to one worker per tile and loads the model.
+func NewGridExecutor(m *nn.Model, from, to int, tiles []partition.Rect, addrs []string, seed int64) (*GridExecutor, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if from < 0 || to > m.NumLayers() || from >= to {
+		return nil, fmt.Errorf("runtime: invalid grid segment [%d,%d)", from, to)
+	}
+	if len(tiles) == 0 || len(tiles) != len(addrs) {
+		return nil, fmt.Errorf("runtime: %d tiles for %d workers", len(tiles), len(addrs))
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	ge := &GridExecutor{
+		model: m,
+		from:  from, to: to,
+		tiles: tiles,
+		calc:  partition.NewCalc(m),
+		seed:  seed,
+	}
+	spec := wire.SpecFromModel(m)
+	for _, addr := range addrs {
+		wc, err := dialWorker(addr)
+		if err != nil {
+			ge.Close()
+			return nil, err
+		}
+		ge.clients = append(ge.clients, wc)
+		if err := wc.loadModel(spec, seed); err != nil {
+			ge.Close()
+			return nil, err
+		}
+	}
+	return ge, nil
+}
+
+// Infer executes the segment on one input feature map (the full map at
+// boundary from) and returns the stitched output.
+func (ge *GridExecutor) Infer(taskID int64, input tensor.Tensor) (tensor.Tensor, error) {
+	type result struct {
+		t   tensor.Tensor
+		err error
+	}
+	results := make([]result, len(ge.tiles))
+	var wg sync.WaitGroup
+	for k, tile := range ge.tiles {
+		if tile.Empty() {
+			results[k].err = fmt.Errorf("runtime: empty tile %d", k)
+			continue
+		}
+		need := ge.calc.SegmentRects(ge.from, ge.to, tile)[0]
+		sub := input.SliceRect(need)
+		wg.Add(1)
+		go func(k int, wc *workerClient, sub tensor.Tensor, need, tile partition.Rect) {
+			defer wg.Done()
+			out, _, err := wc.exec(execHeader{
+				ExecHeader: wire.ExecHeader{
+					TaskID: taskID,
+					From:   ge.from, To: ge.to,
+					OutLo: tile.Rows.Lo, OutHi: tile.Rows.Hi,
+					InLo:     need.Rows.Lo,
+					OutColLo: tile.Cols.Lo, OutColHi: tile.Cols.Hi,
+					InColLo: need.Cols.Lo,
+				},
+				ModelName: ge.model.Name,
+				Seed:      ge.seed,
+			}, sub)
+			results[k] = result{t: out, err: err}
+		}(k, ge.clients[k], sub, need, tile)
+	}
+	wg.Wait()
+	outs := make([]tensor.Tensor, 0, len(ge.tiles))
+	rects := make([]partition.Rect, 0, len(ge.tiles))
+	for k := range results {
+		if results[k].err != nil {
+			return tensor.Tensor{}, results[k].err
+		}
+		outs = append(outs, results[k].t)
+		rects = append(rects, ge.tiles[k])
+	}
+	outShape := ge.model.OutShape(ge.to - 1)
+	return tensor.StitchGrid(outs, rects, outShape.H, outShape.W)
+}
+
+// Close disconnects the workers.
+func (ge *GridExecutor) Close() error {
+	var firstErr error
+	for _, wc := range ge.clients {
+		if wc == nil {
+			continue
+		}
+		if err := wc.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,442 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pico/internal/core"
+	"pico/internal/partition"
+	"pico/internal/tensor"
+	"pico/internal/wire"
+)
+
+// workerClient is one coordinator→worker connection. A client serves one
+// request at a time; stage drivers hold one client per stage device, so
+// requests to different devices proceed in parallel.
+type workerClient struct {
+	id   string
+	addr string
+
+	mu   sync.Mutex
+	conn *wire.Conn
+}
+
+// dialWorker connects and consumes the hello frame.
+func dialWorker(addr string) (*workerClient, error) {
+	conn, err := dialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("runtime: hello from %s: %w", addr, err)
+	}
+	if msg.Type != wire.MsgHello {
+		_ = conn.Close()
+		return nil, fmt.Errorf("runtime: expected hello from %s, got %v", addr, msg.Type)
+	}
+	var hello wire.HelloHeader
+	if err := msg.DecodeHeader(&hello); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if hello.Version != wire.ProtocolVersion {
+		_ = conn.Close()
+		return nil, fmt.Errorf("runtime: %s speaks protocol %d, want %d", addr, hello.Version, wire.ProtocolVersion)
+	}
+	return &workerClient{id: hello.NodeID, addr: addr, conn: conn}, nil
+}
+
+func (wc *workerClient) close() error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	_ = wc.conn.Send(wire.MsgShutdown, nil, nil)
+	return wc.conn.Close()
+}
+
+func (wc *workerClient) loadModel(spec wire.ModelSpec, seed int64) error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if err := wc.conn.Send(wire.MsgLoadModel, wire.LoadModelHeader{Model: spec, Seed: seed}, nil); err != nil {
+		return err
+	}
+	msg, err := wc.conn.Recv()
+	if err != nil {
+		return err
+	}
+	if msg.Type == wire.MsgError {
+		var eh wire.ErrorHeader
+		_ = msg.DecodeHeader(&eh)
+		return fmt.Errorf("runtime: %s rejected model: %s", wc.id, eh.Message)
+	}
+	if msg.Type != wire.MsgPong {
+		return fmt.Errorf("runtime: %s: unexpected %v after load", wc.id, msg.Type)
+	}
+	return nil
+}
+
+// execHeader is the full exec request header: wire.ExecHeader plus the
+// model reference the worker resolves.
+type execHeader struct {
+	wire.ExecHeader
+	ModelName string `json:"model_name"`
+	Seed      int64  `json:"seed"`
+}
+
+func (wc *workerClient) exec(hdr execHeader, tile tensor.Tensor) (tensor.Tensor, float64, error) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	hdr.TileC, hdr.TileH, hdr.TileW = tile.C, tile.H, tile.W
+	if err := wc.conn.Send(wire.MsgExec, hdr, wire.EncodeTensor(tile)); err != nil {
+		return tensor.Tensor{}, 0, fmt.Errorf("runtime: exec to %s: %w", wc.id, err)
+	}
+	msg, err := wc.conn.Recv()
+	if err != nil {
+		return tensor.Tensor{}, 0, fmt.Errorf("runtime: exec result from %s: %w", wc.id, err)
+	}
+	switch msg.Type {
+	case wire.MsgExecResult:
+		var rh wire.ExecResultHeader
+		if err := msg.DecodeHeader(&rh); err != nil {
+			return tensor.Tensor{}, 0, err
+		}
+		out, err := wire.DecodeTensor(rh.C, rh.H, rh.W, msg.Payload)
+		if err != nil {
+			return tensor.Tensor{}, 0, err
+		}
+		return out, rh.ComputeSeconds, nil
+	case wire.MsgError:
+		var eh wire.ErrorHeader
+		_ = msg.DecodeHeader(&eh)
+		return tensor.Tensor{}, 0, fmt.Errorf("runtime: %s: %s", wc.id, eh.Message)
+	default:
+		return tensor.Tensor{}, 0, fmt.Errorf("runtime: %s: unexpected %v", wc.id, msg.Type)
+	}
+}
+
+func (wc *workerClient) ping() error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if err := wc.conn.Send(wire.MsgPing, nil, nil); err != nil {
+		return err
+	}
+	msg, err := wc.conn.Recv()
+	if err != nil {
+		return err
+	}
+	if msg.Type != wire.MsgPong {
+		return fmt.Errorf("runtime: %s: unexpected %v to ping", wc.id, msg.Type)
+	}
+	return nil
+}
+
+// StageSpan records one task's occupancy of one pipeline stage.
+type StageSpan struct {
+	// From, To identify the stage's model segment.
+	From, To int
+	// Start, End bound the stage's work on this task (split through
+	// stitch), including time spent waiting on the stage's workers.
+	Start, End time.Time
+}
+
+// TaskResult is one completed inference.
+type TaskResult struct {
+	ID     int64
+	Output tensor.Tensor
+	Err    error
+	// Submitted and Done bound the task's wall-clock traversal.
+	Submitted, Done time.Time
+	// Spans is the per-stage timeline; overlapping spans across different
+	// tasks are the pipeline working as intended.
+	Spans []StageSpan
+}
+
+// flight is a task moving through the stage drivers.
+type flight struct {
+	id        int64
+	t         tensor.Tensor
+	err       error
+	submitted time.Time
+	spans     []StageSpan
+}
+
+// stageDriver realizes the per-stage workflow of the paper's Fig. 6: take a
+// feature map from the input queue, split it into the plan's strips,
+// distribute the tiles to the stage workers, gather and stitch the results,
+// and hand the stitched map to the next stage.
+type stageDriver struct {
+	stage   core.Stage
+	workers []*workerClient // parallel to stage.DeviceIdx; nil for idle slots
+	calc    *partition.Calc
+	ref     struct {
+		name string
+		seed int64
+	}
+	outH int
+	// record accumulates per-device compute time into the pipeline stats.
+	record func(deviceIdx int, seconds float64)
+}
+
+func (sd *stageDriver) run(in <-chan *flight, out chan<- *flight, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer close(out)
+	for f := range in {
+		if f.err == nil {
+			start := time.Now()
+			sd.process(f)
+			f.spans = append(f.spans, StageSpan{
+				From: sd.stage.From, To: sd.stage.To,
+				Start: start, End: time.Now(),
+			})
+		}
+		out <- f
+	}
+}
+
+func (sd *stageDriver) process(f *flight) {
+	type strip struct {
+		t    tensor.Tensor
+		lo   int
+		comp float64
+		err  error
+	}
+	var wg sync.WaitGroup
+	strips := make([]strip, len(sd.workers))
+	active := 0
+	for k, wc := range sd.workers {
+		part := sd.stage.Parts[k]
+		if wc == nil || part.Empty() {
+			strips[k].lo = -1
+			continue
+		}
+		active++
+		inR := sd.calc.InputRange(sd.stage.From, sd.stage.To, part)
+		tile := f.t.SliceRows(inR.Lo, inR.Hi)
+		wg.Add(1)
+		go func(k int, wc *workerClient, tile tensor.Tensor, inLo int, part partition.Range) {
+			defer wg.Done()
+			out, comp, err := wc.exec(execHeader{
+				ExecHeader: wire.ExecHeader{
+					TaskID: f.id,
+					From:   sd.stage.From, To: sd.stage.To,
+					OutLo: part.Lo, OutHi: part.Hi,
+					InLo: inLo,
+				},
+				ModelName: sd.ref.name,
+				Seed:      sd.ref.seed,
+			}, tile)
+			strips[k] = strip{t: out, lo: part.Lo, comp: comp, err: err}
+		}(k, wc, tile, inR.Lo, part)
+	}
+	wg.Wait()
+	outs := make([]tensor.Tensor, 0, active)
+	los := make([]int, 0, active)
+	for k := range strips {
+		if strips[k].lo < 0 {
+			continue
+		}
+		if strips[k].err != nil {
+			f.err = strips[k].err
+			return
+		}
+		sd.record(sd.stage.DeviceIdx[k], strips[k].comp)
+		outs = append(outs, strips[k].t)
+		los = append(los, strips[k].lo)
+	}
+	stitched, err := tensor.StitchRows(outs, los, sd.outH)
+	if err != nil {
+		f.err = fmt.Errorf("runtime: stage [%d,%d) stitch: %w", sd.stage.From, sd.stage.To, err)
+		return
+	}
+	f.t = stitched
+}
+
+// Pipeline executes a PICO plan over TCP workers, one stage driver per
+// stage, all running concurrently so tasks overlap in the pipeline.
+type Pipeline struct {
+	plan    *core.Plan
+	seed    int64
+	stages  []*stageDriver
+	clients []*workerClient
+
+	in      chan *flight
+	results chan TaskResult
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	nextID int64
+	closed bool
+	stats  map[int]*WorkerStat
+}
+
+// WorkerStat aggregates one device's activity over the pipeline's lifetime.
+type WorkerStat struct {
+	// Tiles is the number of tiles the device executed.
+	Tiles int
+	// ComputeSeconds is the accumulated worker-reported compute time
+	// (including any emulated-capacity throttling).
+	ComputeSeconds float64
+}
+
+// PipelineOptions configure pipeline construction.
+type PipelineOptions struct {
+	// Seed is the shared weight seed (default 1).
+	Seed int64
+	// QueueDepth is the per-stage input buffer (default 8).
+	QueueDepth int
+}
+
+// NewPipeline connects to the workers backing the plan's devices and starts
+// the stage drivers. addrs maps cluster device index to worker address;
+// every device holding a non-empty strip must be present.
+func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*Pipeline, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 8
+	}
+	p := &Pipeline{
+		plan:    plan,
+		seed:    opts.Seed,
+		in:      make(chan *flight, opts.QueueDepth),
+		results: make(chan TaskResult, opts.QueueDepth),
+		stats:   make(map[int]*WorkerStat),
+	}
+	spec := wire.SpecFromModel(plan.Model)
+	calc := partition.NewCalc(plan.Model)
+	fail := func(err error) (*Pipeline, error) {
+		for _, c := range p.clients {
+			_ = c.close()
+		}
+		return nil, err
+	}
+	for _, st := range plan.Stages {
+		sd := &stageDriver{
+			stage:   st,
+			workers: make([]*workerClient, len(st.DeviceIdx)),
+			calc:    calc,
+			outH:    plan.Model.OutShape(st.To - 1).H,
+		}
+		sd.ref.name = plan.Model.Name
+		sd.ref.seed = opts.Seed
+		sd.record = p.recordCompute
+		for k, di := range st.DeviceIdx {
+			if st.Parts[k].Empty() {
+				continue
+			}
+			addr, ok := addrs[di]
+			if !ok {
+				return fail(fmt.Errorf("runtime: no address for device %d", di))
+			}
+			wc, err := dialWorker(addr)
+			if err != nil {
+				return fail(err)
+			}
+			p.clients = append(p.clients, wc)
+			if err := wc.loadModel(spec, opts.Seed); err != nil {
+				return fail(err)
+			}
+			sd.workers[k] = wc
+		}
+		p.stages = append(p.stages, sd)
+	}
+
+	// Wire the stage channels and start the drivers.
+	prev := p.in
+	for _, sd := range p.stages {
+		next := make(chan *flight, opts.QueueDepth)
+		p.wg.Add(1)
+		go sd.run(prev, next, &p.wg)
+		prev = next
+	}
+	p.wg.Add(1)
+	go func(last <-chan *flight) {
+		defer p.wg.Done()
+		defer close(p.results)
+		for f := range last {
+			p.results <- TaskResult{
+				ID:        f.id,
+				Output:    f.t,
+				Err:       f.err,
+				Submitted: f.submitted,
+				Done:      time.Now(),
+				Spans:     f.spans,
+			}
+		}
+	}(prev)
+	return p, nil
+}
+
+// Submit enqueues one input for inference and returns its task ID. It
+// blocks when the pipeline's input queue is full.
+func (p *Pipeline) Submit(input tensor.Tensor) (int64, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return 0, errors.New("runtime: pipeline closed")
+	}
+	p.nextID++
+	id := p.nextID
+	p.mu.Unlock()
+	p.in <- &flight{id: id, t: input, submitted: time.Now()}
+	return id, nil
+}
+
+// Results delivers completed tasks in submission order. The channel closes
+// after Close once all in-flight tasks finish.
+func (p *Pipeline) Results() <-chan TaskResult { return p.results }
+
+// Close stops accepting tasks, drains the pipeline and disconnects workers.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.in)
+	p.wg.Wait()
+	var firstErr error
+	for _, c := range p.clients {
+		if err := c.close(); err != nil && firstErr == nil && !errors.Is(err, errClosed) {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Plan returns the executed plan.
+func (p *Pipeline) Plan() *core.Plan { return p.plan }
+
+// recordCompute accumulates a worker-reported tile execution.
+func (p *Pipeline) recordCompute(deviceIdx int, seconds float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats[deviceIdx]
+	if st == nil {
+		st = &WorkerStat{}
+		p.stats[deviceIdx] = st
+	}
+	st.Tiles++
+	st.ComputeSeconds += seconds
+}
+
+// WorkerStats returns a snapshot of per-device activity, keyed by cluster
+// device index.
+func (p *Pipeline) WorkerStats() map[int]WorkerStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]WorkerStat, len(p.stats))
+	for di, st := range p.stats {
+		out[di] = *st
+	}
+	return out
+}

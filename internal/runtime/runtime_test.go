@@ -1,0 +1,452 @@
+package runtime
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/partition"
+	"pico/internal/tensor"
+	"pico/internal/wire"
+)
+
+// testPlan builds a small multi-stage plan over a toy model for n devices.
+func testPlan(t *testing.T, n int) *core.Plan {
+	t.Helper()
+	m := nn.ToyChain("rt", 6, 2, 6, 32)
+	cl := cluster.Homogeneous(n, 600e6)
+	plan, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func startCluster(t *testing.T, n int, speeds []float64) *LocalCluster {
+	t.Helper()
+	lc, err := StartLocalCluster(n, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := lc.Close(); err != nil {
+			t.Errorf("cluster close: %v", err)
+		}
+	})
+	return lc
+}
+
+func TestPipelineMatchesLocalReference(t *testing.T) {
+	plan := testPlan(t, 4)
+	if len(plan.Stages) < 2 {
+		t.Fatalf("want a multi-stage plan, got %d stages", len(plan.Stages))
+	}
+	lc := startCluster(t, 4, nil)
+	const seed = 77
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := p.Close(); err != nil {
+			t.Errorf("pipeline close: %v", err)
+		}
+	}()
+
+	ref, err := tensor.NewExecutor(plan.Model, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 5
+	inputs := make([]tensor.Tensor, tasks)
+	for i := range inputs {
+		inputs[i] = tensor.RandomInput(plan.Model.Input, int64(i))
+	}
+	go func() {
+		for _, in := range inputs {
+			if _, err := p.Submit(in); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+	}()
+	got := 0
+	for res := range p.Results() {
+		if res.Err != nil {
+			t.Fatalf("task %d: %v", res.ID, res.Err)
+		}
+		want, err := ref.Run(inputs[res.ID-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(want, res.Output) {
+			t.Fatalf("task %d: distributed output differs by %g", res.ID, tensor.MaxAbsDiff(want, res.Output))
+		}
+		got++
+		if got == tasks {
+			break
+		}
+	}
+}
+
+func TestPipelineResultsInSubmissionOrder(t *testing.T) {
+	plan := testPlan(t, 3)
+	lc := startCluster(t, 3, nil)
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 8
+	go func() {
+		for i := 0; i < tasks; i++ {
+			if _, err := p.Submit(tensor.RandomInput(plan.Model.Input, int64(i))); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+		if err := p.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	var ids []int64
+	for res := range p.Results() {
+		if res.Err != nil {
+			t.Fatalf("task %d: %v", res.ID, res.Err)
+		}
+		ids = append(ids, res.ID)
+	}
+	if len(ids) != tasks {
+		t.Fatalf("completed %d of %d", len(ids), tasks)
+	}
+	for i, id := range ids {
+		if id != int64(i+1) {
+			t.Fatalf("out of order: %v", ids)
+		}
+	}
+}
+
+func TestPipelineOverlapsStages(t *testing.T) {
+	// Hand-build a two-stage plan with identical COMPUTE per stage (the
+	// worker emulation throttles compute only, not communication), so
+	// pipelined tasks must overlap cleanly: six uniform 8->8 convolutions,
+	// three per stage.
+	// The model is deliberately tiny and the emulated speed low: the
+	// throttling sleep must dwarf real compute so stage overlap is visible
+	// even on a single-core machine under the race detector (sleeps
+	// overlap; real compute on one core cannot).
+	layers := make([]nn.Layer, 6)
+	for i := range layers {
+		layers[i] = nn.Conv3x3("c"+strconv.Itoa(i), 4, nn.ReLU)
+	}
+	m := &nn.Model{Name: "ov", Input: nn.Shape{C: 4, H: 16, W: 16}, Layers: layers}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.Homogeneous(2, 600e6)
+	plan := &core.Plan{
+		Model:   m,
+		Cluster: cl,
+		Stages: []core.Stage{
+			{From: 0, To: 3, DeviceIdx: []int{0}, Parts: []partition.Range{partition.Full(m.OutShape(2).H)}},
+			{From: 3, To: 6, DeviceIdx: []int{1}, Parts: []partition.Range{partition.Full(m.OutShape(5).H)}},
+		},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Throttle hard enough that emulated compute dominates scheduling and
+	// race-detector overheads.
+	speeds := []float64{2e6, 2e6}
+	lc := startCluster(t, 2, speeds)
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	in := tensor.RandomInput(plan.Model.Input, 3)
+
+	// Single-task latency.
+	start := time.Now()
+	if _, err := p.Submit(in); err != nil {
+		t.Fatal(err)
+	}
+	res := <-p.Results()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	single := time.Since(start)
+
+	const tasks = 4
+	start = time.Now()
+	go func() {
+		for i := 0; i < tasks; i++ {
+			if _, err := p.Submit(in); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < tasks; i++ {
+		res := <-p.Results()
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	batch := time.Since(start)
+	// Perfect pipelining would take ~single + (tasks-1)*period. Require
+	// clear overlap: better than 80% of serial execution.
+	if batch >= time.Duration(float64(single)*float64(tasks)*0.8) {
+		t.Fatalf("no pipelining: single %v, %d tasks took %v", single, tasks, batch)
+	}
+}
+
+func TestHeterogeneousEmulatedSpeeds(t *testing.T) {
+	m := nn.ToyChain("het", 4, 2, 6, 32)
+	cl := cluster.PaperHeterogeneous()
+	// Shrink to 4 devices for the test.
+	cl.Devices = cl.Devices[:4]
+	plan, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := make([]float64, 4)
+	for i, d := range cl.Devices {
+		// Scale emulated speeds up so the test stays fast but ratios hold.
+		speeds[i] = d.EffectiveSpeed() * 50
+	}
+	lc := startCluster(t, 4, speeds)
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ref, err := tensor.NewExecutor(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandomInput(m.Input, 9)
+	want, err := ref.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(in); err != nil {
+		t.Fatal(err)
+	}
+	res := <-p.Results()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !tensor.Equal(want, res.Output) {
+		t.Fatalf("heterogeneous output differs by %g", tensor.MaxAbsDiff(want, res.Output))
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	plan := testPlan(t, 2)
+	lc := startCluster(t, 2, nil)
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(tensor.RandomInput(plan.Model.Input, 1)); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+	// Double close is a no-op.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingWorkerAddress(t *testing.T) {
+	plan := testPlan(t, 2)
+	lc := startCluster(t, 1, nil)
+	addrs := map[int]string{0: lc.Addrs[0]} // device 1 missing
+	if _, err := NewPipeline(plan, addrs, PipelineOptions{}); err == nil {
+		t.Fatal("missing address accepted")
+	}
+}
+
+func TestUnreachableWorker(t *testing.T) {
+	plan := testPlan(t, 2)
+	addrs := map[int]string{0: "127.0.0.1:1", 1: "127.0.0.1:1"}
+	if _, err := NewPipeline(plan, addrs, PipelineOptions{}); err == nil {
+		t.Fatal("unreachable worker accepted")
+	}
+}
+
+func TestWorkerRejectsExecWithoutModel(t *testing.T) {
+	lc := startCluster(t, 1, nil)
+	wc, err := dialWorker(lc.Addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.close()
+	tile := tensor.RandomInput(nn.Shape{C: 1, H: 4, W: 4}, 1)
+	_, _, err = wc.exec(execHeader{
+		ExecHeader: wire.ExecHeader{TaskID: 1, From: 0, To: 1, OutLo: 0, OutHi: 4},
+		ModelName:  "nope", Seed: 1,
+	}, tile)
+	if err == nil || !strings.Contains(err.Error(), "not loaded") {
+		t.Fatalf("err = %v, want model-not-loaded", err)
+	}
+}
+
+func TestWorkerPing(t *testing.T) {
+	lc := startCluster(t, 1, nil)
+	wc, err := dialWorker(lc.Addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.close()
+	if err := wc.ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerRejectsInvalidModel(t *testing.T) {
+	lc := startCluster(t, 1, nil)
+	wc, err := dialWorker(lc.Addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.close()
+	err = wc.loadModel(wire.ModelSpec{Name: "bad"}, 1)
+	if err == nil {
+		t.Fatal("invalid model accepted by worker")
+	}
+}
+
+func TestWorkerExecBadTile(t *testing.T) {
+	lc := startCluster(t, 1, nil)
+	wc, err := dialWorker(lc.Addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.close()
+	m := nn.ToyChain("w", 2, 0, 4, 16)
+	if err := wc.loadModel(wire.SpecFromModel(m), 3); err != nil {
+		t.Fatal(err)
+	}
+	// Tile too small for the requested range.
+	tile := tensor.RandomInput(nn.Shape{C: 1, H: 4, W: 16}, 1)
+	_, _, err = wc.exec(execHeader{
+		ExecHeader: wire.ExecHeader{TaskID: 2, From: 0, To: 2, OutLo: 0, OutHi: 16, InLo: 0},
+		ModelName:  "w", Seed: 3,
+	}, tile)
+	if err == nil {
+		t.Fatal("undersized tile accepted")
+	}
+	// The connection must survive the error for the next request.
+	fullIn := tensor.RandomInput(m.Input, 1)
+	out, _, err := wc.exec(execHeader{
+		ExecHeader: wire.ExecHeader{TaskID: 3, From: 0, To: 2, OutLo: 0, OutHi: 16, InLo: 0},
+		ModelName:  "w", Seed: 3,
+	}, fullIn)
+	if err != nil {
+		t.Fatalf("recovery exec failed: %v", err)
+	}
+	ref, err := tensor.NewExecutor(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(fullIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, out) {
+		t.Fatal("worker result differs from reference")
+	}
+}
+
+func TestGraphModelOverPipeline(t *testing.T) {
+	m := nn.TinyGraph()
+	cl := cluster.Homogeneous(3, 600e6)
+	plan, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := startCluster(t, 3, nil)
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ref, err := tensor.NewExecutor(m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandomInput(m.Input, 21)
+	want, err := ref.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(in); err != nil {
+		t.Fatal(err)
+	}
+	res := <-p.Results()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !tensor.Equal(want, res.Output) {
+		t.Fatalf("graph pipeline differs by %g", tensor.MaxAbsDiff(want, res.Output))
+	}
+}
+
+func TestManualStageSplitMatchesWorkers(t *testing.T) {
+	// Drive two workers by hand through one stage: split, distribute,
+	// stitch — the Fig. 6 workflow at its smallest.
+	m := nn.ToyChain("m", 3, 0, 4, 24)
+	lc := startCluster(t, 2, nil)
+	var clients []*workerClient
+	for i := 0; i < 2; i++ {
+		wc, err := dialWorker(lc.Addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer wc.close()
+		if err := wc.loadModel(wire.SpecFromModel(m), 9); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, wc)
+	}
+	ref, err := tensor.NewExecutor(m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandomInput(m.Input, 2)
+	want, err := ref.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := partition.Equal(m.Output().H, 2)
+	var strips []tensor.Tensor
+	var los []int
+	for k, part := range parts {
+		inR := ref.InputRange(0, m.NumLayers(), part)
+		tile := in.SliceRows(inR.Lo, inR.Hi)
+		out, _, err := clients[k].exec(execHeader{
+			ExecHeader: wire.ExecHeader{TaskID: int64(k), From: 0, To: m.NumLayers(), OutLo: part.Lo, OutHi: part.Hi, InLo: inR.Lo},
+			ModelName:  m.Name, Seed: 9,
+		}, tile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strips = append(strips, out)
+		los = append(los, part.Lo)
+	}
+	got, err := tensor.StitchRows(strips, los, m.Output().H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, got) {
+		t.Fatal("manual stage split differs from reference")
+	}
+}

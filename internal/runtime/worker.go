@@ -1,0 +1,277 @@
+// Package runtime is the distributed execution engine: Go TCP workers and a
+// pipeline coordinator realizing the paper's stage workflow (Fig. 6). Each
+// stage's leader splits the incoming feature map into overlapping tiles
+// according to the plan's strips, distributes them to the stage's workers,
+// gathers and stitches the results, and forwards the stitched map to the
+// next stage — with every stage running concurrently, so multiple tasks are
+// in flight at once (the pipeline).
+//
+// It replaces the paper's C++/LibTorch framework; the backend is the
+// pure-Go tensor engine, and model weights are derived from a shared seed so
+// only geometry crosses the network.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pico/internal/partition"
+	"pico/internal/tensor"
+	"pico/internal/wire"
+)
+
+// Worker is an edge-device daemon: it accepts coordinator connections,
+// loads model descriptions, and executes segment tiles on request.
+type Worker struct {
+	id string
+	ln net.Listener
+
+	// emulatedSpeed, when positive, throttles the worker to the given
+	// effective MAC/s by sleeping out the remainder of the modelled
+	// compute time — how a fast development host impersonates a 600 MHz
+	// Raspberry Pi core.
+	emulatedSpeed float64
+
+	logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	execs map[execKey]*tensor.Executor
+	conns map[*wire.Conn]struct{}
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+}
+
+type execKey struct {
+	name string
+	seed int64
+}
+
+// WorkerOption configures a Worker.
+type WorkerOption func(*Worker)
+
+// WithEmulatedSpeed throttles the worker to the given effective MAC/s.
+func WithEmulatedSpeed(macPerSec float64) WorkerOption {
+	return func(w *Worker) { w.emulatedSpeed = macPerSec }
+}
+
+// WithLogger routes worker diagnostics to the given function.
+func WithLogger(logf func(format string, args ...any)) WorkerOption {
+	return func(w *Worker) { w.logf = logf }
+}
+
+// NewWorker starts listening on addr ("127.0.0.1:0" for an ephemeral test
+// port). Serve must be called to begin handling requests.
+func NewWorker(id, addr string, opts ...WorkerOption) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: worker %s listen: %w", id, err)
+	}
+	w := &Worker{
+		id:      id,
+		ln:      ln,
+		execs:   make(map[execKey]*tensor.Executor),
+		conns:   make(map[*wire.Conn]struct{}),
+		closing: make(chan struct{}),
+		logf:    func(string, ...any) {},
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w, nil
+}
+
+// Addr returns the worker's listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// ID returns the worker identifier.
+func (w *Worker) ID() string { return w.id }
+
+// Serve accepts and handles connections until Close. It returns nil after a
+// clean shutdown.
+func (w *Worker) Serve() error {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			select {
+			case <-w.closing:
+				w.wg.Wait()
+				return nil
+			default:
+				return fmt.Errorf("runtime: worker %s accept: %w", w.id, err)
+			}
+		}
+		wc := wire.NewConn(conn)
+		w.mu.Lock()
+		w.conns[wc] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.handle(wc)
+			w.mu.Lock()
+			delete(w.conns, wc)
+			w.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener; in-flight connections finish their current
+// request.
+func (w *Worker) Close() error {
+	close(w.closing)
+	return w.ln.Close()
+}
+
+// Abort simulates a crash: the listener and every live connection are
+// severed immediately, so coordinators see in-flight requests fail. Used by
+// failure-injection tests and chaos tooling.
+func (w *Worker) Abort() error {
+	err := w.Close()
+	w.mu.Lock()
+	conns := make([]*wire.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+func (w *Worker) handle(conn *wire.Conn) {
+	defer func() {
+		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			w.logf("worker %s: close %s: %v", w.id, conn.RemoteAddr(), err)
+		}
+	}()
+	if err := conn.Send(wire.MsgHello, wire.HelloHeader{NodeID: w.id, Version: wire.ProtocolVersion}, nil); err != nil {
+		w.logf("worker %s: hello: %v", w.id, err)
+		return
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return // peer gone or shutting down
+		}
+		switch msg.Type {
+		case wire.MsgLoadModel:
+			err = w.handleLoad(conn, msg)
+		case wire.MsgExec:
+			err = w.handleExec(conn, msg)
+		case wire.MsgPing:
+			err = conn.Send(wire.MsgPong, nil, nil)
+		case wire.MsgShutdown:
+			return
+		default:
+			err = conn.Send(wire.MsgError, wire.ErrorHeader{Message: fmt.Sprintf("unexpected %v", msg.Type)}, nil)
+		}
+		if err != nil {
+			w.logf("worker %s: %v", w.id, err)
+			return
+		}
+	}
+}
+
+func (w *Worker) handleLoad(conn *wire.Conn, msg *wire.Message) error {
+	var hdr wire.LoadModelHeader
+	if err := msg.DecodeHeader(&hdr); err != nil {
+		return conn.Send(wire.MsgError, wire.ErrorHeader{Message: err.Error()}, nil)
+	}
+	m, err := hdr.Model.ToModel()
+	if err != nil {
+		return conn.Send(wire.MsgError, wire.ErrorHeader{Message: err.Error()}, nil)
+	}
+	exec, err := tensor.NewExecutor(m, hdr.Seed)
+	if err != nil {
+		return conn.Send(wire.MsgError, wire.ErrorHeader{Message: err.Error()}, nil)
+	}
+	w.mu.Lock()
+	w.execs[execKey{name: m.Name, seed: hdr.Seed}] = exec
+	w.mu.Unlock()
+	w.logf("worker %s: loaded %s (seed %d)", w.id, m.Name, hdr.Seed)
+	return conn.Send(wire.MsgPong, nil, nil)
+}
+
+func (w *Worker) executor(name string, seed int64) (*tensor.Executor, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// A single loaded model is the common case; fall back to name lookup.
+	if e, ok := w.execs[execKey{name: name, seed: seed}]; ok {
+		return e, true
+	}
+	if name == "" && len(w.execs) == 1 {
+		for _, e := range w.execs {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// ExecModelHeader extension: the model is identified by name+seed, carried
+// in the Exec header via these fields on the wire (kept in ExecHeader's
+// JSON by the coordinator).
+type execModelRef struct {
+	ModelName string `json:"model_name"`
+	Seed      int64  `json:"seed"`
+}
+
+func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) error {
+	var hdr wire.ExecHeader
+	if err := msg.DecodeHeader(&hdr); err != nil {
+		return conn.Send(wire.MsgError, wire.ErrorHeader{Message: err.Error()}, nil)
+	}
+	var ref execModelRef
+	if err := msg.DecodeHeader(&ref); err != nil {
+		return conn.Send(wire.MsgError, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
+	}
+	exec, ok := w.executor(ref.ModelName, ref.Seed)
+	if !ok {
+		return conn.Send(wire.MsgError, wire.ErrorHeader{
+			TaskID:  hdr.TaskID,
+			Message: fmt.Sprintf("model %q (seed %d) not loaded", ref.ModelName, ref.Seed),
+		}, nil)
+	}
+	tile, err := wire.DecodeTensor(hdr.TileC, hdr.TileH, hdr.TileW, msg.Payload)
+	if err != nil {
+		return conn.Send(wire.MsgError, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
+	}
+	start := time.Now()
+	var out tensor.Tensor
+	var flops float64
+	if hdr.OutColHi > 0 {
+		rect := partition.Rect{
+			Rows: partition.Range{Lo: hdr.OutLo, Hi: hdr.OutHi},
+			Cols: partition.Range{Lo: hdr.OutColLo, Hi: hdr.OutColHi},
+		}
+		out, err = exec.RunSegmentRect(hdr.From, hdr.To, tile, rect)
+		flops = float64(exec.RectFLOPs(hdr.From, hdr.To, rect))
+	} else {
+		rows := partition.Range{Lo: hdr.OutLo, Hi: hdr.OutHi}
+		out, err = exec.RunSegment(hdr.From, hdr.To, tile, rows)
+		flops = float64(exec.RegionFLOPs(hdr.From, hdr.To, rows))
+	}
+	if err != nil {
+		return conn.Send(wire.MsgError, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
+	}
+	elapsed := time.Since(start)
+	if w.emulatedSpeed > 0 {
+		want := time.Duration(flops / w.emulatedSpeed * float64(time.Second))
+		if want > elapsed {
+			time.Sleep(want - elapsed)
+			elapsed = want
+		}
+	}
+	return conn.Send(wire.MsgExecResult, wire.ExecResultHeader{
+		TaskID:         hdr.TaskID,
+		OutLo:          hdr.OutLo,
+		C:              out.C,
+		H:              out.H,
+		W:              out.W,
+		ComputeSeconds: elapsed.Seconds(),
+	}, wire.EncodeTensor(out))
+}

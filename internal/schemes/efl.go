@@ -1,0 +1,167 @@
+package schemes
+
+import (
+	"fmt"
+
+	"pico/internal/cluster"
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// DefaultFusedPrefix returns the layer count the Early-Fused-Layer baseline
+// fuses: everything up to and including the deepest pooling layer whose
+// output feature map still gives every device at least one row to produce
+// (a grid-partitionable fused block, the DeepThings configuration — for
+// YOLOv2 on 8 devices this covers the backbone through its fifth pool,
+// matching DeepThings' early-layer fusion ahead of the detection head).
+// Models without such a pool fuse the first two thirds of their layers.
+func DefaultFusedPrefix(m *nn.Model, devices int) int {
+	if devices < 1 {
+		devices = 1
+	}
+	best := 0
+	for i := range m.Layers {
+		switch m.Layers[i].Kind {
+		case nn.MaxPool, nn.AvgPool:
+			if m.OutShape(i).H >= devices {
+				best = i + 1
+			}
+		}
+	}
+	if best > 0 && best < m.NumLayers() {
+		return best
+	}
+	f := (m.NumLayers()*2 + 2) / 3
+	if f < 1 {
+		f = 1
+	}
+	if f >= m.NumLayers() {
+		f = m.NumLayers() - 1
+	}
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// EarlyFusedLayer evaluates the DeepThings-style scheme: the first
+// fusedPrefix layers are fused into one segment partitioned equally across
+// all devices; the remaining layers execute on the fastest single device.
+// fusedPrefix <= 0 selects DefaultFusedPrefix.
+func EarlyFusedLayer(m *nn.Model, c *cluster.Cluster, fusedPrefix int) (*OneStage, error) {
+	ec, err := newEvalContext(m, c)
+	if err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	if n == 0 {
+		return nil, errNoDevices
+	}
+	if fusedPrefix <= 0 {
+		fusedPrefix = DefaultFusedPrefix(m, n)
+	}
+	if fusedPrefix >= m.NumLayers() {
+		return nil, fmt.Errorf("schemes: fused prefix %d must leave at least one tail layer of %d", fusedPrefix, m.NumLayers())
+	}
+	for i := 0; i < fusedPrefix; i++ {
+		if m.Layers[i].NeedsFullInput() {
+			return nil, fmt.Errorf("schemes: fused prefix crosses unsplittable layer %d (%s)", i, m.Layers[i].Name)
+		}
+	}
+	out := newOneStage("EFL", n)
+	outH := m.OutShape(fusedPrefix - 1).H
+	ec.accumulateSegment(out, 0, fusedPrefix, allDeviceIdx(n), partition.Equal(outH, n))
+	tailH := m.Output().H
+	ec.accumulateSegment(out, fusedPrefix, m.NumLayers(), []int{fastestDevice(c)},
+		[]partition.Range{partition.Full(tailH)})
+	return out, nil
+}
+
+// GridShape chooses a near-square rows x cols factorization of n tiles
+// (rows >= cols), the layout DeepThings uses for its fused block.
+func GridShape(n int) (rows, cols int) {
+	if n < 1 {
+		return 1, 1
+	}
+	cols = 1
+	for c := 2; c*c <= n; c++ {
+		if n%c == 0 {
+			cols = c
+		}
+	}
+	return n / cols, cols
+}
+
+// EarlyFusedLayerGrid evaluates the DeepThings scheme with its original 2D
+// grid partition of the fused block (the paper's EFL baseline splits into
+// strips; DeepThings itself used grids to cut the per-device footprint).
+// The fused prefix is tiled rows x cols across all devices; the remaining
+// layers run on the fastest device. Per-device redundancy is attributed
+// proportionally to each device's work (GridStats tracks the exact global
+// overlap but not per-cell ownership).
+func EarlyFusedLayerGrid(m *nn.Model, c *cluster.Cluster, fusedPrefix, rows, cols int) (*OneStage, error) {
+	ec, err := newEvalContext(m, c)
+	if err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	if n == 0 {
+		return nil, errNoDevices
+	}
+	if rows*cols != n {
+		return nil, fmt.Errorf("schemes: %dx%d grid for %d devices", rows, cols, n)
+	}
+	if fusedPrefix <= 0 {
+		fusedPrefix = DefaultFusedPrefix(m, n)
+	}
+	if fusedPrefix >= m.NumLayers() {
+		return nil, fmt.Errorf("schemes: fused prefix %d must leave at least one tail layer of %d", fusedPrefix, m.NumLayers())
+	}
+	for i := 0; i < fusedPrefix; i++ {
+		if m.Layers[i].NeedsFullInput() {
+			return nil, fmt.Errorf("schemes: fused prefix crosses unsplittable layer %d (%s)", i, m.Layers[i].Name)
+		}
+	}
+	out := newOneStage("EFL-grid", n)
+	outShape := m.OutShape(fusedPrefix - 1)
+	tiles := partition.GridPartition(outShape.H, outShape.W, rows, cols)
+	stats := ec.cm.Calc.GridStats(0, fusedPrefix, tiles)
+
+	// Fused block: per-device compute plus scatter/gather communication.
+	var comp, commBytes float64
+	var totalFlops float64
+	flopsPer := make([]float64, n)
+	for k, tile := range tiles {
+		f := float64(ec.cm.Calc.SegmentRectFLOPs(0, fusedPrefix, tile))
+		flopsPer[k] = f
+		totalFlops += f
+		speed := c.Devices[k].EffectiveSpeed()
+		if speed > 0 {
+			if t := f / speed; t > comp {
+				comp = t
+			}
+			out.DeviceBusySeconds[k] += f / speed
+		}
+		need := ec.cm.Calc.SegmentRects(0, fusedPrefix, tile)[0]
+		commBytes += float64(ec.cm.Calc.RectBytes(0, need) + ec.cm.Calc.RectBytes(fusedPrefix, tile))
+	}
+	fusedSeconds := comp + commBytes/c.BandwidthBps
+	for k := range tiles {
+		out.DeviceFLOPs[k] += flopsPer[k]
+		if totalFlops > 0 {
+			out.DeviceRedundant[k] += stats.RedundantFLOPs * flopsPer[k] / totalFlops
+		}
+	}
+	out.Segments = append(out.Segments, SegmentExec{
+		From: 0, To: fusedPrefix,
+		DeviceIdx: allDeviceIdx(n),
+		Seconds:   fusedSeconds,
+	})
+	out.Seconds += fusedSeconds
+
+	// Tail on the fastest device (same as strip EFL).
+	tailH := m.Output().H
+	ec.accumulateSegment(out, fusedPrefix, m.NumLayers(), []int{fastestDevice(c)},
+		[]partition.Range{partition.Full(tailH)})
+	return out, nil
+}

@@ -1,0 +1,413 @@
+package schemes
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/simulate"
+)
+
+func TestLayerWiseStructure(t *testing.T) {
+	m := nn.VGG16()
+	cl := cluster.Homogeneous(8, 600e6)
+	lw, err := LayerWise(m, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One segment per layer.
+	if got, want := len(lw.Segments), m.NumLayers(); got != want {
+		t.Fatalf("segments = %d, want %d", got, want)
+	}
+	for i, seg := range lw.Segments {
+		if seg.From != i || seg.To != i+1 {
+			t.Fatalf("segment %d covers [%d,%d)", i, seg.From, seg.To)
+		}
+	}
+	// The fc layers must run on a single device.
+	for _, seg := range lw.Segments[18:] {
+		if len(seg.DeviceIdx) != 1 {
+			t.Fatalf("fc segment on %d devices", len(seg.DeviceIdx))
+		}
+	}
+	// Per-layer splitting computes each output row once: no redundancy.
+	if r := lw.RedundancyRatio(); r != 0 {
+		t.Fatalf("LW redundancy = %v, want 0", r)
+	}
+	if lw.Seconds <= 0 {
+		t.Fatal("non-positive LW time")
+	}
+}
+
+func TestLayerWiseIsCommunicationBound(t *testing.T) {
+	m := nn.VGG16()
+	cl := cluster.Homogeneous(8, 600e6)
+	lw, err := LayerWise(m, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 1000x the bandwidth LW collapses to near pure compute: the
+	// paper's premise that LW is killed by per-layer communication.
+	fat := cluster.Homogeneous(8, 600e6)
+	fat.BandwidthBps = cl.BandwidthBps * 1000
+	lwFat, err := LayerWise(m, fat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lw.Seconds < 3*lwFat.Seconds {
+		t.Fatalf("LW on WiFi %.2fs vs infinite bandwidth %.2fs: not communication bound", lw.Seconds, lwFat.Seconds)
+	}
+}
+
+func TestDefaultFusedPrefix(t *testing.T) {
+	vgg := nn.VGG16()
+	// On 8 devices: deepest pool with >= 8 output rows is pool4 (14x14),
+	// layer index 13, so the prefix is 14.
+	if got := DefaultFusedPrefix(vgg, 8); got != 14 {
+		t.Fatalf("VGG16 prefix = %d, want 14", got)
+	}
+	yolo := nn.YOLOv2()
+	// YOLOv2's pool5 outputs 14x14 >= 8 rows: prefix 18 — DeepThings'
+	// early-layer fusion covering the backbone ahead of the head.
+	if got := DefaultFusedPrefix(yolo, 8); got != 18 {
+		t.Fatalf("YOLOv2 prefix = %d, want 18", got)
+	}
+	// A pool-free toy model falls back to the 2/3 rule.
+	toy := nn.ToyChain("t", 6, 0, 8, 32)
+	if got := DefaultFusedPrefix(toy, 4); got != 4 {
+		t.Fatalf("toy prefix = %d, want 4", got)
+	}
+}
+
+func TestEarlyFusedLayer(t *testing.T) {
+	m := nn.VGG16()
+	cl := cluster.Homogeneous(8, 600e6)
+	efl, err := EarlyFusedLayer(m, cl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(efl.Segments) != 2 {
+		t.Fatalf("EFL must have exactly 2 segments, got %d", len(efl.Segments))
+	}
+	if got := len(efl.Segments[1].DeviceIdx); got != 1 {
+		t.Fatalf("EFL tail on %d devices, want 1", got)
+	}
+	// Fusing deep across 8 devices must produce substantial redundancy.
+	if r := efl.RedundancyRatio(); r < 0.1 {
+		t.Fatalf("EFL redundancy = %.3f, want > 0.1", r)
+	}
+	// Invalid prefixes.
+	if _, err := EarlyFusedLayer(m, cl, m.NumLayers()); err == nil {
+		t.Fatal("full-model prefix accepted")
+	}
+	if _, err := EarlyFusedLayer(m, cl, 20); err == nil {
+		t.Fatal("prefix crossing fc accepted")
+	}
+}
+
+func TestOptimalFusedLayerBeatsEFL(t *testing.T) {
+	for _, m := range []*nn.Model{nn.VGG16(), nn.YOLOv2()} {
+		for _, cl := range []*cluster.Cluster{cluster.Homogeneous(8, 600e6), cluster.PaperHeterogeneous()} {
+			efl, err := EarlyFusedLayer(m, cl, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ofl, err := OptimalFusedLayer(m, cl, OFLOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ofl.Seconds > efl.Seconds+1e-9 {
+				t.Fatalf("%s: OFL %.3fs worse than EFL %.3fs", m.Name, ofl.Seconds, efl.Seconds)
+			}
+			if len(ofl.Segments) < 2 {
+				t.Fatalf("%s: OFL found only %d segments", m.Name, len(ofl.Segments))
+			}
+		}
+	}
+}
+
+func TestOFLSegmentsAreContiguous(t *testing.T) {
+	m := nn.YOLOv2()
+	cl := cluster.Homogeneous(8, 600e6)
+	ofl, err := OptimalFusedLayer(m, cl, OFLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 0
+	for _, seg := range ofl.Segments {
+		if seg.From != at {
+			t.Fatalf("segment starts at %d, want %d", seg.From, at)
+		}
+		at = seg.To
+	}
+	if at != m.NumLayers() {
+		t.Fatalf("segments end at %d, want %d", at, m.NumLayers())
+	}
+}
+
+func TestOFLCapacityAwareNotWorse(t *testing.T) {
+	m := nn.VGG16()
+	cl := cluster.PaperHeterogeneous()
+	plain, err := OptimalFusedLayer(m, cl, OFLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := OptimalFusedLayer(m, cl, OFLOptions{CapacityAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Seconds > plain.Seconds*1.001 {
+		t.Fatalf("capacity-aware OFL %.3fs worse than plain %.3fs", aware.Seconds, plain.Seconds)
+	}
+}
+
+func TestSchemeOrderingMatchesPaper(t *testing.T) {
+	// Fig. 8/9 shape: LW slowest by far, then EFL, then OFL, and the PICO
+	// pipeline period beats them all.
+	for _, m := range []*nn.Model{nn.VGG16(), nn.YOLOv2()} {
+		cl := cluster.Homogeneous(8, 600e6)
+		lw, err := LayerWise(m, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		efl, err := EarlyFusedLayer(m, cl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ofl, err := OptimalFusedLayer(m, cl, OFLOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pico, err := core.PlanPipeline(m, cl, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(lw.Seconds > efl.Seconds && efl.Seconds > ofl.Seconds && ofl.Seconds > pico.PeriodSeconds) {
+			t.Fatalf("%s ordering broken: LW %.2f EFL %.2f OFL %.2f PICO %.2f",
+				m.Name, lw.Seconds, efl.Seconds, ofl.Seconds, pico.PeriodSeconds)
+		}
+	}
+}
+
+func TestRedundancyOrderingMatchesTable1(t *testing.T) {
+	// Table I shape: redundancy LW < PICO < OFL < EFL.
+	m := nn.YOLOv2()
+	cl := cluster.PaperHeterogeneous()
+	lw, err := LayerWise(m, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	efl, err := EarlyFusedLayer(m, cl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ofl, err := OptimalFusedLayer(m, cl, OFLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pico, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := core.NewCostModel(m, cl)
+	picoRed := pico.Stats(cm).RedundancyRatio()
+	if !(lw.RedundancyRatio() <= picoRed && picoRed < ofl.RedundancyRatio() && ofl.RedundancyRatio() < efl.RedundancyRatio()) {
+		t.Fatalf("redundancy ordering broken: LW %.3f PICO %.3f OFL %.3f EFL %.3f",
+			lw.RedundancyRatio(), picoRed, ofl.RedundancyRatio(), efl.RedundancyRatio())
+	}
+}
+
+func TestOneStageProfile(t *testing.T) {
+	m := nn.VGG16()
+	cl := cluster.Homogeneous(4, 600e6)
+	efl, err := EarlyFusedLayer(m, cl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := efl.Profile()
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Stages) != 1 {
+		t.Fatalf("one-stage profile has %d stages", len(prof.Stages))
+	}
+	if math.Abs(prof.Period()-efl.Seconds) > 1e-12 || math.Abs(prof.Latency()-efl.Seconds) > 1e-12 {
+		t.Fatal("one-stage period/latency must equal the inference time")
+	}
+	// Closed-loop throughput equals 1/Seconds.
+	res, err := simulate.RunClosedLoop(prof, 50, cl.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(1/res.Throughput()-efl.Seconds) > 0.05*efl.Seconds {
+		t.Fatalf("closed-loop period %.3f, want %.3f", 1/res.Throughput(), efl.Seconds)
+	}
+}
+
+func TestBFSOptimalMatchesPlannerBound(t *testing.T) {
+	toy := nn.Fig13Toy()
+	cl := cluster.Fig13Heterogeneous()
+	bfs, err := BFSOptimal(toy, cl, BFSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bfs.Validate(); err != nil {
+		t.Fatalf("invalid BFS plan: %v", err)
+	}
+	pico, err := core.PlanPipeline(toy, cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS is the optimum: PICO cannot beat it, and the heuristic gap the
+	// paper accepts (Fig. 13) is small.
+	if pico.PeriodSeconds < bfs.PeriodSeconds-1e-9 {
+		t.Fatalf("PICO %.6f beats 'optimal' BFS %.6f", pico.PeriodSeconds, bfs.PeriodSeconds)
+	}
+	if pico.PeriodSeconds > bfs.PeriodSeconds*1.25 {
+		t.Fatalf("PICO gap too large: %.6f vs %.6f", pico.PeriodSeconds, bfs.PeriodSeconds)
+	}
+}
+
+func TestBFSBudget(t *testing.T) {
+	// A large search with a microscopic budget must abort cleanly.
+	m := nn.ToyChain("t12", 12, 4, 24, 64)
+	cl := cluster.Homogeneous(8, 600e6)
+	_, err := BFSOptimal(m, cl, BFSOptions{Budget: time.Microsecond})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestBFSRejectsHugeClusters(t *testing.T) {
+	m := nn.Fig13Toy()
+	cl := cluster.Homogeneous(17, 600e6)
+	if _, err := BFSOptimal(m, cl, BFSOptions{}); err == nil {
+		t.Fatal("17-device BFS accepted")
+	}
+}
+
+func TestSchemesRejectInvalidInputs(t *testing.T) {
+	bad := &nn.Model{Name: "bad"}
+	cl := cluster.Homogeneous(2, 600e6)
+	if _, err := LayerWise(bad, cl); err == nil {
+		t.Fatal("LW accepted invalid model")
+	}
+	if _, err := EarlyFusedLayer(bad, cl, 0); err == nil {
+		t.Fatal("EFL accepted invalid model")
+	}
+	if _, err := OptimalFusedLayer(bad, cl, OFLOptions{}); err == nil {
+		t.Fatal("OFL accepted invalid model")
+	}
+	if _, err := BFSOptimal(bad, cl, BFSOptions{}); err == nil {
+		t.Fatal("BFS accepted invalid model")
+	}
+	good := nn.Fig13Toy()
+	badCl := &cluster.Cluster{}
+	if _, err := LayerWise(good, badCl); err == nil {
+		t.Fatal("LW accepted invalid cluster")
+	}
+}
+
+func TestGraphModelSchemes(t *testing.T) {
+	// Baselines must handle block-structured models too.
+	m := nn.ResNet34()
+	cl := cluster.Homogeneous(8, 600e6)
+	lw, err := LayerWise(m, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ofl, err := OptimalFusedLayer(m, cl, OFLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lw.Seconds > ofl.Seconds) {
+		t.Fatalf("resnet34: LW %.2f <= OFL %.2f", lw.Seconds, ofl.Seconds)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 4: {2, 2}, 6: {3, 2}, 8: {4, 2}, 9: {3, 3}, 7: {7, 1}}
+	for n, want := range cases {
+		r, c := GridShape(n)
+		if r != want[0] || c != want[1] {
+			t.Fatalf("GridShape(%d) = %dx%d, want %dx%d", n, r, c, want[0], want[1])
+		}
+		if r*c != n && n >= 1 {
+			t.Fatalf("GridShape(%d) does not cover n", n)
+		}
+	}
+}
+
+func TestEarlyFusedLayerGrid(t *testing.T) {
+	m := nn.VGG16()
+	cl := cluster.Homogeneous(8, 600e6)
+	strips, err := EarlyFusedLayer(m, cl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := GridShape(cl.Size())
+	grid, err := EarlyFusedLayerGrid(m, cl, 0, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Seconds <= 0 {
+		t.Fatal("non-positive grid EFL time")
+	}
+	// DeepThings' point: at 8 tiles the 4x2 grid wastes less work than 8
+	// skinny strips, so the grid variant must not be slower (and its
+	// redundancy must be lower).
+	if grid.Seconds > strips.Seconds*1.02 {
+		t.Fatalf("grid EFL %.3fs slower than strip EFL %.3fs", grid.Seconds, strips.Seconds)
+	}
+	if grid.RedundancyRatio() >= strips.RedundancyRatio() {
+		t.Fatalf("grid redundancy %.3f >= strips %.3f", grid.RedundancyRatio(), strips.RedundancyRatio())
+	}
+	// Profile reduction works.
+	if err := grid.Profile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched grid rejected.
+	if _, err := EarlyFusedLayerGrid(m, cl, 0, 3, 2); err == nil {
+		t.Fatal("3x2 grid for 8 devices accepted")
+	}
+}
+
+func TestMeDNNBeatsLWOnHeterogeneous(t *testing.T) {
+	m := nn.VGG16()
+	het := cluster.PaperHeterogeneous()
+	lw, err := LayerWise(m, het)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mednn, err := MeDNN(m, het)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MeDNN's capacity-aware strips shorten each layer's bottleneck.
+	if mednn.Seconds >= lw.Seconds {
+		t.Fatalf("MeDNN %.3fs not faster than LW %.3fs on the heterogeneous cluster",
+			mednn.Seconds, lw.Seconds)
+	}
+	// On a homogeneous cluster the two must be within a hair (the
+	// balancer may shave boundary rows differently).
+	hom := cluster.Homogeneous(8, 600e6)
+	lwHom, err := LayerWise(m, hom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mednnHom, err := MeDNN(m, hom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := mednnHom.Seconds/lwHom.Seconds - 1; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("homogeneous MeDNN %.3fs vs LW %.3fs differ by %.1f%%",
+			mednnHom.Seconds, lwHom.Seconds, diff*100)
+	}
+	if mednn.RedundancyRatio() != 0 {
+		t.Fatalf("per-layer MeDNN redundancy = %v, want 0", mednn.RedundancyRatio())
+	}
+}

@@ -1,0 +1,239 @@
+package tensor
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// Executor runs a model (or any contiguous segment of it) on tensors,
+// including partitioned execution on row tiles. Weights are derived lazily
+// and deterministically from the seed, so two Executors with the same model
+// and seed — in the same or different processes — compute identical results.
+// An Executor is safe for concurrent use.
+type Executor struct {
+	m    *nn.Model
+	seed int64
+	calc *partition.Calc
+
+	mu   sync.Mutex
+	conv map[string]*convWeights
+	fc   map[string]*fcWeights
+}
+
+// NewExecutor builds an executor for the model with the given weight seed.
+func NewExecutor(m *nn.Model, seed int64) (*Executor, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Executor{
+		m:    m,
+		seed: seed,
+		calc: partition.NewCalc(m),
+		conv: make(map[string]*convWeights),
+		fc:   make(map[string]*fcWeights),
+	}, nil
+}
+
+// Model returns the executor's model.
+func (e *Executor) Model() *nn.Model { return e.m }
+
+// Seed returns the weight seed.
+func (e *Executor) Seed() int64 { return e.seed }
+
+// InputRange returns the input rows segment [from, to) needs to produce the
+// given output rows — what a stage leader must send a worker.
+func (e *Executor) InputRange(from, to int, out partition.Range) partition.Range {
+	return e.calc.InputRange(from, to, out)
+}
+
+// RegionFLOPs returns the MACs of producing the given output rows of
+// segment [from, to), used for capacity emulation and accounting.
+func (e *Executor) RegionFLOPs(from, to int, out partition.Range) int64 {
+	return e.calc.SegmentRegionFLOPs(from, to, out)
+}
+
+// RectFLOPs is the grid-mode counterpart of RegionFLOPs.
+func (e *Executor) RectFLOPs(from, to int, out partition.Rect) int64 {
+	return e.calc.SegmentRectFLOPs(from, to, out)
+}
+
+// Run executes the whole model on a full input tensor. Models whose
+// geometry drops trailing rows (odd extents into stride-2 layers) never
+// read them; Run trims the unused border before delegating to RunSegment.
+func (e *Executor) Run(in Tensor) (Tensor, error) {
+	outH := e.m.Output().H
+	need := e.calc.InputRange(0, e.m.NumLayers(), partition.Full(outH))
+	if in.Valid() && in.C == e.m.Input.C && in.H == e.m.Input.H && in.W == e.m.Input.W && need.Len() < in.H {
+		in = in.SliceRows(need.Lo, need.Hi)
+	}
+	return e.RunSegment(0, e.m.NumLayers(), in, partition.Full(outH))
+}
+
+// RunSegment executes layers [from, to) producing output rows out of the
+// segment's final layer. tile must hold exactly the input rows
+// InputRange(from, to, out) of the feature map at boundary from (for a full
+// run, the whole input).
+func (e *Executor) RunSegment(from, to int, tile Tensor, out partition.Range) (Tensor, error) {
+	if from < 0 || to > e.m.NumLayers() || from >= to {
+		return Tensor{}, fmt.Errorf("tensor: invalid segment [%d,%d)", from, to)
+	}
+	if out.Empty() {
+		return Tensor{}, fmt.Errorf("tensor: empty output range %v", out)
+	}
+	shapes := e.m.Shapes()
+	ranges := e.calc.SegmentRanges(from, to, out)
+	inShape := shapes[from]
+	if !tile.Valid() {
+		return Tensor{}, fmt.Errorf("tensor: invalid input tile")
+	}
+	if tile.C != inShape.C || tile.W != inShape.W || tile.H != ranges[0].Len() {
+		return Tensor{}, fmt.Errorf("tensor: tile %dx%dx%d does not match required region %v of %v",
+			tile.C, tile.H, tile.W, ranges[0], inShape)
+	}
+	cur := tile
+	curLo := ranges[0].Lo
+	for i := from; i < to; i++ {
+		need := ranges[i-from+1]
+		next, err := e.runLayer(i, cur, curLo, need)
+		if err != nil {
+			return Tensor{}, fmt.Errorf("tensor: layer %d (%s): %w", i, e.m.Layers[i].Name, err)
+		}
+		cur = next
+		curLo = need.Lo
+	}
+	return cur, nil
+}
+
+// runLayer executes model layer i on a tile holding input rows
+// [inLo, inLo+in.H) and produces output rows out.
+func (e *Executor) runLayer(i int, in Tensor, inLo int, out partition.Range) (Tensor, error) {
+	l := &e.m.Layers[i]
+	inShape := e.m.InShape(i)
+	return e.runLayerOn(l, strconv.Itoa(i), in, inLo, inShape, out)
+}
+
+// runLayerOn dispatches one layer (possibly inside a block) with explicit
+// geometry: inShape is the layer's full input shape, inLo the tile's global
+// row offset.
+func (e *Executor) runLayerOn(l *nn.Layer, key string, in Tensor, inLo int, inShape nn.Shape, out partition.Range) (Tensor, error) {
+	switch l.Kind {
+	case nn.Conv:
+		wts := e.convW(key, l, inShape.C)
+		return convForward(in, inLo, inShape.H, l, wts, out.Lo, out.Hi), nil
+	case nn.MaxPool, nn.AvgPool:
+		return poolForward(in, inLo, inShape.H, l, out.Lo, out.Hi), nil
+	case nn.FullyConnected:
+		if inLo != 0 || in.H != inShape.H {
+			return Tensor{}, fmt.Errorf("fc needs the full input, got rows [%d,%d) of %d", inLo, inLo+in.H, inShape.H)
+		}
+		wts := e.fcW(key, l, inShape.Elems())
+		return fcForward(in, l, wts), nil
+	case nn.GlobalAvgPool:
+		if inLo != 0 || in.H != inShape.H {
+			return Tensor{}, fmt.Errorf("global pool needs the full input, got rows [%d,%d) of %d", inLo, inLo+in.H, inShape.H)
+		}
+		return gapForward(in, l), nil
+	case nn.Block:
+		return e.runBlock(l, key, in, inLo, inShape, out)
+	default:
+		return Tensor{}, fmt.Errorf("unsupported layer kind %v", l.Kind)
+	}
+}
+
+// runBlock executes a graph block on a tile covering the hull of all path
+// input requirements, then combines path outputs.
+func (e *Executor) runBlock(l *nn.Layer, key string, in Tensor, inLo int, inShape nn.Shape, out partition.Range) (Tensor, error) {
+	var combined Tensor
+	for pi, path := range l.Paths {
+		var pOut Tensor
+		if len(path) == 0 {
+			// Identity shortcut: block output rows map one-to-one onto
+			// block input rows.
+			lo := out.Lo - inLo
+			hi := out.Hi - inLo
+			if lo < 0 || hi > in.H {
+				return Tensor{}, fmt.Errorf("identity path needs rows %v outside tile [%d,%d)", out, inLo, inLo+in.H)
+			}
+			pOut = in.SliceRows(lo, hi)
+		} else {
+			needs := e.calc.PathRanges(path, out, inShape.H)
+			lo := needs[0].Lo - inLo
+			hi := needs[0].Hi - inLo
+			if lo < 0 || hi > in.H {
+				return Tensor{}, fmt.Errorf("path %d needs rows %v outside tile [%d,%d)", pi, needs[0], inLo, inLo+in.H)
+			}
+			cur := in.SliceRows(lo, hi)
+			curLo := needs[0].Lo
+			curShape := inShape
+			for li := range path {
+				nextShape, err := path[li].OutShape(curShape)
+				if err != nil {
+					return Tensor{}, err
+				}
+				pk := key + "/" + strconv.Itoa(pi) + "/" + strconv.Itoa(li)
+				next, err := e.runLayerOn(&path[li], pk, cur, curLo, curShape, needs[li+1])
+				if err != nil {
+					return Tensor{}, fmt.Errorf("path %d layer %d (%s): %w", pi, li, path[li].Name, err)
+				}
+				cur = next
+				curLo = needs[li+1].Lo
+				curShape = nextShape
+			}
+			pOut = cur
+		}
+		if pi == 0 {
+			combined = pOut
+			continue
+		}
+		switch l.Combine {
+		case nn.Add:
+			if pOut.C != combined.C || pOut.H != combined.H || pOut.W != combined.W {
+				return Tensor{}, fmt.Errorf("add path %d extent mismatch", pi)
+			}
+			for j := range combined.Data {
+				combined.Data[j] += pOut.Data[j]
+			}
+		case nn.Concat:
+			if pOut.H != combined.H || pOut.W != combined.W {
+				return Tensor{}, fmt.Errorf("concat path %d spatial mismatch", pi)
+			}
+			merged := Tensor{
+				C: combined.C + pOut.C, H: combined.H, W: combined.W,
+				Data: append(combined.Data, pOut.Data...),
+			}
+			combined = merged
+		default:
+			return Tensor{}, fmt.Errorf("invalid combine %v", l.Combine)
+		}
+	}
+	applyActivation(combined.Data, l.Act)
+	return combined, nil
+}
+
+// convW returns (generating on first use) the convolution weights for key.
+func (e *Executor) convW(key string, l *nn.Layer, inC int) *convWeights {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if w, ok := e.conv[key]; ok {
+		return w
+	}
+	w := genConv(e.seed, key, l, inC)
+	e.conv[key] = w
+	return w
+}
+
+// fcW returns (generating on first use) the fully connected weights for key.
+func (e *Executor) fcW(key string, l *nn.Layer, inElems int) *fcWeights {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if w, ok := e.fc[key]; ok {
+		return w
+	}
+	w := genFC(e.seed, key, l, inElems)
+	e.fc[key] = w
+	return w
+}

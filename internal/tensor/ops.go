@@ -1,0 +1,187 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"pico/internal/nn"
+)
+
+// convForward computes output rows [out.Lo, out.Hi) of a convolution.
+//
+// in holds input rows [inLo, inLo+in.H) of a feature map whose true global
+// height is inHGlobal; rows outside [0, inHGlobal) are zero padding. The
+// width axis is never split, so left/right padding is handled normally.
+// Accumulation order per output element is (ic, kh, kw) regardless of the
+// tile, which makes tiled execution bit-identical to whole-map execution.
+func convForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, outLo, outHi int) Tensor {
+	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
+	outRows := outHi - outLo
+	out := New(l.OutC, outRows, outW)
+	groups := l.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	icg := in.C / groups // input channels per group
+	ocg := l.OutC / groups
+	for oc := 0; oc < l.OutC; oc++ {
+		icBase := (oc / ocg) * icg
+		for or := 0; or < outRows; or++ {
+			acc := out.Data[(oc*outRows+or)*outW : (oc*outRows+or+1)*outW]
+			for i := range acc {
+				acc[i] = wts.bias[oc]
+			}
+			ohGlobal := outLo + or
+			for g := 0; g < icg; g++ {
+				ic := icBase + g
+				for kh := 0; kh < l.KH; kh++ {
+					ihGlobal := ohGlobal*l.SH - l.PH + kh
+					if ihGlobal < 0 || ihGlobal >= inHGlobal {
+						continue // zero padding row
+					}
+					ih := ihGlobal - inLo
+					if ih < 0 || ih >= in.H {
+						panic(fmt.Sprintf("tensor: conv needs global row %d outside tile [%d,%d)", ihGlobal, inLo, inLo+in.H))
+					}
+					inRow := in.Data[(ic*in.H+ih)*in.W : (ic*in.H+ih+1)*in.W]
+					wRow := wts.w[((oc*icg+g)*l.KH+kh)*l.KW : ((oc*icg+g)*l.KH+kh+1)*l.KW]
+					for kw := 0; kw < l.KW; kw++ {
+						w := wRow[kw]
+						if w == 0 {
+							continue
+						}
+						// Valid output columns: 0 <= ow*SW - PW + kw < in.W.
+						iwOff := kw - l.PW
+						owLo := 0
+						if iwOff < 0 {
+							owLo = (-iwOff + l.SW - 1) / l.SW
+						}
+						owHi := outW
+						if maxOw := (in.W - 1 - iwOff) / l.SW; maxOw+1 < owHi {
+							owHi = maxOw + 1
+						}
+						iw := owLo*l.SW + iwOff
+						for ow := owLo; ow < owHi; ow++ {
+							acc[ow] += w * inRow[iw]
+							iw += l.SW
+						}
+					}
+				}
+			}
+			if wts.bnScale != nil {
+				s, sh := wts.bnScale[oc], wts.bnShift[oc]
+				for i := range acc {
+					acc[i] = acc[i]*s + sh
+				}
+			}
+			applyActivation(acc, l.Act)
+		}
+	}
+	return out
+}
+
+// poolForward computes output rows [outLo, outHi) of a max or average pool
+// under the same global-row-offset convention as convForward. Padding cells
+// are excluded from both the max and the average (divisor counts valid cells
+// only), so tile-boundary behaviour matches whole-map behaviour exactly.
+func poolForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi int) Tensor {
+	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
+	outRows := outHi - outLo
+	out := New(in.C, outRows, outW)
+	isMax := l.Kind == nn.MaxPool
+	for c := 0; c < in.C; c++ {
+		for or := 0; or < outRows; or++ {
+			dst := out.Data[(c*outRows+or)*outW : (c*outRows+or+1)*outW]
+			ohGlobal := outLo + or
+			for ow := 0; ow < outW; ow++ {
+				var acc float32
+				if isMax {
+					acc = float32(math.Inf(-1))
+				}
+				count := 0
+				for kh := 0; kh < l.KH; kh++ {
+					ihGlobal := ohGlobal*l.SH - l.PH + kh
+					if ihGlobal < 0 || ihGlobal >= inHGlobal {
+						continue
+					}
+					ih := ihGlobal - inLo
+					if ih < 0 || ih >= in.H {
+						panic(fmt.Sprintf("tensor: pool needs global row %d outside tile [%d,%d)", ihGlobal, inLo, inLo+in.H))
+					}
+					for kw := 0; kw < l.KW; kw++ {
+						iw := ow*l.SW - l.PW + kw
+						if iw < 0 || iw >= in.W {
+							continue
+						}
+						v := in.At(c, ih, iw)
+						if isMax {
+							if v > acc {
+								acc = v
+							}
+						} else {
+							acc += v
+						}
+						count++
+					}
+				}
+				if !isMax && count > 0 {
+					acc /= float32(count)
+				}
+				dst[ow] = acc
+			}
+			applyActivation(dst, l.Act)
+		}
+	}
+	return out
+}
+
+// fcForward computes a fully connected layer over the whole input.
+func fcForward(in Tensor, l *nn.Layer, wts *fcWeights) Tensor {
+	out := New(l.OutF, 1, 1)
+	n := in.Elems()
+	for o := 0; o < l.OutF; o++ {
+		acc := wts.bias[o]
+		row := wts.w[o*n : (o+1)*n]
+		for i, v := range in.Data {
+			acc += row[i] * v
+		}
+		out.Data[o] = acc
+	}
+	applyActivation(out.Data, l.Act)
+	return out
+}
+
+// gapForward computes a global average pool.
+func gapForward(in Tensor, l *nn.Layer) Tensor {
+	out := New(in.C, 1, 1)
+	per := in.H * in.W
+	for c := 0; c < in.C; c++ {
+		var acc float32
+		for _, v := range in.Data[c*per : (c+1)*per] {
+			acc += v
+		}
+		out.Data[c] = acc / float32(per)
+	}
+	applyActivation(out.Data, l.Act)
+	return out
+}
+
+// negInf seeds max-pool accumulators so padding never wins.
+var negInf = float32(math.Inf(-1))
+
+func applyActivation(xs []float32, a nn.Activation) {
+	switch a {
+	case nn.ReLU:
+		for i, v := range xs {
+			if v < 0 {
+				xs[i] = 0
+			}
+		}
+	case nn.LeakyReLU:
+		for i, v := range xs {
+			if v < 0 {
+				xs[i] = 0.1 * v
+			}
+		}
+	}
+}

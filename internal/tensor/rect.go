@@ -1,0 +1,327 @@
+package tensor
+
+import (
+	"fmt"
+	"strconv"
+
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// This file extends tiled execution from row strips to DeepThings-style 2D
+// rectangles: a worker receives a rectangular input region (with its global
+// row/column offsets) and produces a rectangular output tile. As with
+// strips, per-output-pixel accumulation order is tile-independent, so grid
+// execution is bit-identical to whole-map execution.
+
+// convForwardRect computes the output rectangle out of a convolution from a
+// tile holding input rows [inRowLo, inRowLo+in.H) and columns
+// [inColLo, inColLo+in.W) of a feature map with global extent
+// inHGlobal x inWGlobal.
+func convForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *nn.Layer, wts *convWeights, out partition.Rect) Tensor {
+	outRows := out.Rows.Len()
+	outCols := out.Cols.Len()
+	res := New(l.OutC, outRows, outCols)
+	groups := l.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	icg := in.C / groups
+	ocg := l.OutC / groups
+	for oc := 0; oc < l.OutC; oc++ {
+		icBase := (oc / ocg) * icg
+		for or := 0; or < outRows; or++ {
+			acc := res.Data[(oc*outRows+or)*outCols : (oc*outRows+or+1)*outCols]
+			for i := range acc {
+				acc[i] = wts.bias[oc]
+			}
+			ohGlobal := out.Rows.Lo + or
+			for g := 0; g < icg; g++ {
+				ic := icBase + g
+				for kh := 0; kh < l.KH; kh++ {
+					ihGlobal := ohGlobal*l.SH - l.PH + kh
+					if ihGlobal < 0 || ihGlobal >= inHGlobal {
+						continue // true top/bottom padding
+					}
+					ih := ihGlobal - inRowLo
+					if ih < 0 || ih >= in.H {
+						panic(fmt.Sprintf("tensor: rect conv needs global row %d outside tile [%d,%d)", ihGlobal, inRowLo, inRowLo+in.H))
+					}
+					inRow := in.Data[(ic*in.H+ih)*in.W : (ic*in.H+ih+1)*in.W]
+					wRow := wts.w[((oc*icg+g)*l.KH+kh)*l.KW : ((oc*icg+g)*l.KH+kh+1)*l.KW]
+					for kw := 0; kw < l.KW; kw++ {
+						w := wRow[kw]
+						for ocl := 0; ocl < outCols; ocl++ {
+							owGlobal := out.Cols.Lo + ocl
+							iwGlobal := owGlobal*l.SW - l.PW + kw
+							if iwGlobal < 0 || iwGlobal >= inWGlobal {
+								continue // true left/right padding
+							}
+							iw := iwGlobal - inColLo
+							if iw < 0 || iw >= in.W {
+								panic(fmt.Sprintf("tensor: rect conv needs global col %d outside tile [%d,%d)", iwGlobal, inColLo, inColLo+in.W))
+							}
+							acc[ocl] += w * inRow[iw]
+						}
+					}
+				}
+			}
+			if wts.bnScale != nil {
+				s, sh := wts.bnScale[oc], wts.bnShift[oc]
+				for i := range acc {
+					acc[i] = acc[i]*s + sh
+				}
+			}
+			applyActivation(acc, l.Act)
+		}
+	}
+	return res
+}
+
+// poolForwardRect is the rectangular-tile pool under the same conventions.
+func poolForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *nn.Layer, out partition.Rect) Tensor {
+	outRows := out.Rows.Len()
+	outCols := out.Cols.Len()
+	res := New(in.C, outRows, outCols)
+	isMax := l.Kind == nn.MaxPool
+	for c := 0; c < in.C; c++ {
+		for or := 0; or < outRows; or++ {
+			dst := res.Data[(c*outRows+or)*outCols : (c*outRows+or+1)*outCols]
+			ohGlobal := out.Rows.Lo + or
+			for ocl := 0; ocl < outCols; ocl++ {
+				owGlobal := out.Cols.Lo + ocl
+				var acc float32
+				if isMax {
+					acc = negInf
+				}
+				count := 0
+				for kh := 0; kh < l.KH; kh++ {
+					ihGlobal := ohGlobal*l.SH - l.PH + kh
+					if ihGlobal < 0 || ihGlobal >= inHGlobal {
+						continue
+					}
+					ih := ihGlobal - inRowLo
+					if ih < 0 || ih >= in.H {
+						panic(fmt.Sprintf("tensor: rect pool needs global row %d outside tile [%d,%d)", ihGlobal, inRowLo, inRowLo+in.H))
+					}
+					for kw := 0; kw < l.KW; kw++ {
+						iwGlobal := owGlobal*l.SW - l.PW + kw
+						if iwGlobal < 0 || iwGlobal >= inWGlobal {
+							continue
+						}
+						iw := iwGlobal - inColLo
+						if iw < 0 || iw >= in.W {
+							panic(fmt.Sprintf("tensor: rect pool needs global col %d outside tile [%d,%d)", iwGlobal, inColLo, inColLo+in.W))
+						}
+						v := in.At(c, ih, iw)
+						if isMax {
+							if v > acc {
+								acc = v
+							}
+						} else {
+							acc += v
+						}
+						count++
+					}
+				}
+				if !isMax && count > 0 {
+					acc /= float32(count)
+				}
+				dst[ocl] = acc
+			}
+			applyActivation(dst, l.Act)
+		}
+	}
+	return res
+}
+
+// RunSegmentRect executes layers [from, to) producing the output rectangle
+// out of the segment's final layer. tile must hold exactly the input region
+// the segment needs (SegmentRects(from, to, out)[0] of the partition Calc).
+// FullyConnected / GlobalAvgPool layers are not grid-partitionable and are
+// rejected inside rect segments unless the tile is the whole map.
+func (e *Executor) RunSegmentRect(from, to int, tile Tensor, out partition.Rect) (Tensor, error) {
+	if from < 0 || to > e.m.NumLayers() || from >= to {
+		return Tensor{}, fmt.Errorf("tensor: invalid segment [%d,%d)", from, to)
+	}
+	if out.Empty() {
+		return Tensor{}, fmt.Errorf("tensor: empty output rect %v", out)
+	}
+	shapes := e.m.Shapes()
+	rects := e.calc.SegmentRects(from, to, out)
+	inShape := shapes[from]
+	need := rects[0]
+	if !tile.Valid() || tile.C != inShape.C || tile.H != need.Rows.Len() || tile.W != need.Cols.Len() {
+		return Tensor{}, fmt.Errorf("tensor: tile %dx%dx%d does not match required region %v of %v",
+			tile.C, tile.H, tile.W, need, inShape)
+	}
+	cur := tile
+	curRowLo, curColLo := need.Rows.Lo, need.Cols.Lo
+	for i := from; i < to; i++ {
+		next, err := e.runLayerRect(i, cur, curRowLo, curColLo, rects[i-from+1])
+		if err != nil {
+			return Tensor{}, fmt.Errorf("tensor: layer %d (%s): %w", i, e.m.Layers[i].Name, err)
+		}
+		cur = next
+		curRowLo, curColLo = rects[i-from+1].Rows.Lo, rects[i-from+1].Cols.Lo
+	}
+	return cur, nil
+}
+
+func (e *Executor) runLayerRect(i int, in Tensor, inRowLo, inColLo int, out partition.Rect) (Tensor, error) {
+	l := &e.m.Layers[i]
+	return e.runLayerRectOn(l, strconv.Itoa(i), in, inRowLo, inColLo, e.m.InShape(i), out)
+}
+
+func (e *Executor) runLayerRectOn(l *nn.Layer, key string, in Tensor, inRowLo, inColLo int, inShape nn.Shape, out partition.Rect) (Tensor, error) {
+	switch l.Kind {
+	case nn.Conv:
+		wts := e.convW(key, l, inShape.C)
+		return convForwardRect(in, inRowLo, inColLo, inShape.H, inShape.W, l, wts, out), nil
+	case nn.MaxPool, nn.AvgPool:
+		return poolForwardRect(in, inRowLo, inColLo, inShape.H, inShape.W, l, out), nil
+	case nn.FullyConnected, nn.GlobalAvgPool:
+		if inRowLo != 0 || inColLo != 0 || in.H != inShape.H || in.W != inShape.W {
+			return Tensor{}, fmt.Errorf("%v needs the full input map in a rect segment", l.Kind)
+		}
+		return e.runLayerOn(l, key, in, 0, inShape, partition.Range{Lo: out.Rows.Lo, Hi: out.Rows.Hi})
+	case nn.Block:
+		return e.runBlockRect(l, key, in, inRowLo, inColLo, inShape, out)
+	default:
+		return Tensor{}, fmt.Errorf("unsupported layer kind %v", l.Kind)
+	}
+}
+
+// runBlockRect mirrors runBlock for rectangular tiles.
+func (e *Executor) runBlockRect(l *nn.Layer, key string, in Tensor, inRowLo, inColLo int, inShape nn.Shape, out partition.Rect) (Tensor, error) {
+	var combined Tensor
+	for pi, path := range l.Paths {
+		var pOut Tensor
+		if len(path) == 0 {
+			rLo := out.Rows.Lo - inRowLo
+			rHi := out.Rows.Hi - inRowLo
+			cLo := out.Cols.Lo - inColLo
+			cHi := out.Cols.Hi - inColLo
+			if rLo < 0 || rHi > in.H || cLo < 0 || cHi > in.W {
+				return Tensor{}, fmt.Errorf("identity path needs %v outside tile", out)
+			}
+			pOut = sliceRect(in, rLo, rHi, cLo, cHi)
+		} else {
+			needs := e.calc.PathRects(path, out, inShape)
+			rLo := needs[0].Rows.Lo - inRowLo
+			rHi := needs[0].Rows.Hi - inRowLo
+			cLo := needs[0].Cols.Lo - inColLo
+			cHi := needs[0].Cols.Hi - inColLo
+			if rLo < 0 || rHi > in.H || cLo < 0 || cHi > in.W {
+				return Tensor{}, fmt.Errorf("path %d needs %v outside tile", pi, needs[0])
+			}
+			cur := sliceRect(in, rLo, rHi, cLo, cHi)
+			curRowLo, curColLo := needs[0].Rows.Lo, needs[0].Cols.Lo
+			curShape := inShape
+			for li := range path {
+				nextShape, err := path[li].OutShape(curShape)
+				if err != nil {
+					return Tensor{}, err
+				}
+				pk := key + "/" + strconv.Itoa(pi) + "/" + strconv.Itoa(li)
+				next, err := e.runLayerRectOn(&path[li], pk, cur, curRowLo, curColLo, curShape, needs[li+1])
+				if err != nil {
+					return Tensor{}, fmt.Errorf("path %d layer %d (%s): %w", pi, li, path[li].Name, err)
+				}
+				cur = next
+				curRowLo, curColLo = needs[li+1].Rows.Lo, needs[li+1].Cols.Lo
+				curShape = nextShape
+			}
+			pOut = cur
+		}
+		if pi == 0 {
+			combined = pOut
+			continue
+		}
+		switch l.Combine {
+		case nn.Add:
+			if pOut.C != combined.C || pOut.H != combined.H || pOut.W != combined.W {
+				return Tensor{}, fmt.Errorf("add path %d extent mismatch", pi)
+			}
+			for j := range combined.Data {
+				combined.Data[j] += pOut.Data[j]
+			}
+		case nn.Concat:
+			if pOut.H != combined.H || pOut.W != combined.W {
+				return Tensor{}, fmt.Errorf("concat path %d spatial mismatch", pi)
+			}
+			combined = Tensor{
+				C: combined.C + pOut.C, H: combined.H, W: combined.W,
+				Data: append(combined.Data, pOut.Data...),
+			}
+		default:
+			return Tensor{}, fmt.Errorf("invalid combine %v", l.Combine)
+		}
+	}
+	applyActivation(combined.Data, l.Act)
+	return combined, nil
+}
+
+// sliceRect copies a rectangular sub-region of every channel.
+func sliceRect(t Tensor, rLo, rHi, cLo, cHi int) Tensor {
+	if rLo < 0 || rHi > t.H || cLo < 0 || cHi > t.W || rLo >= rHi || cLo >= cHi {
+		panic(fmt.Sprintf("tensor: sliceRect [%d,%d)x[%d,%d) of %dx%d", rLo, rHi, cLo, cHi, t.H, t.W))
+	}
+	out := New(t.C, rHi-rLo, cHi-cLo)
+	for c := 0; c < t.C; c++ {
+		for r := rLo; r < rHi; r++ {
+			src := t.Data[(c*t.H+r)*t.W+cLo : (c*t.H+r)*t.W+cHi]
+			dst := out.Data[(c*out.H+(r-rLo))*out.W : (c*out.H+(r-rLo)+1)*out.W]
+			copy(dst, src)
+		}
+	}
+	return out
+}
+
+// SliceRect copies the rectangular sub-region rect (clamped coordinates
+// required) of every channel — what a grid leader sends each worker.
+func (t *Tensor) SliceRect(rect partition.Rect) Tensor {
+	return sliceRect(*t, rect.Rows.Lo, rect.Rows.Hi, rect.Cols.Lo, rect.Cols.Hi)
+}
+
+// StitchGrid reassembles a full h x w feature map from disjoint rectangular
+// tiles; tiles[i] covers rects[i]. Every cell must be covered exactly once.
+func StitchGrid(tiles []Tensor, rects []partition.Rect, h, w int) (Tensor, error) {
+	if len(tiles) == 0 || len(tiles) != len(rects) {
+		return Tensor{}, fmt.Errorf("tensor: %d tiles with %d rects", len(tiles), len(rects))
+	}
+	c := tiles[0].C
+	out := New(c, h, w)
+	covered := make([]bool, h*w)
+	for i, tile := range tiles {
+		rc := rects[i]
+		if tile.C != c || tile.H != rc.Rows.Len() || tile.W != rc.Cols.Len() {
+			return Tensor{}, fmt.Errorf("tensor: tile %d extent %dx%dx%d mismatches rect %v", i, tile.C, tile.H, tile.W, rc)
+		}
+		if rc.Rows.Lo < 0 || rc.Rows.Hi > h || rc.Cols.Lo < 0 || rc.Cols.Hi > w {
+			return Tensor{}, fmt.Errorf("tensor: tile %d rect %v outside %dx%d", i, rc, h, w)
+		}
+		for r := rc.Rows.Lo; r < rc.Rows.Hi; r++ {
+			for col := rc.Cols.Lo; col < rc.Cols.Hi; col++ {
+				if covered[r*w+col] {
+					return Tensor{}, fmt.Errorf("tensor: cell (%d,%d) covered twice", r, col)
+				}
+				covered[r*w+col] = true
+			}
+		}
+		for ch := 0; ch < c; ch++ {
+			for r := 0; r < tile.H; r++ {
+				src := tile.Data[(ch*tile.H+r)*tile.W : (ch*tile.H+r+1)*tile.W]
+				dstRow := rc.Rows.Lo + r
+				dst := out.Data[(ch*h+dstRow)*w+rc.Cols.Lo : (ch*h+dstRow)*w+rc.Cols.Hi]
+				copy(dst, src)
+			}
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			return Tensor{}, fmt.Errorf("tensor: cell (%d,%d) uncovered", i/w, i%w)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// runGridPartitioned executes segment [from, to) as a tile grid and
+// stitches — what a DeepThings-style grid leader does.
+func runGridPartitioned(t *testing.T, e *Executor, from, to int, full Tensor, tiles []partition.Rect) Tensor {
+	t.Helper()
+	calc := partition.NewCalc(e.Model())
+	outShape := e.Model().OutShape(to - 1)
+	var outs []Tensor
+	var rects []partition.Rect
+	for _, tile := range tiles {
+		if tile.Empty() {
+			continue
+		}
+		need := calc.SegmentRects(from, to, tile)[0]
+		in := full.SliceRect(need)
+		out, err := e.RunSegmentRect(from, to, in, tile)
+		if err != nil {
+			t.Fatalf("RunSegmentRect(%v): %v", tile, err)
+		}
+		outs = append(outs, out)
+		rects = append(rects, tile)
+	}
+	stitched, err := StitchGrid(outs, rects, outShape.H, outShape.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stitched
+}
+
+func TestGridExecutionMatchesWholeChain(t *testing.T) {
+	m := nn.ToyChain("g", 5, 2, 8, 31)
+	e := mustExec(t, m)
+	in := RandomInput(m.Input, 3)
+	whole, err := e.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Output()
+	for _, grid := range [][2]int{{2, 2}, {3, 2}, {1, 4}, {4, 1}} {
+		tiles := partition.GridPartition(out.H, out.W, grid[0], grid[1])
+		got := runGridPartitioned(t, e, 0, m.NumLayers(), in, tiles)
+		if !Equal(whole, got) {
+			t.Fatalf("%dx%d grid differs from whole by %g", grid[0], grid[1], MaxAbsDiff(whole, got))
+		}
+	}
+}
+
+func TestGridExecutionMatchesWholeGraph(t *testing.T) {
+	m := nn.TinyGraph()
+	e := mustExec(t, m)
+	in := RandomInput(m.Input, 4)
+	whole, err := e.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Output()
+	tiles := partition.GridPartition(out.H, out.W, 2, 3)
+	got := runGridPartitioned(t, e, 0, m.NumLayers(), in, tiles)
+	if !Equal(whole, got) {
+		t.Fatalf("graph grid execution differs by %g", MaxAbsDiff(whole, got))
+	}
+}
+
+func TestGridExecutionStrided(t *testing.T) {
+	layers := []nn.Layer{
+		{Name: "s1", Kind: nn.Conv, KH: 3, KW: 3, SH: 2, SW: 2, PH: 1, PW: 1, OutC: 6, Act: nn.ReLU},
+		{Name: "p", Kind: nn.MaxPool, KH: 2, KW: 2, SH: 2, SW: 2, Act: nn.NoAct},
+		{Name: "s2", Kind: nn.Conv, KH: 5, KW: 3, SH: 1, SW: 1, PH: 2, PW: 1, OutC: 4, Act: nn.LeakyReLU},
+	}
+	m := &nn.Model{Name: "gs", Input: nn.Shape{C: 2, H: 41, W: 33}, Layers: layers}
+	e := mustExec(t, m)
+	in := RandomInput(m.Input, 8)
+	whole, err := e.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Output()
+	got := runGridPartitioned(t, e, 0, 3, in, partition.GridPartition(out.H, out.W, 3, 3))
+	if !Equal(whole, got) {
+		t.Fatalf("strided grid differs by %g", MaxAbsDiff(whole, got))
+	}
+}
+
+func TestGridExecutionRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		m := nn.ToyChain("gr", 2+rng.Intn(3), rng.Intn(3), 4+rng.Intn(4), 18+rng.Intn(14))
+		e := mustExec(t, m)
+		in := RandomInput(m.Input, int64(trial))
+		whole, err := e.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := m.Output()
+		rows := 1 + rng.Intn(3)
+		cols := 1 + rng.Intn(3)
+		got := runGridPartitioned(t, e, 0, m.NumLayers(), in, partition.GridPartition(out.H, out.W, rows, cols))
+		if !Equal(whole, got) {
+			t.Fatalf("trial %d (%dx%d grid on %v): diff %g", trial, rows, cols, m.Input, MaxAbsDiff(whole, got))
+		}
+	}
+}
+
+func TestGridExecutionDepthwise(t *testing.T) {
+	m := nn.MobileNetV1()
+	e := mustExec(t, m)
+	const from, to = 1, 5 // sep1_dw .. sep2_pw
+	in := RandomInput(m.InShape(from), 5)
+	outShape := m.OutShape(to - 1)
+	calc := partition.NewCalc(m)
+	fullRect := partition.FullRect(outShape.H, outShape.W)
+	need := calc.SegmentRects(from, to, fullRect)[0]
+	whole, err := e.RunSegmentRect(from, to, in.SliceRect(need), fullRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGridPartitioned(t, e, from, to, in, partition.GridPartition(outShape.H, outShape.W, 2, 2))
+	if !Equal(whole, got) {
+		t.Fatalf("depthwise grid differs by %g", MaxAbsDiff(whole, got))
+	}
+}
+
+func TestRunSegmentRectEqualsRowPath(t *testing.T) {
+	// A full-width rect segment must agree bit-for-bit with the row-strip
+	// executor (two independent code paths).
+	m := nn.ToyChain("eq", 4, 2, 6, 26)
+	e := mustExec(t, m)
+	in := RandomInput(m.Input, 6)
+	out := m.Output()
+	rowPart := partition.Range{Lo: 3, Hi: 9}
+	inR := e.InputRange(0, m.NumLayers(), rowPart)
+	rowTile := in.SliceRows(inR.Lo, inR.Hi)
+	rowOut, err := e.RunSegment(0, m.NumLayers(), rowTile, rowPart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect := partition.Rect{Rows: rowPart, Cols: partition.Full(out.W)}
+	calc := partition.NewCalc(m)
+	need := calc.SegmentRects(0, m.NumLayers(), rect)[0]
+	rectOut, err := e.RunSegmentRect(0, m.NumLayers(), in.SliceRect(need), rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(rowOut, rectOut) {
+		t.Fatalf("row vs rect executors differ by %g", MaxAbsDiff(rowOut, rectOut))
+	}
+}
+
+func TestStitchGridErrors(t *testing.T) {
+	a := New(1, 2, 2)
+	r := partition.Rect{Rows: partition.Range{Lo: 0, Hi: 2}, Cols: partition.Range{Lo: 0, Hi: 2}}
+	if _, err := StitchGrid(nil, nil, 2, 2); err == nil {
+		t.Fatal("empty tiles accepted")
+	}
+	if _, err := StitchGrid([]Tensor{a}, []partition.Rect{r}, 4, 4); err == nil {
+		t.Fatal("uncovered cells accepted")
+	}
+	if _, err := StitchGrid([]Tensor{a, a}, []partition.Rect{r, r}, 2, 2); err == nil {
+		t.Fatal("double coverage accepted")
+	}
+	if _, err := StitchGrid([]Tensor{New(1, 3, 3)}, []partition.Rect{r}, 2, 2); err == nil {
+		t.Fatal("extent mismatch accepted")
+	}
+}
+
+func TestRunSegmentRectValidation(t *testing.T) {
+	m := nn.ToyChain("v", 3, 0, 4, 16)
+	e := mustExec(t, m)
+	in := RandomInput(m.Input, 1)
+	if _, err := e.RunSegmentRect(2, 1, in, partition.FullRect(16, 16)); err == nil {
+		t.Fatal("inverted segment accepted")
+	}
+	if _, err := e.RunSegmentRect(0, 1, in, partition.Rect{}); err == nil {
+		t.Fatal("empty rect accepted")
+	}
+	small := in.SliceRect(partition.Rect{Rows: partition.Range{Lo: 0, Hi: 4}, Cols: partition.Range{Lo: 0, Hi: 4}})
+	if _, err := e.RunSegmentRect(0, 3, small, partition.FullRect(16, 16)); err == nil {
+		t.Fatal("undersized tile accepted")
+	}
+}

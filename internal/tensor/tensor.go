@@ -1,0 +1,133 @@
+// Package tensor is a pure-Go float32 CNN inference engine — the substitute
+// for the paper's LibTorch/NNPACK backend. It exists so that the feature-map
+// partition machinery can be verified end to end: executing a model segment
+// on overlapping row tiles and stitching the strips must reproduce the
+// whole-tensor inference bit for bit (per-pixel accumulation order is
+// independent of the tile, so equality is exact, not approximate).
+//
+// Weights are generated deterministically from a seed, so distributed
+// workers can materialise identical models without shipping parameters
+// (geometry, not weights, is what the paper's scheduling problem depends
+// on).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a CHW float32 feature map. Data is indexed (c*H + h)*W + w.
+type Tensor struct {
+	C, H, W int
+	Data    []float32
+}
+
+// New allocates a zero tensor of the given extent.
+func New(c, h, w int) Tensor {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("tensor: invalid extent %dx%dx%d", c, h, w))
+	}
+	return Tensor{C: c, H: h, W: w, Data: make([]float32, c*h*w)}
+}
+
+// At returns the element at (c, h, w); no bounds checks beyond the slice's.
+func (t *Tensor) At(c, h, w int) float32 { return t.Data[(c*t.H+h)*t.W+w] }
+
+// Set writes the element at (c, h, w).
+func (t *Tensor) Set(c, h, w int, v float32) { t.Data[(c*t.H+h)*t.W+w] = v }
+
+// Elems returns the number of scalars.
+func (t *Tensor) Elems() int { return t.C * t.H * t.W }
+
+// Valid reports whether the header matches the data length.
+func (t *Tensor) Valid() bool {
+	return t.C > 0 && t.H > 0 && t.W > 0 && len(t.Data) == t.Elems()
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() Tensor {
+	out := Tensor{C: t.C, H: t.H, W: t.W, Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// SliceRows copies rows [lo, hi) of every channel into a new tensor.
+func (t *Tensor) SliceRows(lo, hi int) Tensor {
+	if lo < 0 || hi > t.H || lo >= hi {
+		panic(fmt.Sprintf("tensor: SliceRows[%d,%d) of height %d", lo, hi, t.H))
+	}
+	out := New(t.C, hi-lo, t.W)
+	for c := 0; c < t.C; c++ {
+		src := t.Data[(c*t.H+lo)*t.W : (c*t.H+hi)*t.W]
+		dst := out.Data[c*out.H*out.W : (c+1)*out.H*out.W]
+		copy(dst, src)
+	}
+	return out
+}
+
+// StitchRows reassembles a full feature map of the given height from
+// disjoint row strips. strips[i] covers rows [los[i], los[i]+strips[i].H).
+// Every row of [0, h) must be covered exactly once.
+func StitchRows(strips []Tensor, los []int, h int) (Tensor, error) {
+	if len(strips) == 0 || len(strips) != len(los) {
+		return Tensor{}, fmt.Errorf("tensor: %d strips with %d offsets", len(strips), len(los))
+	}
+	c, w := strips[0].C, strips[0].W
+	out := New(c, h, w)
+	covered := make([]bool, h)
+	for i, s := range strips {
+		if s.C != c || s.W != w {
+			return Tensor{}, fmt.Errorf("tensor: strip %d extent %dx%dx%d mismatches %dx?x%d", i, s.C, s.H, s.W, c, w)
+		}
+		lo := los[i]
+		if lo < 0 || lo+s.H > h {
+			return Tensor{}, fmt.Errorf("tensor: strip %d rows [%d,%d) outside [0,%d)", i, lo, lo+s.H, h)
+		}
+		for r := 0; r < s.H; r++ {
+			if covered[lo+r] {
+				return Tensor{}, fmt.Errorf("tensor: row %d covered twice", lo+r)
+			}
+			covered[lo+r] = true
+		}
+		for ch := 0; ch < c; ch++ {
+			src := s.Data[ch*s.H*s.W : (ch*s.H+s.H)*s.W]
+			dst := out.Data[(ch*h+lo)*w : (ch*h+lo+s.H)*w]
+			copy(dst, src)
+		}
+	}
+	for r, ok := range covered {
+		if !ok {
+			return Tensor{}, fmt.Errorf("tensor: row %d uncovered", r)
+		}
+	}
+	return out, nil
+}
+
+// Equal reports exact bitwise equality of extent and data.
+func Equal(a, b Tensor) bool {
+	if a.C != b.C || a.H != b.H || a.W != b.W || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum elementwise absolute difference; +Inf when
+// extents differ.
+func MaxAbsDiff(a, b Tensor) float64 {
+	if a.C != b.C || a.H != b.H || a.W != b.W {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"pico/internal/nn"
+)
+
+// convWeights holds one convolution's parameters: w is [outC][inC][kh][kw]
+// flattened, bias is per output channel, and the optional folded batch-norm
+// is a per-channel affine applied after the convolution.
+type convWeights struct {
+	w       []float32
+	bias    []float32
+	bnScale []float32
+	bnShift []float32
+}
+
+// fcWeights holds a fully connected layer's parameters: w is
+// [outF][inElems] flattened.
+type fcWeights struct {
+	w    []float32
+	bias []float32
+}
+
+// weightRNG derives a deterministic random source for a layer key: the same
+// (seed, key) pair yields identical weights in any process, which is how
+// distributed workers materialise the model without shipping parameters.
+func weightRNG(seed int64, key string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}
+
+// genConv generates LeCun-uniform weights (scale sqrt(3/fanIn)), zero-mean
+// small biases and a mild batch-norm affine, keeping activations numerically
+// stable through deep stacks.
+func genConv(seed int64, key string, l *nn.Layer, inC int) *convWeights {
+	rng := weightRNG(seed, key)
+	groups := l.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	icg := inC / groups
+	fanIn := l.KH * l.KW * icg
+	bound := float32(math.Sqrt(3.0 / float64(fanIn)))
+	w := make([]float32, l.OutC*icg*l.KH*l.KW)
+	for i := range w {
+		w[i] = (rng.Float32()*2 - 1) * bound
+	}
+	bias := make([]float32, l.OutC)
+	for i := range bias {
+		bias[i] = (rng.Float32()*2 - 1) * 0.01
+	}
+	cw := &convWeights{w: w, bias: bias}
+	if l.BatchNorm {
+		cw.bnScale = make([]float32, l.OutC)
+		cw.bnShift = make([]float32, l.OutC)
+		for i := range cw.bnScale {
+			cw.bnScale[i] = 0.8 + rng.Float32()*0.4 // ~N(1, small)
+			cw.bnShift[i] = (rng.Float32()*2 - 1) * 0.05
+		}
+	}
+	return cw
+}
+
+func genFC(seed int64, key string, l *nn.Layer, inElems int) *fcWeights {
+	rng := weightRNG(seed, key)
+	bound := float32(math.Sqrt(3.0 / float64(inElems)))
+	w := make([]float32, l.OutF*inElems)
+	for i := range w {
+		w[i] = (rng.Float32()*2 - 1) * bound
+	}
+	bias := make([]float32, l.OutF)
+	for i := range bias {
+		bias[i] = (rng.Float32()*2 - 1) * 0.01
+	}
+	return &fcWeights{w: w, bias: bias}
+}
+
+// RandomInput generates a deterministic input tensor for the given shape —
+// the synthetic stand-in for camera frames and the 64x64 MNIST-style inputs
+// of the paper's toy experiments.
+func RandomInput(s nn.Shape, seed int64) Tensor {
+	rng := weightRNG(seed, "input")
+	t := New(s.C, s.H, s.W)
+	for i := range t.Data {
+		t.Data[i] = rng.Float32()*2 - 1
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"fmt"
+
+	"pico/internal/nn"
+)
+
+// HelloHeader introduces a peer.
+type HelloHeader struct {
+	NodeID  string `json:"node_id"`
+	Version int    `json:"version"`
+}
+
+// ProtocolVersion guards against mixed deployments.
+const ProtocolVersion = 1
+
+// LoadModelHeader ships a model and weight seed. The payload is empty; the
+// model travels inside the header as JSON (weights are derived from the
+// seed, so no parameter blob is needed — see the tensor package).
+type LoadModelHeader struct {
+	Model ModelSpec `json:"model"`
+	Seed  int64     `json:"seed"`
+}
+
+// ModelSpec is the wire form of an nn.Model.
+type ModelSpec struct {
+	Name   string     `json:"name"`
+	Input  nn.Shape   `json:"input"`
+	Layers []nn.Layer `json:"layers"`
+}
+
+// SpecFromModel converts a validated model to its wire form.
+func SpecFromModel(m *nn.Model) ModelSpec {
+	return ModelSpec{Name: m.Name, Input: m.Input, Layers: m.Layers}
+}
+
+// ToModel reconstructs and validates the model.
+func (s ModelSpec) ToModel() (*nn.Model, error) {
+	m := &nn.Model{Name: s.Name, Input: s.Input, Layers: s.Layers}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: received invalid model: %w", err)
+	}
+	return m, nil
+}
+
+// ExecHeader asks a worker for output rows [OutLo, OutHi) of segment
+// [From, To). The payload is the input tile: rows [InLo, InLo+TileH) of the
+// feature map at boundary From, extent TileC x TileH x TileW.
+//
+// Grid mode (DeepThings-style rectangular tiles): when OutColHi > 0 the
+// request is for the output rectangle [OutLo,OutHi) x [OutColLo,OutColHi)
+// and the tile's first column is global column InColLo.
+type ExecHeader struct {
+	TaskID int64 `json:"task_id"`
+	From   int   `json:"from"`
+	To     int   `json:"to"`
+	OutLo  int   `json:"out_lo"`
+	OutHi  int   `json:"out_hi"`
+	InLo   int   `json:"in_lo"`
+	TileC  int   `json:"tile_c"`
+	TileH  int   `json:"tile_h"`
+	TileW  int   `json:"tile_w"`
+
+	// Grid-mode extensions (zero values select row-strip mode).
+	OutColLo int `json:"out_col_lo,omitempty"`
+	OutColHi int `json:"out_col_hi,omitempty"`
+	InColLo  int `json:"in_col_lo,omitempty"`
+}
+
+// ExecResultHeader returns a computed tile of extent C x H x W whose first
+// row is global row OutLo of the segment output.
+type ExecResultHeader struct {
+	TaskID int64 `json:"task_id"`
+	OutLo  int   `json:"out_lo"`
+	C      int   `json:"c"`
+	H      int   `json:"h"`
+	W      int   `json:"w"`
+	// ComputeSeconds is the worker-side pure compute time, reported for
+	// utilization accounting.
+	ComputeSeconds float64 `json:"compute_seconds"`
+}
+
+// ErrorHeader reports a request failure.
+type ErrorHeader struct {
+	TaskID  int64  `json:"task_id"`
+	Message string `json:"message"`
+}

@@ -1,0 +1,211 @@
+// Package wire is the binary framing protocol of the distributed runtime —
+// the Go counterpart of the paper's C++ TCP/IP socket framework (§IV-D).
+//
+// Each frame is:
+//
+//	magic "PICO" | type (1 byte) | header length (4 bytes LE) |
+//	payload length (8 bytes LE) | header JSON | raw payload
+//
+// Control information travels as a small JSON header; feature-map tiles
+// travel as raw little-endian float32 payloads, avoiding any per-element
+// encoding cost on the hot path.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"pico/internal/tensor"
+)
+
+// MsgType identifies a frame's meaning.
+type MsgType byte
+
+// Protocol message types.
+const (
+	// MsgHello introduces a peer after connecting.
+	MsgHello MsgType = iota + 1
+	// MsgLoadModel ships a model description and weight seed to a worker.
+	MsgLoadModel
+	// MsgExec asks a worker to execute a model segment on a tile.
+	MsgExec
+	// MsgExecResult returns a computed output tile.
+	MsgExecResult
+	// MsgError reports a failure for a request.
+	MsgError
+	// MsgPing and MsgPong are liveness probes.
+	MsgPing
+	MsgPong
+	// MsgShutdown asks a worker to stop serving.
+	MsgShutdown
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgLoadModel:
+		return "load-model"
+	case MsgExec:
+		return "exec"
+	case MsgExecResult:
+		return "exec-result"
+	case MsgError:
+		return "error"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("type(%d)", byte(t))
+	}
+}
+
+var magic = [4]byte{'P', 'I', 'C', 'O'}
+
+// Frame size guards: a corrupt length prefix must not allocate the moon.
+const (
+	maxHeaderBytes  = 8 << 20 // 8 MiB of JSON is already absurd
+	maxPayloadBytes = 1 << 31 // 2 GiB tile cap
+)
+
+// Message is one decoded frame.
+type Message struct {
+	Type    MsgType
+	Header  []byte // raw JSON, decoded by the caller into a typed header
+	Payload []byte
+}
+
+// Conn frames messages over a reliable byte stream. Sends are serialized by
+// an internal mutex; Recv must be called from a single reader goroutine.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	mu sync.Mutex // guards bw
+	bw *bufio.Writer
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 1<<16),
+		bw: bufio.NewWriterSize(c, 1<<16),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+
+// Send frames and flushes one message. header is marshalled to JSON; a nil
+// header sends an empty object.
+func (c *Conn) Send(t MsgType, header any, payload []byte) error {
+	var hdr []byte
+	var err error
+	if header == nil {
+		hdr = []byte("{}")
+	} else if hdr, err = json.Marshal(header); err != nil {
+		return fmt.Errorf("wire: marshal %v header: %w", t, err)
+	}
+	if len(hdr) > maxHeaderBytes {
+		return fmt.Errorf("wire: header of %d bytes exceeds cap", len(hdr))
+	}
+	if int64(len(payload)) > maxPayloadBytes {
+		return fmt.Errorf("wire: payload of %d bytes exceeds cap", len(payload))
+	}
+	var pre [17]byte
+	copy(pre[:4], magic[:])
+	pre[4] = byte(t)
+	binary.LittleEndian.PutUint32(pre[5:9], uint32(len(hdr)))
+	binary.LittleEndian.PutUint64(pre[9:17], uint64(len(payload)))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.bw.Write(pre[:]); err != nil {
+		return fmt.Errorf("wire: write frame prefix: %w", err)
+	}
+	if _, err := c.bw.Write(hdr); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one message, blocking until a full frame arrives.
+func (c *Conn) Recv() (*Message, error) {
+	var pre [17]byte
+	if _, err := io.ReadFull(c.br, pre[:]); err != nil {
+		return nil, err
+	}
+	if [4]byte(pre[:4]) != magic {
+		return nil, fmt.Errorf("wire: bad magic %q", pre[:4])
+	}
+	t := MsgType(pre[4])
+	hlen := binary.LittleEndian.Uint32(pre[5:9])
+	plen := binary.LittleEndian.Uint64(pre[9:17])
+	if hlen > maxHeaderBytes {
+		return nil, fmt.Errorf("wire: header length %d exceeds cap", hlen)
+	}
+	if plen > maxPayloadBytes {
+		return nil, fmt.Errorf("wire: payload length %d exceeds cap", plen)
+	}
+	hdr := make([]byte, hlen)
+	if _, err := io.ReadFull(c.br, hdr); err != nil {
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return &Message{Type: t, Header: hdr, Payload: payload}, nil
+}
+
+// DecodeHeader unmarshals a message's JSON header into v.
+func (m *Message) DecodeHeader(v any) error {
+	if err := json.Unmarshal(m.Header, v); err != nil {
+		return fmt.Errorf("wire: decode %v header: %w", m.Type, err)
+	}
+	return nil
+}
+
+// EncodeTensor serializes tensor data as little-endian float32.
+func EncodeTensor(t tensor.Tensor) []byte {
+	buf := make([]byte, 4*len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// DecodeTensor reconstructs a tensor of the given extent from a payload.
+func DecodeTensor(c, h, w int, payload []byte) (tensor.Tensor, error) {
+	if c <= 0 || h <= 0 || w <= 0 {
+		return tensor.Tensor{}, fmt.Errorf("wire: invalid tensor extent %dx%dx%d", c, h, w)
+	}
+	n := c * h * w
+	if len(payload) != 4*n {
+		return tensor.Tensor{}, fmt.Errorf("wire: payload %d bytes, want %d for %dx%dx%d", len(payload), 4*n, c, h, w)
+	}
+	t := tensor.New(c, h, w)
+	for i := range t.Data {
+		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return t, nil
+}

@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"pico/internal/nn"
+	"pico/internal/tensor"
+)
+
+// pipePair returns two framed connections talking to each other.
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestRoundTripMessage(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- a.Send(MsgExec, ExecHeader{TaskID: 7, From: 1, To: 3, OutLo: 2, OutHi: 5}, []byte{1, 2, 3})
+	}()
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgExec {
+		t.Fatalf("type = %v", msg.Type)
+	}
+	var hdr ExecHeader
+	if err := msg.DecodeHeader(&hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.TaskID != 7 || hdr.From != 1 || hdr.To != 3 || hdr.OutLo != 2 || hdr.OutHi != 5 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if string(msg.Payload) != "\x01\x02\x03" {
+		t.Fatalf("payload = %v", msg.Payload)
+	}
+}
+
+func TestNilHeader(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	go func() { _ = a.Send(MsgPing, nil, nil) }()
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgPing || len(msg.Payload) != 0 {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	conn := NewConn(b)
+	defer conn.Close()
+	go func() {
+		_, _ = a.Write([]byte("JUNKxxxxxxxxxxxxxxxxx"))
+	}()
+	if _, err := conn.Recv(); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v, want bad magic", err)
+	}
+}
+
+func TestOversizeLengthsRejected(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	conn := NewConn(b)
+	defer conn.Close()
+	go func() {
+		frame := []byte{'P', 'I', 'C', 'O', byte(MsgPing),
+			0xFF, 0xFF, 0xFF, 0x7F, // 2GiB header
+			0, 0, 0, 0, 0, 0, 0, 0}
+		_, _ = a.Write(frame)
+	}()
+	if _, err := conn.Recv(); err == nil || !strings.Contains(err.Error(), "header length") {
+		t.Fatalf("err = %v, want header length cap", err)
+	}
+}
+
+func TestTensorCodecRoundTrip(t *testing.T) {
+	src := tensor.RandomInput(nn.Shape{C: 3, H: 7, W: 5}, 2)
+	payload := EncodeTensor(src)
+	back, err := DecodeTensor(3, 7, 5, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(src, back) {
+		t.Fatal("tensor codec not lossless")
+	}
+}
+
+func TestTensorCodecErrors(t *testing.T) {
+	if _, err := DecodeTensor(0, 1, 1, nil); err == nil {
+		t.Fatal("zero extent accepted")
+	}
+	if _, err := DecodeTensor(1, 2, 2, make([]byte, 15)); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestModelSpecRoundTrip(t *testing.T) {
+	for _, m := range []*nn.Model{nn.VGG16(), nn.ResNet34(), nn.TinyGraph()} {
+		spec := SpecFromModel(m)
+		back, err := spec.ToModel()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if back.Name != m.Name || back.NumLayers() != m.NumLayers() {
+			t.Fatalf("%s: round trip changed the model", m.Name)
+		}
+		if back.TotalFLOPs() != m.TotalFLOPs() {
+			t.Fatalf("%s: FLOPs changed: %d vs %d", m.Name, back.TotalFLOPs(), m.TotalFLOPs())
+		}
+	}
+	bad := ModelSpec{Name: "bad"}
+	if _, err := bad.ToModel(); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestModelSpecJSONSurvivesWire(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	m := nn.TinyGraph()
+	go func() {
+		_ = a.Send(MsgLoadModel, LoadModelHeader{Model: SpecFromModel(m), Seed: 42}, nil)
+	}()
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr LoadModelHeader
+	if err := msg.DecodeHeader(&hdr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hdr.Model.ToModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Seed != 42 || back.TotalFLOPs() != m.TotalFLOPs() {
+		t.Fatal("load-model header mangled")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for _, mt := range []MsgType{MsgHello, MsgLoadModel, MsgExec, MsgExecResult, MsgError, MsgPing, MsgPong, MsgShutdown} {
+		if mt.String() == "" || strings.HasPrefix(mt.String(), "type(") {
+			t.Fatalf("missing String for %d", mt)
+		}
+	}
+	if MsgType(200).String() != "type(200)" {
+		t.Fatal("unknown type String wrong")
+	}
+}
+
+func TestConcurrentSendsAreFramed(t *testing.T) {
+	// Many goroutines share one Conn; every frame must arrive intact.
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	const senders, perSender = 8, 25
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(s)}, 64+s)
+			for i := 0; i < perSender; i++ {
+				if err := client.Send(MsgExec, ExecHeader{TaskID: int64(s)}, payload); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	received := 0
+	for received < senders*perSender {
+		msg, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hdr ExecHeader
+		if err := msg.DecodeHeader(&hdr); err != nil {
+			t.Fatal(err)
+		}
+		s := int(hdr.TaskID)
+		if len(msg.Payload) != 64+s {
+			t.Fatalf("sender %d payload length %d", s, len(msg.Payload))
+		}
+		for _, b := range msg.Payload {
+			if b != byte(s) {
+				t.Fatalf("sender %d frame corrupted", s)
+			}
+		}
+		received++
+	}
+	wg.Wait()
+}
+
+func TestRecvTruncatedStream(t *testing.T) {
+	// A peer dying mid-frame must yield an error, not a hang or garbage.
+	a, b := net.Pipe()
+	conn := NewConn(b)
+	defer conn.Close()
+	go func() {
+		frame := []byte{'P', 'I', 'C', 'O', byte(MsgExec),
+			2, 0, 0, 0, // header length 2
+			8, 0, 0, 0, 0, 0, 0, 0} // payload length 8
+		_, _ = a.Write(frame)
+		_, _ = a.Write([]byte("{}")) // header arrives...
+		_ = a.Close()                // ...payload never does
+	}()
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// FuzzRecv feeds arbitrary bytes to the frame decoder; it must never panic
+// or over-allocate, only return messages or errors.
+func FuzzRecv(f *testing.F) {
+	// Seed with a valid frame and some corruptions.
+	valid := func() []byte {
+		var buf bytes.Buffer
+		a, b := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			data := make([]byte, 512)
+			for {
+				n, err := a.Read(data)
+				buf.Write(data[:n])
+				if err != nil {
+					return
+				}
+			}
+		}()
+		c := NewConn(b)
+		_ = c.Send(MsgPing, nil, []byte("xy"))
+		_ = b.Close()
+		<-done
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add([]byte("PICO"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		server, client := net.Pipe()
+		conn := NewConn(server)
+		defer conn.Close()
+		go func() {
+			_, _ = client.Write(data)
+			_ = client.Close()
+		}()
+		for {
+			if _, err := conn.Recv(); err != nil {
+				return
+			}
+		}
+	})
+}
