@@ -1,0 +1,26 @@
+# Developer entry points. `make check` is the full pre-merge gate.
+
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-run the execution-engine benchmarks (single iteration): catches
+# bench-only compile errors and allocation regressions without a full sweep.
+bench:
+	$(GO) test -run NONE -bench 'ConvForwardParallel|RunSegmentAlloc|ConvForwardTile|WireTensorCodec' -benchtime=1x -benchmem .
+
+check: build vet test race bench

@@ -375,3 +375,83 @@ func BenchmarkPlannerMobileNetV1(b *testing.B) {
 }
 
 func BenchmarkAblationOverlap(b *testing.B) { runExperiment(b, "ablation-overlap") }
+
+// conv1x1Chain is a pointwise-conv model exercising the stride-1 fast path
+// with single-tap kernel rows (the 1x1 regime of MobileNet/Inception).
+func conv1x1Chain() *nn.Model {
+	return &nn.Model{
+		Name:  "bench1x1",
+		Input: nn.Shape{C: 32, H: 64, W: 64},
+		Layers: []nn.Layer{
+			nn.Conv1x1("pw1", 32, nn.ReLU),
+			nn.Conv1x1("pw2", 32, nn.ReLU),
+			nn.Conv1x1("pw3", 32, nn.ReLU),
+		},
+	}
+}
+
+// BenchmarkConvForwardParallel measures the kernel worker pool across
+// parallelism settings, for 3x3 and 1x1 convolution regimes. On a
+// multi-core host throughput should scale with p; on a single-core host the
+// p>1 variants measure pool overhead.
+func BenchmarkConvForwardParallel(b *testing.B) {
+	cases := []struct {
+		name string
+		m    *nn.Model
+	}{
+		{"k3", nn.ToyChain("benchk3", 4, 2, 16, 64)},
+		{"k1", conv1x1Chain()},
+	}
+	for _, tc := range cases {
+		in := tensor.RandomInput(tc.m.Input, 1)
+		outH := tc.m.Output().H
+		part := partition.Range{Lo: 0, Hi: outH}
+		for _, par := range []int{1, 2, 4, 8} {
+			exec, err := tensor.NewExecutor(tc.m, 1, tensor.WithParallelism(par))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(tc.name+"/p"+strconv.Itoa(par), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err := exec.RunSegment(0, tc.m.NumLayers(), in, part)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tensor.Recycle(out)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRunSegmentAlloc tracks steady-state allocations of the segment
+// hot path: with the arena recycling outputs, allocs/op should be near zero
+// after warm-up.
+func BenchmarkRunSegmentAlloc(b *testing.B) {
+	m := nn.ToyChain("benchalloc", 4, 2, 16, 64)
+	exec, err := tensor.NewExecutor(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.RandomInput(m.Input, 1)
+	outH := m.Output().H
+	part := partition.Range{Lo: 0, Hi: outH / 2}
+	inR := exec.InputRange(0, m.NumLayers(), part)
+	tile := in.SliceRows(inR.Lo, inR.Hi)
+	// Warm the weight cache and the arena size classes.
+	if out, err := exec.RunSegment(0, m.NumLayers(), tile, part); err != nil {
+		b.Fatal(err)
+	} else {
+		tensor.Recycle(out)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := exec.RunSegment(0, m.NumLayers(), tile, part)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tensor.Recycle(out)
+	}
+}

@@ -30,16 +30,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *runtime.Worker) 
 	fs := flag.NewFlagSet("piconode", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr  = fs.String("addr", "127.0.0.1:9101", "listen address")
-		id    = fs.String("id", "piconode", "worker identifier")
-		speed = fs.Float64("speed", 0, "emulated effective MAC/s (0 = run at native speed)")
-		quiet = fs.Bool("quiet", false, "suppress per-request logging")
+		addr     = fs.String("addr", "127.0.0.1:9101", "listen address")
+		id       = fs.String("id", "piconode", "worker identifier")
+		speed    = fs.Float64("speed", 0, "emulated effective MAC/s (0 = run at native speed)")
+		parallel = fs.Int("parallel", 0, "CPU cores per kernel (0 = all cores, 1 = serial); results are bit-identical at any setting")
+		quiet    = fs.Bool("quiet", false, "suppress per-request logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	opts := []runtime.WorkerOption{}
+	opts := []runtime.WorkerOption{runtime.WithParallelism(*parallel)}
 	if *speed > 0 {
 		opts = append(opts, runtime.WithEmulatedSpeed(*speed))
 	}

@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tasks       = fs.Int("tasks", 10, "number of inferences to run")
 		seed        = fs.Int64("seed", 1, "weight/input seed")
 		verify      = fs.Bool("verify", true, "check outputs against a local reference execution")
+		parallel    = fs.Int("parallel", 0, "CPU cores the local reference executor uses (0 = all cores, 1 = serial)")
 		savePlan    = fs.String("saveplan", "", "write the computed plan as JSON to this file")
 		loadPlan    = fs.String("loadplan", "", "execute a previously saved plan instead of planning")
 	)
@@ -138,7 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var ref *tensor.Executor
 	if *verify {
-		ref, err = tensor.NewExecutor(m, *seed)
+		ref, err = tensor.NewExecutor(m, *seed, tensor.WithParallelism(*parallel))
 		if err != nil {
 			fmt.Fprintf(stderr, "picorun: %v\n", err)
 			return 1

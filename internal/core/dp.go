@@ -68,6 +68,11 @@ type planner struct {
 	tsBest   []float64 // min over q <= p of Ts[from][to][q]
 	tsBestQ  []int     // the q achieving tsBest
 	maxParts int
+	// scratch is the candidate buffer shared across DP states: each state
+	// gathers its candidate points here, filters them into a compact
+	// frontier, and leaves the grown capacity behind for the next state
+	// instead of reallocating per state.
+	scratch []dpPoint
 }
 
 func newPlanner(cm *CostModel, speed float64, devices int, limit float64) *planner {
@@ -135,12 +140,33 @@ func (p *planner) tsMin(from, to, pMax int) (float64, int) {
 // Eq. (13) with memoisation and exact T_lim pruning. The returned frontier
 // is sorted by increasing period (and strictly decreasing latency); it is
 // empty when no pipeline meets the latency limit.
+//
+// States are filled bottom-up in prefix-length order — every (s, *) state a
+// split consults is complete before (jj, *) starts — which lets all states
+// share one candidate scratch buffer instead of allocating per recursive
+// call.
 func (p *planner) solve(j, d int) []dpPoint {
 	mi := j*(p.D+1) + d
 	if p.memoSet[mi] {
 		return p.memo[mi]
 	}
-	var candidates []dpPoint
+	for jj := 1; jj <= j; jj++ {
+		for dd := 1; dd <= d; dd++ {
+			si := jj*(p.D+1) + dd
+			if p.memoSet[si] {
+				continue
+			}
+			p.memo[si] = p.solveState(jj, dd)
+			p.memoSet[si] = true
+		}
+	}
+	return p.memo[mi]
+}
+
+// solveState evaluates one DP state, gathering candidates into the shared
+// scratch buffer. All (s < j, *) states must already be memoised.
+func (p *planner) solveState(j, d int) []dpPoint {
+	candidates := p.scratch[:0]
 	// Base: the whole prefix as one stage.
 	base, baseQ := p.tsMin(0, j, d)
 	if p.limit <= 0 || base <= p.limit {
@@ -153,7 +179,7 @@ func (p *planner) solve(j, d int) []dpPoint {
 			if p.limit > 0 && stage > p.limit {
 				continue
 			}
-			for si, sub := range p.solve(s, d-q) {
+			for si, sub := range p.memo[s*(p.D+1)+(d-q)] {
 				lat := sub.latency + stage
 				if p.limit > 0 && lat > p.limit {
 					continue
@@ -167,13 +193,14 @@ func (p *planner) solve(j, d int) []dpPoint {
 		}
 	}
 	frontier := paretoFilter(candidates)
-	p.memo[mi] = frontier
-	p.memoSet[mi] = true
+	p.scratch = candidates[:0] // keep the grown capacity for the next state
 	return frontier
 }
 
 // paretoFilter keeps the non-dominated (period, latency) points, sorted by
-// increasing period.
+// increasing period. The result is a fresh slice (points may be a shared
+// scratch buffer); its capacity is bounded by a frontier-size guess so the
+// memo doesn't pin large candidate-sized arrays.
 func paretoFilter(points []dpPoint) []dpPoint {
 	if len(points) == 0 {
 		return nil
@@ -184,7 +211,7 @@ func paretoFilter(points []dpPoint) []dpPoint {
 		}
 		return points[a].latency < points[b].latency
 	})
-	var frontier []dpPoint
+	frontier := make([]dpPoint, 0, min(len(points), 16))
 	bestLat := math.Inf(1)
 	for _, pt := range points {
 		if pt.latency < bestLat-1e-15 {

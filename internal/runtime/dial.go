@@ -35,8 +35,9 @@ type LocalCluster struct {
 	serveErr chan error
 }
 
-// StartLocalCluster launches the workers and their serve loops.
-func StartLocalCluster(n int, speeds []float64) (*LocalCluster, error) {
+// StartLocalCluster launches the workers and their serve loops. Extra
+// options (e.g. WithParallelism) are applied to every worker.
+func StartLocalCluster(n int, speeds []float64, extra ...WorkerOption) (*LocalCluster, error) {
 	if n <= 0 {
 		return nil, errors.New("runtime: non-positive cluster size")
 	}
@@ -49,6 +50,7 @@ func StartLocalCluster(n int, speeds []float64) (*LocalCluster, error) {
 		if speeds != nil && i < len(speeds) && speeds[i] > 0 {
 			opts = append(opts, WithEmulatedSpeed(speeds[i]))
 		}
+		opts = append(opts, extra...)
 		w, err := NewWorker("worker-"+strconv.Itoa(i), "127.0.0.1:0", opts...)
 		if err != nil {
 			_ = lc.Close()

@@ -92,6 +92,7 @@ func (ge *GridExecutor) Infer(taskID int64, input tensor.Tensor) (tensor.Tensor,
 				ModelName: ge.model.Name,
 				Seed:      ge.seed,
 			}, sub)
+			tensor.Recycle(sub) // fully serialized into the request
 			results[k] = result{t: out, err: err}
 		}(k, ge.clients[k], sub, need, tile)
 	}
@@ -106,7 +107,13 @@ func (ge *GridExecutor) Infer(taskID int64, input tensor.Tensor) (tensor.Tensor,
 		rects = append(rects, ge.tiles[k])
 	}
 	outShape := ge.model.OutShape(ge.to - 1)
-	return tensor.StitchGrid(outs, rects, outShape.H, outShape.W)
+	stitched, err := tensor.StitchGrid(outs, rects, outShape.H, outShape.W)
+	if err == nil {
+		for _, o := range outs {
+			tensor.Recycle(o) // copied into the stitched map
+		}
+	}
+	return stitched, err
 }
 
 // Close disconnects the workers.

@@ -90,7 +90,10 @@ func (wc *workerClient) exec(hdr execHeader, tile tensor.Tensor) (tensor.Tensor,
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
 	hdr.TileC, hdr.TileH, hdr.TileW = tile.C, tile.H, tile.W
-	if err := wc.conn.Send(wire.MsgExec, hdr, wire.EncodeTensor(tile)); err != nil {
+	payload := wire.EncodeTensor(tile)
+	err := wc.conn.Send(wire.MsgExec, hdr, payload)
+	wire.PutBuffer(payload)
+	if err != nil {
 		return tensor.Tensor{}, 0, fmt.Errorf("runtime: exec to %s: %w", wc.id, err)
 	}
 	msg, err := wc.conn.Recv()
@@ -104,6 +107,7 @@ func (wc *workerClient) exec(hdr execHeader, tile tensor.Tensor) (tensor.Tensor,
 			return tensor.Tensor{}, 0, err
 		}
 		out, err := wire.DecodeTensor(rh.C, rh.H, rh.W, msg.Payload)
+		wire.PutBuffer(msg.Payload)
 		if err != nil {
 			return tensor.Tensor{}, 0, err
 		}
@@ -156,8 +160,12 @@ type TaskResult struct {
 
 // flight is a task moving through the stage drivers.
 type flight struct {
-	id        int64
-	t         tensor.Tensor
+	id int64
+	t  tensor.Tensor
+	// owned marks t as pipeline-allocated (a stitched map), safe to recycle
+	// when the next stage replaces it. The user's submitted input is never
+	// recycled.
+	owned     bool
 	err       error
 	submitted time.Time
 	spans     []StageSpan
@@ -228,6 +236,7 @@ func (sd *stageDriver) process(f *flight) {
 				ModelName: sd.ref.name,
 				Seed:      sd.ref.seed,
 			}, tile)
+			tensor.Recycle(tile) // fully serialized into the request
 			strips[k] = strip{t: out, lo: part.Lo, comp: comp, err: err}
 		}(k, wc, tile, inR.Lo, part)
 	}
@@ -251,7 +260,14 @@ func (sd *stageDriver) process(f *flight) {
 		f.err = fmt.Errorf("runtime: stage [%d,%d) stitch: %w", sd.stage.From, sd.stage.To, err)
 		return
 	}
+	for _, o := range outs {
+		tensor.Recycle(o) // copied into the stitched map
+	}
+	if f.owned {
+		tensor.Recycle(f.t)
+	}
 	f.t = stitched
+	f.owned = true
 }
 
 // Pipeline executes a PICO plan over TCP workers, one stage driver per

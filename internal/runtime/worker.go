@@ -32,8 +32,16 @@ type Worker struct {
 	// emulatedSpeed, when positive, throttles the worker to the given
 	// effective MAC/s by sleeping out the remainder of the modelled
 	// compute time — how a fast development host impersonates a 600 MHz
-	// Raspberry Pi core.
+	// Raspberry Pi core. The budget models the device's aggregate
+	// arithmetic throughput: kernel parallelism only shrinks the real
+	// compute fraction of the interval, and the sleep tops it back up to
+	// the same FLOPs/speed total, so emulated capacity accounting is
+	// independent of the parallelism setting.
 	emulatedSpeed float64
+
+	// parallelism caps the kernel worker count of this node's executors
+	// (0 = all cores).
+	parallelism int
 
 	logf func(format string, args ...any)
 
@@ -56,6 +64,13 @@ type WorkerOption func(*Worker)
 // WithEmulatedSpeed throttles the worker to the given effective MAC/s.
 func WithEmulatedSpeed(macPerSec float64) WorkerOption {
 	return func(w *Worker) { w.emulatedSpeed = macPerSec }
+}
+
+// WithParallelism caps the number of CPU cores the worker's tensor kernels
+// use per request (0 or negative = all cores, 1 = serial). Results are
+// bit-identical at any setting.
+func WithParallelism(n int) WorkerOption {
+	return func(w *Worker) { w.parallelism = n }
 }
 
 // WithLogger routes worker diagnostics to the given function.
@@ -170,6 +185,9 @@ func (w *Worker) handle(conn *wire.Conn) {
 		default:
 			err = conn.Send(wire.MsgError, wire.ErrorHeader{Message: fmt.Sprintf("unexpected %v", msg.Type)}, nil)
 		}
+		// Handlers fully consume the request payload (tiles are decoded
+		// into tensors); recycle the receive buffer.
+		wire.PutBuffer(msg.Payload)
 		if err != nil {
 			w.logf("worker %s: %v", w.id, err)
 			return
@@ -186,7 +204,7 @@ func (w *Worker) handleLoad(conn *wire.Conn, msg *wire.Message) error {
 	if err != nil {
 		return conn.Send(wire.MsgError, wire.ErrorHeader{Message: err.Error()}, nil)
 	}
-	exec, err := tensor.NewExecutor(m, hdr.Seed)
+	exec, err := tensor.NewExecutor(m, hdr.Seed, tensor.WithParallelism(w.parallelism))
 	if err != nil {
 		return conn.Send(wire.MsgError, wire.ErrorHeader{Message: err.Error()}, nil)
 	}
@@ -255,23 +273,31 @@ func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) error {
 		out, err = exec.RunSegment(hdr.From, hdr.To, tile, rows)
 		flops = float64(exec.RegionFLOPs(hdr.From, hdr.To, rows))
 	}
+	tensor.Recycle(tile)
 	if err != nil {
 		return conn.Send(wire.MsgError, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
 	}
 	elapsed := time.Since(start)
 	if w.emulatedSpeed > 0 {
+		// flops models the device's aggregate arithmetic, independent of
+		// how many cores executed the kernels; the sleep always tops the
+		// interval up to the same emulated budget.
 		want := time.Duration(flops / w.emulatedSpeed * float64(time.Second))
 		if want > elapsed {
 			time.Sleep(want - elapsed)
 			elapsed = want
 		}
 	}
-	return conn.Send(wire.MsgExecResult, wire.ExecResultHeader{
+	payload := wire.EncodeTensor(out)
+	err = conn.Send(wire.MsgExecResult, wire.ExecResultHeader{
 		TaskID:         hdr.TaskID,
 		OutLo:          hdr.OutLo,
 		C:              out.C,
 		H:              out.H,
 		W:              out.W,
 		ComputeSeconds: elapsed.Seconds(),
-	}, wire.EncodeTensor(out))
+	}, payload)
+	wire.PutBuffer(payload)
+	tensor.Recycle(out)
+	return err
 }

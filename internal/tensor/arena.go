@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// The tensor arena eliminates steady-state allocations on the inference hot
+// path. Backing slices are drawn from sync.Pools bucketed by power-of-two
+// capacity; a pooled Tensor carries a pointer to its full-capacity slab so
+// Recycle can return the memory without re-boxing (and therefore without
+// allocating). Layer outputs inside RunSegment / RunSegmentRect, block-path
+// intermediates and tile slices all cycle through the arena, so a warmed-up
+// executor performs no per-inference tensor allocations.
+
+const (
+	// arenaMinBits is the smallest pooled class (256 floats = 1 KiB);
+	// smaller tensors are cheaper to allocate than to pool.
+	arenaMinBits = 8
+	// arenaMaxBits caps the pooled class (2^27 floats = 512 MiB); larger
+	// requests fall through to plain allocation.
+	arenaMaxBits = 27
+)
+
+var arena [arenaMaxBits + 1]sync.Pool
+
+// arenaClass returns the smallest class whose slabs hold n floats, or -1
+// when n is outside the pooled range.
+func arenaClass(n int) int {
+	c := bits.Len(uint(n - 1)) // ceil(log2(n)) for n > 1
+	if n <= 1 {
+		c = 0
+	}
+	if c < arenaMinBits {
+		c = arenaMinBits
+	}
+	if c > arenaMaxBits {
+		return -1
+	}
+	return c
+}
+
+// Alloc returns a tensor of the given extent whose backing slice comes from
+// the arena when possible. The contents are UNSPECIFIED — every caller must
+// overwrite all elements before reading any (all tensor kernels do: conv
+// seeds each row with the bias, pools and copies write every cell). Use New
+// when zero-initialised contents are required.
+func Alloc(c, h, w int) Tensor {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("tensor: invalid extent %dx%dx%d", c, h, w))
+	}
+	n := c * h * w
+	cl := arenaClass(n)
+	if cl < 0 {
+		return Tensor{C: c, H: h, W: w, Data: make([]float32, n)}
+	}
+	if v := arena[cl].Get(); v != nil {
+		slab := v.(*[]float32)
+		return Tensor{C: c, H: h, W: w, Data: (*slab)[:n], slab: slab}
+	}
+	s := make([]float32, 1<<cl)
+	return Tensor{C: c, H: h, W: w, Data: s[:n], slab: &s}
+}
+
+// Recycle returns a tensor's backing slice to the arena. The caller must own
+// t exclusively and must not touch t.Data (or any slice of it) afterwards.
+// Recycling a tensor that did not come from Alloc (or a shared/zero tensor)
+// is a safe no-op, so callers can recycle unconditionally on owned values.
+func Recycle(t Tensor) {
+	if t.slab == nil {
+		return
+	}
+	n := cap(*t.slab)
+	if n == 0 || n&(n-1) != 0 { // foreign slab; never produced by Alloc
+		return
+	}
+	cl := bits.Len(uint(n)) - 1
+	if cl < arenaMinBits || cl > arenaMaxBits {
+		return
+	}
+	arena[cl].Put(t.slab)
+}

@@ -14,28 +14,70 @@ import (
 // and deterministically from the seed, so two Executors with the same model
 // and seed — in the same or different processes — compute identical results.
 // An Executor is safe for concurrent use.
+//
+// Kernels parallelise over the shared pool (see pool.go) up to the
+// executor's configured parallelism; results are bit-identical at every
+// worker count because chunking never changes per-element accumulation
+// order. Intermediate layer tensors cycle through the arena (see arena.go),
+// so steady-state inference performs no per-layer allocations.
 type Executor struct {
 	m    *nn.Model
 	seed int64
 	calc *partition.Calc
+	par  int
 
-	mu   sync.Mutex
-	conv map[string]*convWeights
-	fc   map[string]*fcWeights
+	// The weight cache takes a read lock on the hot path and serialises
+	// only the creation of a key's entry, never weight generation itself:
+	// each entry generates its weights under its own sync.Once, so two
+	// workers warming different layers proceed concurrently, and after
+	// warm-up concurrent stage workers never contend.
+	mu   sync.RWMutex
+	conv map[string]*convEntry
+	fc   map[string]*fcEntry
+}
+
+type convEntry struct {
+	once sync.Once
+	w    *convWeights
+}
+
+type fcEntry struct {
+	once sync.Once
+	w    *fcWeights
+}
+
+// ExecutorOption configures an Executor.
+type ExecutorOption func(*Executor)
+
+// WithParallelism caps the number of pool workers a kernel may use. n <= 0
+// restores the default (GOMAXPROCS); 1 is fully serial execution. Results
+// are bit-identical regardless of n.
+func WithParallelism(n int) ExecutorOption {
+	return func(e *Executor) {
+		if n <= 0 {
+			n = defaultParallelism()
+		}
+		e.par = n
+	}
 }
 
 // NewExecutor builds an executor for the model with the given weight seed.
-func NewExecutor(m *nn.Model, seed int64) (*Executor, error) {
+func NewExecutor(m *nn.Model, seed int64, opts ...ExecutorOption) (*Executor, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	return &Executor{
+	e := &Executor{
 		m:    m,
 		seed: seed,
 		calc: partition.NewCalc(m),
-		conv: make(map[string]*convWeights),
-		fc:   make(map[string]*fcWeights),
-	}, nil
+		par:  defaultParallelism(),
+		conv: make(map[string]*convEntry),
+		fc:   make(map[string]*fcEntry),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
 }
 
 // Model returns the executor's model.
@@ -44,6 +86,9 @@ func (e *Executor) Model() *nn.Model { return e.m }
 // Seed returns the weight seed.
 func (e *Executor) Seed() int64 { return e.seed }
 
+// Parallelism returns the kernel worker-count cap.
+func (e *Executor) Parallelism() int { return e.par }
+
 // InputRange returns the input rows segment [from, to) needs to produce the
 // given output rows — what a stage leader must send a worker.
 func (e *Executor) InputRange(from, to int, out partition.Range) partition.Range {
@@ -51,7 +96,9 @@ func (e *Executor) InputRange(from, to int, out partition.Range) partition.Range
 }
 
 // RegionFLOPs returns the MACs of producing the given output rows of
-// segment [from, to), used for capacity emulation and accounting.
+// segment [from, to), used for capacity emulation and accounting. The count
+// models the device's aggregate arithmetic and is independent of how many
+// pool workers execute the kernels.
 func (e *Executor) RegionFLOPs(from, to int, out partition.Range) int64 {
 	return e.calc.SegmentRegionFLOPs(from, to, out)
 }
@@ -67,16 +114,23 @@ func (e *Executor) RectFLOPs(from, to int, out partition.Rect) int64 {
 func (e *Executor) Run(in Tensor) (Tensor, error) {
 	outH := e.m.Output().H
 	need := e.calc.InputRange(0, e.m.NumLayers(), partition.Full(outH))
+	trimmed := false
 	if in.Valid() && in.C == e.m.Input.C && in.H == e.m.Input.H && in.W == e.m.Input.W && need.Len() < in.H {
 		in = in.SliceRows(need.Lo, need.Hi)
+		trimmed = true
 	}
-	return e.RunSegment(0, e.m.NumLayers(), in, partition.Full(outH))
+	out, err := e.RunSegment(0, e.m.NumLayers(), in, partition.Full(outH))
+	if trimmed {
+		Recycle(in)
+	}
+	return out, err
 }
 
 // RunSegment executes layers [from, to) producing output rows out of the
 // segment's final layer. tile must hold exactly the input rows
 // InputRange(from, to, out) of the feature map at boundary from (for a full
-// run, the whole input).
+// run, the whole input). The returned tensor is arena-backed; callers done
+// with it may Recycle it to keep the hot path allocation-free.
 func (e *Executor) RunSegment(from, to int, tile Tensor, out partition.Range) (Tensor, error) {
 	if from < 0 || to > e.m.NumLayers() || from >= to {
 		return Tensor{}, fmt.Errorf("tensor: invalid segment [%d,%d)", from, to)
@@ -102,6 +156,11 @@ func (e *Executor) RunSegment(from, to int, tile Tensor, out partition.Range) (T
 		if err != nil {
 			return Tensor{}, fmt.Errorf("tensor: layer %d (%s): %w", i, e.m.Layers[i].Name, err)
 		}
+		if i > from {
+			// cur is an intermediate this segment produced (never the
+			// caller's tile); its buffer is dead now.
+			Recycle(cur)
+		}
 		cur = next
 		curLo = need.Lo
 	}
@@ -123,15 +182,15 @@ func (e *Executor) runLayerOn(l *nn.Layer, key string, in Tensor, inLo int, inSh
 	switch l.Kind {
 	case nn.Conv:
 		wts := e.convW(key, l, inShape.C)
-		return convForward(in, inLo, inShape.H, l, wts, out.Lo, out.Hi), nil
+		return convForward(in, inLo, inShape.H, l, wts, out.Lo, out.Hi, e.par), nil
 	case nn.MaxPool, nn.AvgPool:
-		return poolForward(in, inLo, inShape.H, l, out.Lo, out.Hi), nil
+		return poolForward(in, inLo, inShape.H, l, out.Lo, out.Hi, e.par), nil
 	case nn.FullyConnected:
 		if inLo != 0 || in.H != inShape.H {
 			return Tensor{}, fmt.Errorf("fc needs the full input, got rows [%d,%d) of %d", inLo, inLo+in.H, inShape.H)
 		}
 		wts := e.fcW(key, l, inShape.Elems())
-		return fcForward(in, l, wts), nil
+		return fcForward(in, l, wts, e.par), nil
 	case nn.GlobalAvgPool:
 		if inLo != 0 || in.H != inShape.H {
 			return Tensor{}, fmt.Errorf("global pool needs the full input, got rows [%d,%d) of %d", inLo, inLo+in.H, inShape.H)
@@ -145,7 +204,9 @@ func (e *Executor) runLayerOn(l *nn.Layer, key string, in Tensor, inLo int, inSh
 }
 
 // runBlock executes a graph block on a tile covering the hull of all path
-// input requirements, then combines path outputs.
+// input requirements, then combines path outputs. Path intermediates are
+// recycled as soon as the next layer consumes them; path outputs are
+// recycled after merging.
 func (e *Executor) runBlock(l *nn.Layer, key string, in Tensor, inLo int, inShape nn.Shape, out partition.Range) (Tensor, error) {
 	var combined Tensor
 	for pi, path := range l.Paths {
@@ -179,6 +240,7 @@ func (e *Executor) runBlock(l *nn.Layer, key string, in Tensor, inLo int, inShap
 				if err != nil {
 					return Tensor{}, fmt.Errorf("path %d layer %d (%s): %w", pi, li, path[li].Name, err)
 				}
+				Recycle(cur) // cur is the path-local copy or a path intermediate
 				cur = next
 				curLo = needs[li+1].Lo
 				curShape = nextShape
@@ -197,15 +259,12 @@ func (e *Executor) runBlock(l *nn.Layer, key string, in Tensor, inLo int, inShap
 			for j := range combined.Data {
 				combined.Data[j] += pOut.Data[j]
 			}
+			Recycle(pOut)
 		case nn.Concat:
 			if pOut.H != combined.H || pOut.W != combined.W {
 				return Tensor{}, fmt.Errorf("concat path %d spatial mismatch", pi)
 			}
-			merged := Tensor{
-				C: combined.C + pOut.C, H: combined.H, W: combined.W,
-				Data: append(combined.Data, pOut.Data...),
-			}
-			combined = merged
+			combined = concatChannels(combined, pOut)
 		default:
 			return Tensor{}, fmt.Errorf("invalid combine %v", l.Combine)
 		}
@@ -214,26 +273,50 @@ func (e *Executor) runBlock(l *nn.Layer, key string, in Tensor, inLo int, inShap
 	return combined, nil
 }
 
+// concatChannels merges two feature maps along the channel axis into an
+// explicitly allocated buffer and recycles the inputs. An append onto
+// a.Data would be wrong here: when a's backing array has spare capacity
+// (always true for arena slabs), append writes b's channels into memory
+// that other tensors may share.
+func concatChannels(a, b Tensor) Tensor {
+	merged := Alloc(a.C+b.C, a.H, a.W)
+	copy(merged.Data, a.Data)
+	copy(merged.Data[len(a.Data):], b.Data)
+	Recycle(a)
+	Recycle(b)
+	return merged
+}
+
 // convW returns (generating on first use) the convolution weights for key.
 func (e *Executor) convW(key string, l *nn.Layer, inC int) *convWeights {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if w, ok := e.conv[key]; ok {
-		return w
+	e.mu.RLock()
+	ent, ok := e.conv[key]
+	e.mu.RUnlock()
+	if !ok {
+		e.mu.Lock()
+		if ent, ok = e.conv[key]; !ok {
+			ent = &convEntry{}
+			e.conv[key] = ent
+		}
+		e.mu.Unlock()
 	}
-	w := genConv(e.seed, key, l, inC)
-	e.conv[key] = w
-	return w
+	ent.once.Do(func() { ent.w = genConv(e.seed, key, l, inC) })
+	return ent.w
 }
 
 // fcW returns (generating on first use) the fully connected weights for key.
 func (e *Executor) fcW(key string, l *nn.Layer, inElems int) *fcWeights {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if w, ok := e.fc[key]; ok {
-		return w
+	e.mu.RLock()
+	ent, ok := e.fc[key]
+	e.mu.RUnlock()
+	if !ok {
+		e.mu.Lock()
+		if ent, ok = e.fc[key]; !ok {
+			ent = &fcEntry{}
+			e.fc[key] = ent
+		}
+		e.mu.Unlock()
 	}
-	w := genFC(e.seed, key, l, inElems)
-	e.fc[key] = w
-	return w
+	ent.once.Do(func() { ent.w = genFC(e.seed, key, l, inElems) })
+	return ent.w
 }

@@ -14,20 +14,27 @@ import (
 // width axis is never split, so left/right padding is handled normally.
 // Accumulation order per output element is (ic, kh, kw) regardless of the
 // tile, which makes tiled execution bit-identical to whole-map execution.
-func convForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, outLo, outHi int) Tensor {
+//
+// The (output channel, output row) space is split into contiguous chunks
+// executed on up to par pool workers. Each chunk owns a disjoint slice of
+// the output and runs the unchanged per-element loop, so any worker count
+// produces bit-identical results.
+func convForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, outLo, outHi, par int) Tensor {
 	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
 	outRows := outHi - outLo
-	out := New(l.OutC, outRows, outW)
+	out := Alloc(l.OutC, outRows, outW)
 	groups := l.Groups
 	if groups < 1 {
 		groups = 1
 	}
 	icg := in.C / groups // input channels per group
 	ocg := l.OutC / groups
-	for oc := 0; oc < l.OutC; oc++ {
-		icBase := (oc / ocg) * icg
-		for or := 0; or < outRows; or++ {
-			acc := out.Data[(oc*outRows+or)*outW : (oc*outRows+or+1)*outW]
+	parallelFor(l.OutC*outRows, par, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			oc := t / outRows
+			or := t % outRows
+			icBase := (oc / ocg) * icg
+			acc := out.Data[t*outW : (t+1)*outW]
 			for i := range acc {
 				acc[i] = wts.bias[oc]
 			}
@@ -44,28 +51,8 @@ func convForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, 
 						panic(fmt.Sprintf("tensor: conv needs global row %d outside tile [%d,%d)", ihGlobal, inLo, inLo+in.H))
 					}
 					inRow := in.Data[(ic*in.H+ih)*in.W : (ic*in.H+ih+1)*in.W]
-					wRow := wts.w[((oc*icg+g)*l.KH+kh)*l.KW : ((oc*icg+g)*l.KH+kh+1)*l.KW]
-					for kw := 0; kw < l.KW; kw++ {
-						w := wRow[kw]
-						if w == 0 {
-							continue
-						}
-						// Valid output columns: 0 <= ow*SW - PW + kw < in.W.
-						iwOff := kw - l.PW
-						owLo := 0
-						if iwOff < 0 {
-							owLo = (-iwOff + l.SW - 1) / l.SW
-						}
-						owHi := outW
-						if maxOw := (in.W - 1 - iwOff) / l.SW; maxOw+1 < owHi {
-							owHi = maxOw + 1
-						}
-						iw := owLo*l.SW + iwOff
-						for ow := owLo; ow < owHi; ow++ {
-							acc[ow] += w * inRow[iw]
-							iw += l.SW
-						}
-					}
+					row := &wts.rows[(oc*icg+g)*l.KH+kh]
+					convRow(acc, inRow, row, l.SW, l.PW, in.W, outW)
 				}
 			}
 			if wts.bnScale != nil {
@@ -76,27 +63,78 @@ func convForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, 
 			}
 			applyActivation(acc, l.Act)
 		}
-	}
+	})
 	return out
+}
+
+// convRow accumulates one compacted kernel row over one input row. The taps
+// iterate in ascending kw with zero weights already dropped at generation
+// time, matching the original loop's order and w == 0 skip exactly.
+func convRow(acc, inRow []float32, row *kernelRow, sw, pw, inW, outW int) {
+	if sw == 1 {
+		// Stride-1 fast path: the valid output span maps onto a
+		// contiguous input span, so the inner loop is a bounds-check
+		// free multiply-accumulate over two equal-length slices.
+		for x, w := range row.w {
+			iwOff := int(row.kw[x]) - pw
+			owLo := 0
+			if iwOff < 0 {
+				owLo = -iwOff
+			}
+			owHi := outW
+			if maxOw := inW - 1 - iwOff; maxOw+1 < owHi {
+				owHi = maxOw + 1
+			}
+			if owLo >= owHi {
+				continue
+			}
+			src := inRow[owLo+iwOff : owHi+iwOff]
+			dst := acc[owLo:owHi]
+			for i, v := range src {
+				dst[i] += w * v
+			}
+		}
+		return
+	}
+	for x, w := range row.w {
+		// Valid output columns: 0 <= ow*SW - PW + kw < inW.
+		iwOff := int(row.kw[x]) - pw
+		owLo := 0
+		if iwOff < 0 {
+			owLo = (-iwOff + sw - 1) / sw
+		}
+		owHi := outW
+		if maxOw := (inW - 1 - iwOff) / sw; maxOw+1 < owHi {
+			owHi = maxOw + 1
+		}
+		iw := owLo*sw + iwOff
+		for ow := owLo; ow < owHi; ow++ {
+			acc[ow] += w * inRow[iw]
+			iw += sw
+		}
+	}
 }
 
 // poolForward computes output rows [outLo, outHi) of a max or average pool
 // under the same global-row-offset convention as convForward. Padding cells
 // are excluded from both the max and the average (divisor counts valid cells
 // only), so tile-boundary behaviour matches whole-map behaviour exactly.
-func poolForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi int) Tensor {
+// Like convForward, the (channel, row) space parallelises over the pool.
+func poolForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi, par int) Tensor {
 	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
 	outRows := outHi - outLo
-	out := New(in.C, outRows, outW)
+	out := Alloc(in.C, outRows, outW)
 	isMax := l.Kind == nn.MaxPool
-	for c := 0; c < in.C; c++ {
-		for or := 0; or < outRows; or++ {
-			dst := out.Data[(c*outRows+or)*outW : (c*outRows+or+1)*outW]
+	parallelFor(in.C*outRows, par, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			c := t / outRows
+			or := t % outRows
+			dst := out.Data[t*outW : (t+1)*outW]
 			ohGlobal := outLo + or
 			for ow := 0; ow < outW; ow++ {
 				var acc float32
 				if isMax {
-					acc = float32(math.Inf(-1))
+					acc = negInf
 				}
 				count := 0
 				for kh := 0; kh < l.KH; kh++ {
@@ -131,29 +169,32 @@ func poolForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi int) 
 			}
 			applyActivation(dst, l.Act)
 		}
-	}
+	})
 	return out
 }
 
-// fcForward computes a fully connected layer over the whole input.
-func fcForward(in Tensor, l *nn.Layer, wts *fcWeights) Tensor {
-	out := New(l.OutF, 1, 1)
+// fcForward computes a fully connected layer over the whole input,
+// parallelised across output features.
+func fcForward(in Tensor, l *nn.Layer, wts *fcWeights, par int) Tensor {
+	out := Alloc(l.OutF, 1, 1)
 	n := in.Elems()
-	for o := 0; o < l.OutF; o++ {
-		acc := wts.bias[o]
-		row := wts.w[o*n : (o+1)*n]
-		for i, v := range in.Data {
-			acc += row[i] * v
+	parallelFor(l.OutF, par, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			acc := wts.bias[o]
+			row := wts.w[o*n : (o+1)*n]
+			for i, v := range in.Data {
+				acc += row[i] * v
+			}
+			out.Data[o] = acc
 		}
-		out.Data[o] = acc
-	}
+	})
 	applyActivation(out.Data, l.Act)
 	return out
 }
 
 // gapForward computes a global average pool.
 func gapForward(in Tensor, l *nn.Layer) Tensor {
-	out := New(in.C, 1, 1)
+	out := Alloc(in.C, 1, 1)
 	per := in.H * in.W
 	for c := 0; c < in.C; c++ {
 		var acc float32

@@ -1,0 +1,87 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the shared compute pool behind parallel kernel
+// execution. One process-wide set of worker goroutines, capped at
+// GOMAXPROCS, serves every Executor: kernels split their output space into
+// contiguous chunks and fan the chunks out over the pool. Each chunk writes
+// a disjoint region of the output tensor and computes every element with the
+// same per-element accumulation order as the serial loop, so results are
+// bit-identical regardless of the worker count.
+
+var (
+	poolOnce    sync.Once
+	poolTasks   chan func()
+	poolWorkers int
+)
+
+// defaultParallelism is the worker-count cap an Executor uses when no
+// explicit parallelism is configured.
+func defaultParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ensurePool starts the shared workers on first use. The pool size is fixed
+// at the GOMAXPROCS observed then; Executors asking for more parallelism
+// than the pool has simply queue chunks (or run them inline).
+func ensurePool() {
+	poolOnce.Do(func() {
+		poolWorkers = defaultParallelism()
+		poolTasks = make(chan func())
+		for i := 0; i < poolWorkers; i++ {
+			go func() {
+				for task := range poolTasks {
+					task()
+				}
+			}()
+		}
+	})
+}
+
+// parallelFor runs fn over [0, n) split into at most `workers` contiguous
+// chunks. The calling goroutine always executes the first chunk itself;
+// remaining chunks are offered to the shared pool and executed inline when
+// no pool worker is free, so parallelFor never blocks waiting for a slot
+// and cannot deadlock. workers <= 1 (or n <= 1) is exactly the serial loop.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	ensurePool()
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		lo, hi := lo, hi
+		task := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		select {
+		case poolTasks <- task:
+		default:
+			task()
+		}
+	}
+	fn(0, chunk)
+	wg.Wait()
+}

@@ -12,26 +12,30 @@ import (
 // rectangles: a worker receives a rectangular input region (with its global
 // row/column offsets) and produces a rectangular output tile. As with
 // strips, per-output-pixel accumulation order is tile-independent, so grid
-// execution is bit-identical to whole-map execution.
+// execution is bit-identical to whole-map execution. Kernels parallelise
+// over (output channel, output row) chunks exactly like their strip
+// counterparts in ops.go.
 
 // convForwardRect computes the output rectangle out of a convolution from a
 // tile holding input rows [inRowLo, inRowLo+in.H) and columns
 // [inColLo, inColLo+in.W) of a feature map with global extent
 // inHGlobal x inWGlobal.
-func convForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *nn.Layer, wts *convWeights, out partition.Rect) Tensor {
+func convForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *nn.Layer, wts *convWeights, out partition.Rect, par int) Tensor {
 	outRows := out.Rows.Len()
 	outCols := out.Cols.Len()
-	res := New(l.OutC, outRows, outCols)
+	res := Alloc(l.OutC, outRows, outCols)
 	groups := l.Groups
 	if groups < 1 {
 		groups = 1
 	}
 	icg := in.C / groups
 	ocg := l.OutC / groups
-	for oc := 0; oc < l.OutC; oc++ {
-		icBase := (oc / ocg) * icg
-		for or := 0; or < outRows; or++ {
-			acc := res.Data[(oc*outRows+or)*outCols : (oc*outRows+or+1)*outCols]
+	parallelFor(l.OutC*outRows, par, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			oc := t / outRows
+			or := t % outRows
+			icBase := (oc / ocg) * icg
+			acc := res.Data[t*outCols : (t+1)*outCols]
 			for i := range acc {
 				acc[i] = wts.bias[oc]
 			}
@@ -48,22 +52,8 @@ func convForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *n
 						panic(fmt.Sprintf("tensor: rect conv needs global row %d outside tile [%d,%d)", ihGlobal, inRowLo, inRowLo+in.H))
 					}
 					inRow := in.Data[(ic*in.H+ih)*in.W : (ic*in.H+ih+1)*in.W]
-					wRow := wts.w[((oc*icg+g)*l.KH+kh)*l.KW : ((oc*icg+g)*l.KH+kh+1)*l.KW]
-					for kw := 0; kw < l.KW; kw++ {
-						w := wRow[kw]
-						for ocl := 0; ocl < outCols; ocl++ {
-							owGlobal := out.Cols.Lo + ocl
-							iwGlobal := owGlobal*l.SW - l.PW + kw
-							if iwGlobal < 0 || iwGlobal >= inWGlobal {
-								continue // true left/right padding
-							}
-							iw := iwGlobal - inColLo
-							if iw < 0 || iw >= in.W {
-								panic(fmt.Sprintf("tensor: rect conv needs global col %d outside tile [%d,%d)", iwGlobal, inColLo, inColLo+in.W))
-							}
-							acc[ocl] += w * inRow[iw]
-						}
-					}
+					row := &wts.rows[(oc*icg+g)*l.KH+kh]
+					convRowRect(acc, inRow, row, l.SW, l.PW, out.Cols.Lo, inColLo, inWGlobal, in.W, outCols)
 				}
 			}
 			if wts.bnScale != nil {
@@ -74,19 +64,65 @@ func convForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *n
 			}
 			applyActivation(acc, l.Act)
 		}
-	}
+	})
 	return res
 }
 
+// convRowRect accumulates one compacted kernel row over one input row of a
+// rectangular tile. The global-padding and tile-coverage checks are hoisted
+// out of the per-column loop: for a fixed tap, the valid output columns form
+// one contiguous interval, computed once.
+func convRowRect(acc, inRow []float32, row *kernelRow, sw, pw, outColLo, inColLo, inWGlobal, inW, outCols int) {
+	for x, w := range row.w {
+		// iwGlobal = base + ocl*sw; valid while 0 <= iwGlobal < inWGlobal.
+		base := outColLo*sw - pw + int(row.kw[x])
+		oclLo := 0
+		if base < 0 {
+			oclLo = (-base + sw - 1) / sw
+		}
+		oclHi := outCols
+		if maxOcl := (inWGlobal - 1 - base) / sw; maxOcl+1 < oclHi {
+			oclHi = maxOcl + 1
+		}
+		if oclLo >= oclHi {
+			continue
+		}
+		iwFirst := base + oclLo*sw - inColLo
+		iwLast := base + (oclHi-1)*sw - inColLo
+		if iwFirst < 0 || iwLast >= inW {
+			bad := iwFirst + inColLo
+			if iwFirst >= 0 {
+				bad = iwLast + inColLo
+			}
+			panic(fmt.Sprintf("tensor: rect conv needs global col %d outside tile [%d,%d)", bad, inColLo, inColLo+inW))
+		}
+		if sw == 1 {
+			src := inRow[iwFirst : iwFirst+(oclHi-oclLo)]
+			dst := acc[oclLo:oclHi]
+			for i, v := range src {
+				dst[i] += w * v
+			}
+			continue
+		}
+		iw := iwFirst
+		for ocl := oclLo; ocl < oclHi; ocl++ {
+			acc[ocl] += w * inRow[iw]
+			iw += sw
+		}
+	}
+}
+
 // poolForwardRect is the rectangular-tile pool under the same conventions.
-func poolForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *nn.Layer, out partition.Rect) Tensor {
+func poolForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *nn.Layer, out partition.Rect, par int) Tensor {
 	outRows := out.Rows.Len()
 	outCols := out.Cols.Len()
-	res := New(in.C, outRows, outCols)
+	res := Alloc(in.C, outRows, outCols)
 	isMax := l.Kind == nn.MaxPool
-	for c := 0; c < in.C; c++ {
-		for or := 0; or < outRows; or++ {
-			dst := res.Data[(c*outRows+or)*outCols : (c*outRows+or+1)*outCols]
+	parallelFor(in.C*outRows, par, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			c := t / outRows
+			or := t % outRows
+			dst := res.Data[t*outCols : (t+1)*outCols]
 			ohGlobal := out.Rows.Lo + or
 			for ocl := 0; ocl < outCols; ocl++ {
 				owGlobal := out.Cols.Lo + ocl
@@ -131,7 +167,7 @@ func poolForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *n
 			}
 			applyActivation(dst, l.Act)
 		}
-	}
+	})
 	return res
 }
 
@@ -139,7 +175,8 @@ func poolForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *n
 // out of the segment's final layer. tile must hold exactly the input region
 // the segment needs (SegmentRects(from, to, out)[0] of the partition Calc).
 // FullyConnected / GlobalAvgPool layers are not grid-partitionable and are
-// rejected inside rect segments unless the tile is the whole map.
+// rejected inside rect segments unless the tile is the whole map. The
+// returned tensor is arena-backed; callers done with it may Recycle it.
 func (e *Executor) RunSegmentRect(from, to int, tile Tensor, out partition.Rect) (Tensor, error) {
 	if from < 0 || to > e.m.NumLayers() || from >= to {
 		return Tensor{}, fmt.Errorf("tensor: invalid segment [%d,%d)", from, to)
@@ -162,6 +199,9 @@ func (e *Executor) RunSegmentRect(from, to int, tile Tensor, out partition.Rect)
 		if err != nil {
 			return Tensor{}, fmt.Errorf("tensor: layer %d (%s): %w", i, e.m.Layers[i].Name, err)
 		}
+		if i > from {
+			Recycle(cur)
+		}
 		cur = next
 		curRowLo, curColLo = rects[i-from+1].Rows.Lo, rects[i-from+1].Cols.Lo
 	}
@@ -177,9 +217,9 @@ func (e *Executor) runLayerRectOn(l *nn.Layer, key string, in Tensor, inRowLo, i
 	switch l.Kind {
 	case nn.Conv:
 		wts := e.convW(key, l, inShape.C)
-		return convForwardRect(in, inRowLo, inColLo, inShape.H, inShape.W, l, wts, out), nil
+		return convForwardRect(in, inRowLo, inColLo, inShape.H, inShape.W, l, wts, out, e.par), nil
 	case nn.MaxPool, nn.AvgPool:
-		return poolForwardRect(in, inRowLo, inColLo, inShape.H, inShape.W, l, out), nil
+		return poolForwardRect(in, inRowLo, inColLo, inShape.H, inShape.W, l, out, e.par), nil
 	case nn.FullyConnected, nn.GlobalAvgPool:
 		if inRowLo != 0 || inColLo != 0 || in.H != inShape.H || in.W != inShape.W {
 			return Tensor{}, fmt.Errorf("%v needs the full input map in a rect segment", l.Kind)
@@ -192,7 +232,8 @@ func (e *Executor) runLayerRectOn(l *nn.Layer, key string, in Tensor, inRowLo, i
 	}
 }
 
-// runBlockRect mirrors runBlock for rectangular tiles.
+// runBlockRect mirrors runBlock for rectangular tiles, including the
+// recycling of path intermediates and the explicit concat allocation.
 func (e *Executor) runBlockRect(l *nn.Layer, key string, in Tensor, inRowLo, inColLo int, inShape nn.Shape, out partition.Rect) (Tensor, error) {
 	var combined Tensor
 	for pi, path := range l.Paths {
@@ -228,6 +269,7 @@ func (e *Executor) runBlockRect(l *nn.Layer, key string, in Tensor, inRowLo, inC
 				if err != nil {
 					return Tensor{}, fmt.Errorf("path %d layer %d (%s): %w", pi, li, path[li].Name, err)
 				}
+				Recycle(cur)
 				cur = next
 				curRowLo, curColLo = needs[li+1].Rows.Lo, needs[li+1].Cols.Lo
 				curShape = nextShape
@@ -246,14 +288,12 @@ func (e *Executor) runBlockRect(l *nn.Layer, key string, in Tensor, inRowLo, inC
 			for j := range combined.Data {
 				combined.Data[j] += pOut.Data[j]
 			}
+			Recycle(pOut)
 		case nn.Concat:
 			if pOut.H != combined.H || pOut.W != combined.W {
 				return Tensor{}, fmt.Errorf("concat path %d spatial mismatch", pi)
 			}
-			combined = Tensor{
-				C: combined.C + pOut.C, H: combined.H, W: combined.W,
-				Data: append(combined.Data, pOut.Data...),
-			}
+			combined = concatChannels(combined, pOut)
 		default:
 			return Tensor{}, fmt.Errorf("invalid combine %v", l.Combine)
 		}
@@ -262,12 +302,13 @@ func (e *Executor) runBlockRect(l *nn.Layer, key string, in Tensor, inRowLo, inC
 	return combined, nil
 }
 
-// sliceRect copies a rectangular sub-region of every channel.
+// sliceRect copies a rectangular sub-region of every channel into an
+// arena-backed tensor.
 func sliceRect(t Tensor, rLo, rHi, cLo, cHi int) Tensor {
 	if rLo < 0 || rHi > t.H || cLo < 0 || cHi > t.W || rLo >= rHi || cLo >= cHi {
 		panic(fmt.Sprintf("tensor: sliceRect [%d,%d)x[%d,%d) of %dx%d", rLo, rHi, cLo, cHi, t.H, t.W))
 	}
-	out := New(t.C, rHi-rLo, cHi-cLo)
+	out := Alloc(t.C, rHi-rLo, cHi-cLo)
 	for c := 0; c < t.C; c++ {
 		for r := rLo; r < rHi; r++ {
 			src := t.Data[(c*t.H+r)*t.W+cLo : (c*t.H+r)*t.W+cHi]
@@ -291,7 +332,9 @@ func StitchGrid(tiles []Tensor, rects []partition.Rect, h, w int) (Tensor, error
 		return Tensor{}, fmt.Errorf("tensor: %d tiles with %d rects", len(tiles), len(rects))
 	}
 	c := tiles[0].C
-	out := New(c, h, w)
+	// Arena-backed: on success every cell is covered exactly once, so all
+	// elements are written before the tensor is returned.
+	out := Alloc(c, h, w)
 	covered := make([]bool, h*w)
 	for i, tile := range tiles {
 		rc := rects[i]

@@ -20,6 +20,12 @@ import (
 type Tensor struct {
 	C, H, W int
 	Data    []float32
+
+	// slab, when non-nil, points at the full-capacity backing slice this
+	// tensor drew from the arena; Recycle uses it to return the memory
+	// without allocating. Tensors built by hand have a nil slab and are
+	// simply garbage collected.
+	slab *[]float32
 }
 
 // New allocates a zero tensor of the given extent.
@@ -51,12 +57,13 @@ func (t *Tensor) Clone() Tensor {
 	return out
 }
 
-// SliceRows copies rows [lo, hi) of every channel into a new tensor.
+// SliceRows copies rows [lo, hi) of every channel into a new tensor. The
+// copy is arena-backed; callers that drop it on the hot path may Recycle it.
 func (t *Tensor) SliceRows(lo, hi int) Tensor {
 	if lo < 0 || hi > t.H || lo >= hi {
 		panic(fmt.Sprintf("tensor: SliceRows[%d,%d) of height %d", lo, hi, t.H))
 	}
-	out := New(t.C, hi-lo, t.W)
+	out := Alloc(t.C, hi-lo, t.W)
 	for c := 0; c < t.C; c++ {
 		src := t.Data[(c*t.H+lo)*t.W : (c*t.H+hi)*t.W]
 		dst := out.Data[c*out.H*out.W : (c+1)*out.H*out.W]
@@ -73,7 +80,9 @@ func StitchRows(strips []Tensor, los []int, h int) (Tensor, error) {
 		return Tensor{}, fmt.Errorf("tensor: %d strips with %d offsets", len(strips), len(los))
 	}
 	c, w := strips[0].C, strips[0].W
-	out := New(c, h, w)
+	// Arena-backed: on success every row is covered exactly once, so all
+	// elements are written before the tensor is returned.
+	out := Alloc(c, h, w)
 	covered := make([]bool, h)
 	for i, s := range strips {
 		if s.C != c || s.W != w {

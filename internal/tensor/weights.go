@@ -16,6 +16,39 @@ type convWeights struct {
 	bias    []float32
 	bnScale []float32
 	bnShift []float32
+
+	// rows is the kernel pre-compacted at generation time: one entry per
+	// (oc*icg+g)*KH+kh kernel row, holding only the taps with non-zero
+	// weight. The forward loops iterate rows instead of w, which hoists
+	// the w == 0 branch out of the hot loop while keeping the per-element
+	// accumulation order (kw ascending, zeros skipped) identical to the
+	// original scalar loop.
+	rows []kernelRow
+}
+
+// kernelRow is one compacted kernel row: kw[i] is the horizontal tap
+// position of weight w[i].
+type kernelRow struct {
+	kw []int32
+	w  []float32
+}
+
+// compact builds rows from the flat kernel. icg is input channels per group.
+func (cw *convWeights) compact(l *nn.Layer, icg int) {
+	cw.rows = make([]kernelRow, l.OutC*icg*l.KH)
+	for r := range cw.rows {
+		flat := cw.w[r*l.KW : (r+1)*l.KW]
+		row := &cw.rows[r]
+		row.kw = make([]int32, 0, l.KW)
+		row.w = make([]float32, 0, l.KW)
+		for kw, w := range flat {
+			if w == 0 {
+				continue
+			}
+			row.kw = append(row.kw, int32(kw))
+			row.w = append(row.w, w)
+		}
+	}
 }
 
 // fcWeights holds a fully connected layer's parameters: w is
@@ -63,6 +96,7 @@ func genConv(seed int64, key string, l *nn.Layer, inC int) *convWeights {
 			cw.bnShift[i] = (rng.Float32()*2 - 1) * 0.05
 		}
 	}
+	cw.compact(l, icg)
 	return cw
 }
 

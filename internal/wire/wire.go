@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"net"
 	"sync"
 
@@ -170,8 +171,11 @@ func (c *Conn) Recv() (*Message, error) {
 	if _, err := io.ReadFull(c.br, hdr); err != nil {
 		return nil, fmt.Errorf("wire: read header: %w", err)
 	}
-	payload := make([]byte, plen)
+	// Payloads come from the scratch pool; receivers that fully consume a
+	// message may PutBuffer(msg.Payload) to recycle it.
+	payload := GetBuffer(int(plen))
 	if _, err := io.ReadFull(c.br, payload); err != nil {
+		PutBuffer(payload)
 		return nil, fmt.Errorf("wire: read payload: %w", err)
 	}
 	return &Message{Type: t, Header: hdr, Payload: payload}, nil
@@ -185,9 +189,54 @@ func (m *Message) DecodeHeader(v any) error {
 	return nil
 }
 
-// EncodeTensor serializes tensor data as little-endian float32.
+// Scratch-buffer pool for encode/decode payloads. Frames are encoded, sent
+// and dropped (or received, decoded and dropped), so the hot path cycles a
+// small working set of buffers instead of allocating per message. Buffers
+// are bucketed by power-of-two capacity, like the tensor arena.
+
+const (
+	minPooledBufBits = 12 // 4 KiB — smaller payloads allocate directly
+	maxPooledBufBits = 31 // matches maxPayloadBytes
+)
+
+var bufPool [maxPooledBufBits + 1]sync.Pool
+
+// GetBuffer returns a byte slice of length n, drawn from the scratch pool
+// when n is in the pooled range. Contents are unspecified.
+func GetBuffer(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	cl := bits.Len(uint(n - 1))
+	if cl < minPooledBufBits || cl > maxPooledBufBits {
+		return make([]byte, n)
+	}
+	if v := bufPool[cl].Get(); v != nil {
+		return (*(v.(*[]byte)))[:n]
+	}
+	return make([]byte, n, 1<<cl)
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer (directly, or as a
+// Message payload) to the scratch pool. The caller must not touch b after.
+func PutBuffer(b []byte) {
+	n := cap(b)
+	if n == 0 || n&(n-1) != 0 {
+		return // not a pooled class; let the GC have it
+	}
+	cl := bits.Len(uint(n)) - 1
+	if cl < minPooledBufBits || cl > maxPooledBufBits {
+		return
+	}
+	b = b[:n]
+	bufPool[cl].Put(&b)
+}
+
+// EncodeTensor serializes tensor data as little-endian float32 into a
+// pooled buffer. Callers done with the buffer (after Send returns) should
+// hand it back via PutBuffer to keep the hot path allocation-free.
 func EncodeTensor(t tensor.Tensor) []byte {
-	buf := make([]byte, 4*len(t.Data))
+	buf := GetBuffer(4 * len(t.Data))
 	for i, v := range t.Data {
 		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
 	}
@@ -195,6 +244,7 @@ func EncodeTensor(t tensor.Tensor) []byte {
 }
 
 // DecodeTensor reconstructs a tensor of the given extent from a payload.
+// The tensor is arena-backed; callers done with it may tensor.Recycle it.
 func DecodeTensor(c, h, w int, payload []byte) (tensor.Tensor, error) {
 	if c <= 0 || h <= 0 || w <= 0 {
 		return tensor.Tensor{}, fmt.Errorf("wire: invalid tensor extent %dx%dx%d", c, h, w)
@@ -203,7 +253,7 @@ func DecodeTensor(c, h, w int, payload []byte) (tensor.Tensor, error) {
 	if len(payload) != 4*n {
 		return tensor.Tensor{}, fmt.Errorf("wire: payload %d bytes, want %d for %dx%dx%d", len(payload), 4*n, c, h, w)
 	}
-	t := tensor.New(c, h, w)
+	t := tensor.Alloc(c, h, w)
 	for i := range t.Data {
 		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
 	}
