@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench bench-json check
 
 all: check
 
@@ -23,4 +23,9 @@ race:
 bench:
 	$(GO) test -run NONE -bench 'ConvForwardParallel|RunSegmentAlloc|ConvForwardTile|WireTensorCodec' -benchtime=1x -benchmem .
 
-check: build vet test race bench
+# Full wire-layer benchmark sweep (codec MB/s, pipeline tasks/sec across
+# overlap settings), written as machine-readable JSON.
+bench-json:
+	$(GO) run ./cmd/picobench -benchjson BENCH_PR2.json
+
+check: build vet test race bench bench-json

@@ -215,6 +215,23 @@ func BenchmarkWireTensorCodec(b *testing.B) {
 		if _, err := wire.DecodeTensor(t.C, t.H, t.W, payload); err != nil {
 			b.Fatal(err)
 		}
+		wire.PutBuffer(payload)
+	}
+}
+
+// BenchmarkWireTensorCodecPortable is the per-element reference codec — the
+// baseline the zero-copy fast path in BenchmarkWireTensorCodec is measured
+// against.
+func BenchmarkWireTensorCodecPortable(b *testing.B) {
+	t := tensor.RandomInput(nn.Shape{C: 64, H: 56, W: 56}, 1)
+	b.SetBytes(int64(4 * t.Elems()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload := wire.EncodeTensorPortable(t)
+		if _, err := wire.DecodeTensorPortable(t.C, t.H, t.W, payload); err != nil {
+			b.Fatal(err)
+		}
+		wire.PutBuffer(payload)
 	}
 }
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,10 +28,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("picobench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expFlag  = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		outDir   = fs.String("out", "", "directory to write per-experiment .txt files (optional)")
-		quick    = fs.Bool("quick", false, "use the reduced configuration (fast, noisier)")
-		listOnly = fs.Bool("list", false, "list experiment IDs and exit")
+		expFlag   = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		outDir    = fs.String("out", "", "directory to write per-experiment .txt files (optional)")
+		quick     = fs.Bool("quick", false, "use the reduced configuration (fast, noisier)")
+		listOnly  = fs.Bool("list", false, "list experiment IDs and exit")
+		benchJSON = fs.String("benchjson", "", "run the wire-layer benchmarks and write the JSON result to this file, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -46,6 +48,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := experiments.Full()
 	if *quick {
 		cfg = experiments.Quick()
+	}
+
+	if *benchJSON != "" {
+		res, err := experiments.RunWireBench(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "picobench: wire bench: %v\n", err)
+			return 1
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "picobench: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "picobench: %v\n", err)
+			return 1
+		}
+		for _, row := range res.Pipeline {
+			fmt.Fprintf(stdout, "pipeline window=%d queue=%d: %.2f tasks/s (%.2fx vs sync)\n",
+				row.StageWindow, row.ExecQueue, row.TasksPerSec, row.SpeedupVsSync)
+		}
+		for _, row := range res.Codec {
+			fmt.Fprintf(stdout, "codec %-9s: encode %.0f MB/s, decode %.0f MB/s\n",
+				row.Path, row.EncodeMBps, row.DecodeMBps)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *benchJSON)
+		return 0
 	}
 
 	var ids []string

@@ -34,13 +34,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *runtime.Worker) 
 		id       = fs.String("id", "piconode", "worker identifier")
 		speed    = fs.Float64("speed", 0, "emulated effective MAC/s (0 = run at native speed)")
 		parallel = fs.Int("parallel", 0, "CPU cores per kernel (0 = all cores, 1 = serial); results are bit-identical at any setting")
+		queue    = fs.Int("queue", 2, "per-connection exec queue depth (1 = no receive/compute overlap)")
 		quiet    = fs.Bool("quiet", false, "suppress per-request logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	opts := []runtime.WorkerOption{runtime.WithParallelism(*parallel)}
+	opts := []runtime.WorkerOption{runtime.WithParallelism(*parallel), runtime.WithExecQueue(*queue)}
 	if *speed > 0 {
 		opts = append(opts, runtime.WithEmulatedSpeed(*speed))
 	}

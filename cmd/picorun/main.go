@@ -41,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", 1, "weight/input seed")
 		verify      = fs.Bool("verify", true, "check outputs against a local reference execution")
 		parallel    = fs.Int("parallel", 0, "CPU cores the local reference executor uses (0 = all cores, 1 = serial)")
+		window      = fs.Int("window", 0, "per-stage dispatch window (1 = synchronous, 2 = double buffering; 0 = default)")
 		savePlan    = fs.String("saveplan", "", "write the computed plan as JSON to this file")
 		loadPlan    = fs.String("loadplan", "", "execute a previously saved plan instead of planning")
 	)
@@ -126,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i, a := range addrs {
 		addrMap[i] = strings.TrimSpace(a)
 	}
-	p, err := runtime.NewPipeline(plan, addrMap, runtime.PipelineOptions{Seed: *seed})
+	p, err := runtime.NewPipeline(plan, addrMap, runtime.PipelineOptions{Seed: *seed, StageWindow: *window})
 	if err != nil {
 		fmt.Fprintf(stderr, "picorun: connect: %v\n", err)
 		return 1

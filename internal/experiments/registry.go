@@ -30,6 +30,7 @@ var registry = map[string]Func{
 	"ablation-grid":    AblationGrid,
 	"ext-mobilenet":    ExtMobileNet,
 	"ablation-overlap": AblationOverlap,
+	"wire":             WireBench,
 }
 
 // order fixes the presentation sequence for "run everything".
@@ -38,6 +39,7 @@ var order = []string{
 	"table2", "fig13", "bandwidth",
 	"ablation-greedy", "ablation-strips", "ablation-tlim", "ablation-ewma",
 	"ablation-rfmode", "ablation-grid", "ablation-overlap", "ext-mobilenet",
+	"wire",
 }
 
 // IDs returns every registered experiment in presentation order.

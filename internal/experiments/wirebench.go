@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/runtime"
+	"pico/internal/tensor"
+	"pico/internal/wire"
+)
+
+// CodecBenchRow measures one tensor codec path.
+type CodecBenchRow struct {
+	// Path is "zero-copy" (the wire-v2 hot path) or "portable" (the
+	// per-element reference codec every platform can fall back to).
+	Path string `json:"path"`
+	// BytesPerOp is the encoded tensor size.
+	BytesPerOp int `json:"bytes_per_op"`
+	// EncodeMBps and DecodeMBps are sustained single-core throughputs.
+	EncodeMBps float64 `json:"encode_mb_per_s"`
+	DecodeMBps float64 `json:"decode_mb_per_s"`
+}
+
+// PipelineBenchRow measures end-to-end pipeline throughput at one
+// overlap configuration over a live LocalCluster.
+type PipelineBenchRow struct {
+	// StageWindow is the coordinator-side dispatch window (1 = synchronous).
+	StageWindow int `json:"stage_window"`
+	// ExecQueue is the worker-side bounded exec queue depth.
+	ExecQueue int `json:"exec_queue"`
+	Tasks     int `json:"tasks"`
+	// Seconds is the closed-loop wall time for Tasks inferences.
+	Seconds     float64 `json:"seconds"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+	// SpeedupVsSync is TasksPerSec over the synchronous row's.
+	SpeedupVsSync float64 `json:"speedup_vs_sync"`
+}
+
+// WireBenchResult is the machine-readable artefact `make bench-json` writes
+// (BENCH_PR2.json): codec throughput for the zero-copy vs portable float32
+// paths, and pipeline tasks/sec with and without send/compute overlap.
+type WireBenchResult struct {
+	Codec    []CodecBenchRow    `json:"codec"`
+	Pipeline []PipelineBenchRow `json:"pipeline"`
+}
+
+// benchCodec times one encode/decode pair until enough work has been
+// sampled, returning MB/s for each direction.
+func benchCodec(t tensor.Tensor, encode func(tensor.Tensor) []byte, decode func([]byte) error) (encMBps, decMBps float64, err error) {
+	const minIters, minDur = 30, 50 * time.Millisecond
+	bytes := 4 * t.Elems()
+	payload := encode(t)
+
+	var iters int
+	start := time.Now()
+	for elapsed := time.Duration(0); iters < minIters || elapsed < minDur; elapsed = time.Since(start) {
+		p := encode(t)
+		wire.PutBuffer(p)
+		iters++
+	}
+	encMBps = float64(bytes) * float64(iters) / time.Since(start).Seconds() / 1e6
+
+	iters = 0
+	start = time.Now()
+	for elapsed := time.Duration(0); iters < minIters || elapsed < minDur; elapsed = time.Since(start) {
+		if err := decode(payload); err != nil {
+			return 0, 0, err
+		}
+		iters++
+	}
+	decMBps = float64(bytes) * float64(iters) / time.Since(start).Seconds() / 1e6
+	wire.PutBuffer(payload)
+	return encMBps, decMBps, nil
+}
+
+// RunWireBench measures the wire layer: float32 codec throughput (zero-copy
+// vs portable) and closed-loop pipeline throughput across overlap settings
+// (stage window × worker exec queue) on a live in-process cluster.
+func RunWireBench(cfg Config) (*WireBenchResult, error) {
+	res := &WireBenchResult{}
+
+	// Codec: a conv4-era VGG feature map, the shape that actually crosses
+	// the wire per tile.
+	fm := tensor.RandomInput(nn.Shape{C: 64, H: 56, W: 56}, 1)
+	enc, dec, err := benchCodec(fm,
+		wire.EncodeTensor,
+		func(p []byte) error { _, err := wire.DecodeTensor(fm.C, fm.H, fm.W, p); return err })
+	if err != nil {
+		return nil, err
+	}
+	res.Codec = append(res.Codec, CodecBenchRow{
+		Path: "zero-copy", BytesPerOp: 4 * fm.Elems(), EncodeMBps: enc, DecodeMBps: dec,
+	})
+	enc, dec, err = benchCodec(fm,
+		wire.EncodeTensorPortable,
+		func(p []byte) error { _, err := wire.DecodeTensorPortable(fm.C, fm.H, fm.W, p); return err })
+	if err != nil {
+		return nil, err
+	}
+	res.Codec = append(res.Codec, CodecBenchRow{
+		Path: "portable", BytesPerOp: 4 * fm.Elems(), EncodeMBps: enc, DecodeMBps: dec,
+	})
+
+	// Pipeline: a multi-stage plan over emulated-speed workers, closed loop
+	// with several tasks in flight. Window 1 + queue 1 reproduces the pre-v2
+	// synchronous transport; the other rows enable coordinator- and
+	// worker-side overlap.
+	//
+	// Single-channel, pool-free maps keep per-tile arithmetic light while a
+	// quarter-megabyte feature map still crosses the wire per stage; the
+	// emulated device speed then makes worker compute a deterministic
+	// sleep-topped interval a few times the coordinator's per-stage
+	// slice/send/receive/stitch work — the regime of a real edge rack, where
+	// the Pis compute while the coordinator's NIC drains, in which
+	// send/compute overlap can pay at all. (On a many-core host the real
+	// kernels themselves would overlap; CI runs on one core, so only the
+	// sleep-backed fraction can.)
+	m := nn.ToyChain("wire-bench", 6, 0, 1, 256)
+	const devices = 2
+	const speed = 0.15e9
+	cl := cluster.Homogeneous(devices, speed)
+	plan, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tasks := cfg.ClosedLoopTasks
+	if tasks > 200 {
+		tasks = 200
+	}
+	speeds := make([]float64, devices)
+	for i := range speeds {
+		speeds[i] = speed
+	}
+	configs := []struct{ window, queue int }{
+		{1, 1}, // synchronous baseline
+		{2, 2}, // double buffering (the v2 default)
+		{3, 2},
+	}
+	for _, c := range configs {
+		secs, err := timePipeline(plan, m, speeds, tasks, c.window, c.queue)
+		if err != nil {
+			return nil, err
+		}
+		row := PipelineBenchRow{
+			StageWindow: c.window, ExecQueue: c.queue,
+			Tasks: tasks, Seconds: secs, TasksPerSec: float64(tasks) / secs,
+		}
+		if len(res.Pipeline) > 0 {
+			row.SpeedupVsSync = row.TasksPerSec / res.Pipeline[0].TasksPerSec
+		} else {
+			row.SpeedupVsSync = 1
+		}
+		res.Pipeline = append(res.Pipeline, row)
+	}
+	return res, nil
+}
+
+// timePipeline runs a closed loop of tasks through a fresh cluster+pipeline
+// at the given overlap settings and returns the wall time.
+func timePipeline(plan *core.Plan, m *nn.Model, speeds []float64, tasks, window, queue int) (float64, error) {
+	lc, err := runtime.StartLocalCluster(len(speeds), speeds, runtime.WithExecQueue(queue))
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = lc.Close() }()
+	p, err := runtime.NewPipeline(plan, lc.Addrs, runtime.PipelineOptions{Seed: 1, StageWindow: window})
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = p.Close() }()
+	in := tensor.RandomInput(m.Input, 1)
+	// Warm the weight caches and buffer pools out of the timed region.
+	if _, err := p.Submit(in); err != nil {
+		return 0, err
+	}
+	if res := <-p.Results(); res.Err != nil {
+		return 0, res.Err
+	}
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < tasks; i++ {
+			if _, err := p.Submit(in); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < tasks; i++ {
+		res := <-p.Results()
+		if res.Err != nil {
+			return 0, res.Err
+		}
+	}
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// WireBench renders RunWireBench as picobench tables (experiment id "wire").
+func WireBench(cfg Config) ([]Table, error) {
+	res, err := RunWireBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	codec := Table{
+		ID:      "wire-codec",
+		Title:   "float32 tensor codec throughput, zero-copy vs portable",
+		Columns: []string{"path", "KiB/op", "encode MB/s", "decode MB/s"},
+	}
+	for _, r := range res.Codec {
+		codec.AddRow(r.Path, fmt.Sprintf("%d", r.BytesPerOp/1024), f2(r.EncodeMBps), f2(r.DecodeMBps))
+	}
+	pipe := Table{
+		ID:      "wire-pipeline",
+		Title:   "closed-loop pipeline throughput vs overlap settings (LocalCluster)",
+		Columns: []string{"stage window", "exec queue", "tasks", "seconds", "tasks/s", "speedup"},
+		Notes: []string{
+			"window 1 + queue 1 reproduces the pre-v2 synchronous transport",
+		},
+	}
+	for _, r := range res.Pipeline {
+		pipe.AddRow(
+			fmt.Sprintf("%d", r.StageWindow), fmt.Sprintf("%d", r.ExecQueue),
+			fmt.Sprintf("%d", r.Tasks), secs(r.Seconds), f2(r.TasksPerSec),
+			fmt.Sprintf("%.2fx", r.SpeedupVsSync))
+	}
+	return []Table{codec, pipe}, nil
+}

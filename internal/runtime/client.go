@@ -1,0 +1,267 @@
+package runtime
+
+import (
+	"fmt"
+
+	"sync"
+
+	"pico/internal/tensor"
+	"pico/internal/wire"
+)
+
+// workerClient is one coordinator→worker connection speaking wire protocol
+// v2. Requests carry ids; a single reader goroutine demultiplexes response
+// frames to a pending-call map, so many requests can be in flight on one
+// connection concurrently — the transport-side requirement for overlapping
+// one task's sends with another task's remote compute.
+type workerClient struct {
+	id   string
+	addr string
+	conn *wire.Conn
+
+	mu      sync.Mutex
+	nextReq uint64
+	pending map[uint64]chan *wire.Message
+	err     error // set once the reader exits; fails all later calls
+	closed  bool
+	done    chan struct{} // closed when the reader goroutine exits
+}
+
+// dialWorker connects, consumes the hello frame, and starts the response
+// reader.
+func dialWorker(addr string) (*workerClient, error) {
+	conn, err := dialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("runtime: hello from %s: %w", addr, err)
+	}
+	if msg.Type != wire.MsgHello {
+		_ = conn.Close()
+		return nil, fmt.Errorf("runtime: expected hello from %s, got %v", addr, msg.Type)
+	}
+	var hello wire.HelloHeader
+	if err := msg.DecodeHeader(&hello); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if hello.Version != wire.ProtocolVersion {
+		_ = conn.Close()
+		return nil, fmt.Errorf("runtime: %s speaks protocol %d, want %d", addr, hello.Version, wire.ProtocolVersion)
+	}
+	wc := &workerClient{
+		id:      hello.NodeID,
+		addr:    addr,
+		conn:    conn,
+		pending: make(map[uint64]chan *wire.Message),
+		done:    make(chan struct{}),
+	}
+	go wc.readLoop()
+	return wc, nil
+}
+
+// readLoop is the connection's single demultiplexing reader: every response
+// frame is routed to the pending call that registered its request id. On
+// connection loss it fails all pending and future calls.
+func (wc *workerClient) readLoop() {
+	for {
+		msg, err := wc.conn.Recv()
+		if err != nil {
+			wc.mu.Lock()
+			if wc.err == nil {
+				if wc.closed {
+					wc.err = errClosed
+				} else {
+					wc.err = fmt.Errorf("runtime: connection to %s lost: %w", wc.id, err)
+				}
+			}
+			pending := wc.pending
+			wc.pending = nil
+			wc.mu.Unlock()
+			for _, ch := range pending {
+				close(ch)
+			}
+			close(wc.done)
+			return
+		}
+		wc.mu.Lock()
+		ch := wc.pending[msg.ReqID]
+		delete(wc.pending, msg.ReqID)
+		wc.mu.Unlock()
+		if ch == nil {
+			// Response to a cancelled or unknown request; drop it.
+			wire.PutBuffer(msg.Payload)
+			continue
+		}
+		ch <- msg // buffered (cap 1): the reader never blocks on a caller
+	}
+}
+
+// call is one in-flight request awaiting its response frame.
+type call struct {
+	wc *workerClient
+	ch chan *wire.Message
+}
+
+// register allocates a request id and its response slot.
+func (wc *workerClient) register() (uint64, *call, error) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.err != nil {
+		return 0, nil, wc.err
+	}
+	wc.nextReq++
+	id := wc.nextReq
+	ch := make(chan *wire.Message, 1)
+	wc.pending[id] = ch
+	return id, &call{wc: wc, ch: ch}, nil
+}
+
+// cancel abandons a registered request whose send failed.
+func (wc *workerClient) cancel(id uint64) {
+	wc.mu.Lock()
+	delete(wc.pending, id)
+	wc.mu.Unlock()
+}
+
+// readError returns the terminal connection error (the reader sets it
+// before failing any pending call).
+func (wc *workerClient) readError() error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.err != nil {
+		return wc.err
+	}
+	return fmt.Errorf("runtime: connection to %s lost", wc.id)
+}
+
+// wait blocks for the response frame (or connection loss).
+func (c *call) wait() (*wire.Message, error) {
+	msg, ok := <-c.ch
+	if !ok {
+		return nil, c.wc.readError()
+	}
+	return msg, nil
+}
+
+// roundTrip issues one JSON-header control request and waits for its
+// response.
+func (wc *workerClient) roundTrip(t wire.MsgType, header any, payload []byte) (*wire.Message, error) {
+	id, c, err := wc.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := wc.conn.SendRequest(t, id, header, payload); err != nil {
+		wc.cancel(id)
+		return nil, err
+	}
+	return c.wait()
+}
+
+func (wc *workerClient) close() error {
+	wc.mu.Lock()
+	if wc.closed {
+		wc.mu.Unlock()
+		return nil
+	}
+	wc.closed = true
+	wc.mu.Unlock()
+	_ = wc.conn.Send(wire.MsgShutdown, nil, nil)
+	err := wc.conn.Close()
+	<-wc.done
+	return err
+}
+
+func (wc *workerClient) loadModel(spec wire.ModelSpec, seed int64) error {
+	msg, err := wc.roundTrip(wire.MsgLoadModel, wire.LoadModelHeader{Model: spec, Seed: seed}, nil)
+	if err != nil {
+		return err
+	}
+	defer wire.PutBuffer(msg.Payload)
+	if msg.Type == wire.MsgError {
+		var eh wire.ErrorHeader
+		_ = msg.DecodeHeader(&eh)
+		return fmt.Errorf("runtime: %s rejected model: %s", wc.id, eh.Message)
+	}
+	if msg.Type != wire.MsgPong {
+		return fmt.Errorf("runtime: %s: unexpected %v after load", wc.id, msg.Type)
+	}
+	return nil
+}
+
+// startExec serializes and sends one tile request without waiting for the
+// result; the returned call resolves to the computed strip. The tile is
+// fully written to the wire before startExec returns, so the caller may
+// recycle it immediately.
+func (wc *workerClient) startExec(hdr wire.ExecHeader, tile tensor.Tensor) (*call, error) {
+	id, c, err := wc.register()
+	if err != nil {
+		return nil, fmt.Errorf("runtime: exec to %s: %w", wc.id, err)
+	}
+	hdr.TileC, hdr.TileH, hdr.TileW = tile.C, tile.H, tile.W
+	payload, pooled := wire.TensorBytes(tile)
+	err = wc.conn.SendExec(id, &hdr, payload)
+	if pooled {
+		wire.PutBuffer(payload)
+	}
+	if err != nil {
+		wc.cancel(id)
+		return nil, fmt.Errorf("runtime: exec to %s: %w", wc.id, err)
+	}
+	return c, nil
+}
+
+// waitExec resolves an exec call to its output strip and the worker's
+// reported compute seconds.
+func (c *call) waitExec() (tensor.Tensor, float64, error) {
+	msg, err := c.wait()
+	if err != nil {
+		return tensor.Tensor{}, 0, fmt.Errorf("runtime: exec result from %s: %w", c.wc.id, err)
+	}
+	switch msg.Type {
+	case wire.MsgExecResult:
+		var rh wire.ExecResultHeader
+		if err := msg.DecodeExecResult(&rh); err != nil {
+			wire.PutBuffer(msg.Payload)
+			return tensor.Tensor{}, 0, err
+		}
+		out, err := wire.DecodeTensor(rh.C, rh.H, rh.W, msg.Payload)
+		wire.PutBuffer(msg.Payload)
+		if err != nil {
+			return tensor.Tensor{}, 0, err
+		}
+		return out, rh.ComputeSeconds, nil
+	case wire.MsgError:
+		var eh wire.ErrorHeader
+		_ = msg.DecodeHeader(&eh)
+		wire.PutBuffer(msg.Payload)
+		return tensor.Tensor{}, 0, fmt.Errorf("runtime: %s: %s", c.wc.id, eh.Message)
+	default:
+		wire.PutBuffer(msg.Payload)
+		return tensor.Tensor{}, 0, fmt.Errorf("runtime: %s: unexpected %v", c.wc.id, msg.Type)
+	}
+}
+
+// exec is the synchronous request/response form of startExec + waitExec.
+func (wc *workerClient) exec(hdr wire.ExecHeader, tile tensor.Tensor) (tensor.Tensor, float64, error) {
+	c, err := wc.startExec(hdr, tile)
+	if err != nil {
+		return tensor.Tensor{}, 0, err
+	}
+	return c.waitExec()
+}
+
+func (wc *workerClient) ping() error {
+	msg, err := wc.roundTrip(wire.MsgPing, nil, nil)
+	if err != nil {
+		return err
+	}
+	defer wire.PutBuffer(msg.Payload)
+	if msg.Type != wire.MsgPong {
+		return fmt.Errorf("runtime: %s: unexpected %v to ping", wc.id, msg.Type)
+	}
+	return nil
+}

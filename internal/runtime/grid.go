@@ -80,15 +80,13 @@ func (ge *GridExecutor) Infer(taskID int64, input tensor.Tensor) (tensor.Tensor,
 		wg.Add(1)
 		go func(k int, wc *workerClient, sub tensor.Tensor, need, tile partition.Rect) {
 			defer wg.Done()
-			out, _, err := wc.exec(execHeader{
-				ExecHeader: wire.ExecHeader{
-					TaskID: taskID,
-					From:   ge.from, To: ge.to,
-					OutLo: tile.Rows.Lo, OutHi: tile.Rows.Hi,
-					InLo:     need.Rows.Lo,
-					OutColLo: tile.Cols.Lo, OutColHi: tile.Cols.Hi,
-					InColLo: need.Cols.Lo,
-				},
+			out, _, err := wc.exec(wire.ExecHeader{
+				TaskID: taskID,
+				From:   ge.from, To: ge.to,
+				OutLo: tile.Rows.Lo, OutHi: tile.Rows.Hi,
+				InLo:     need.Rows.Lo,
+				OutColLo: tile.Cols.Lo, OutColHi: tile.Cols.Hi,
+				InColLo:   need.Cols.Lo,
 				ModelName: ge.model.Name,
 				Seed:      ge.seed,
 			}, sub)

@@ -3,7 +3,9 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pico/internal/core"
@@ -11,131 +13,6 @@ import (
 	"pico/internal/tensor"
 	"pico/internal/wire"
 )
-
-// workerClient is one coordinator→worker connection. A client serves one
-// request at a time; stage drivers hold one client per stage device, so
-// requests to different devices proceed in parallel.
-type workerClient struct {
-	id   string
-	addr string
-
-	mu   sync.Mutex
-	conn *wire.Conn
-}
-
-// dialWorker connects and consumes the hello frame.
-func dialWorker(addr string) (*workerClient, error) {
-	conn, err := dialTCP(addr)
-	if err != nil {
-		return nil, err
-	}
-	msg, err := conn.Recv()
-	if err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("runtime: hello from %s: %w", addr, err)
-	}
-	if msg.Type != wire.MsgHello {
-		_ = conn.Close()
-		return nil, fmt.Errorf("runtime: expected hello from %s, got %v", addr, msg.Type)
-	}
-	var hello wire.HelloHeader
-	if err := msg.DecodeHeader(&hello); err != nil {
-		_ = conn.Close()
-		return nil, err
-	}
-	if hello.Version != wire.ProtocolVersion {
-		_ = conn.Close()
-		return nil, fmt.Errorf("runtime: %s speaks protocol %d, want %d", addr, hello.Version, wire.ProtocolVersion)
-	}
-	return &workerClient{id: hello.NodeID, addr: addr, conn: conn}, nil
-}
-
-func (wc *workerClient) close() error {
-	wc.mu.Lock()
-	defer wc.mu.Unlock()
-	_ = wc.conn.Send(wire.MsgShutdown, nil, nil)
-	return wc.conn.Close()
-}
-
-func (wc *workerClient) loadModel(spec wire.ModelSpec, seed int64) error {
-	wc.mu.Lock()
-	defer wc.mu.Unlock()
-	if err := wc.conn.Send(wire.MsgLoadModel, wire.LoadModelHeader{Model: spec, Seed: seed}, nil); err != nil {
-		return err
-	}
-	msg, err := wc.conn.Recv()
-	if err != nil {
-		return err
-	}
-	if msg.Type == wire.MsgError {
-		var eh wire.ErrorHeader
-		_ = msg.DecodeHeader(&eh)
-		return fmt.Errorf("runtime: %s rejected model: %s", wc.id, eh.Message)
-	}
-	if msg.Type != wire.MsgPong {
-		return fmt.Errorf("runtime: %s: unexpected %v after load", wc.id, msg.Type)
-	}
-	return nil
-}
-
-// execHeader is the full exec request header: wire.ExecHeader plus the
-// model reference the worker resolves.
-type execHeader struct {
-	wire.ExecHeader
-	ModelName string `json:"model_name"`
-	Seed      int64  `json:"seed"`
-}
-
-func (wc *workerClient) exec(hdr execHeader, tile tensor.Tensor) (tensor.Tensor, float64, error) {
-	wc.mu.Lock()
-	defer wc.mu.Unlock()
-	hdr.TileC, hdr.TileH, hdr.TileW = tile.C, tile.H, tile.W
-	payload := wire.EncodeTensor(tile)
-	err := wc.conn.Send(wire.MsgExec, hdr, payload)
-	wire.PutBuffer(payload)
-	if err != nil {
-		return tensor.Tensor{}, 0, fmt.Errorf("runtime: exec to %s: %w", wc.id, err)
-	}
-	msg, err := wc.conn.Recv()
-	if err != nil {
-		return tensor.Tensor{}, 0, fmt.Errorf("runtime: exec result from %s: %w", wc.id, err)
-	}
-	switch msg.Type {
-	case wire.MsgExecResult:
-		var rh wire.ExecResultHeader
-		if err := msg.DecodeHeader(&rh); err != nil {
-			return tensor.Tensor{}, 0, err
-		}
-		out, err := wire.DecodeTensor(rh.C, rh.H, rh.W, msg.Payload)
-		wire.PutBuffer(msg.Payload)
-		if err != nil {
-			return tensor.Tensor{}, 0, err
-		}
-		return out, rh.ComputeSeconds, nil
-	case wire.MsgError:
-		var eh wire.ErrorHeader
-		_ = msg.DecodeHeader(&eh)
-		return tensor.Tensor{}, 0, fmt.Errorf("runtime: %s: %s", wc.id, eh.Message)
-	default:
-		return tensor.Tensor{}, 0, fmt.Errorf("runtime: %s: unexpected %v", wc.id, msg.Type)
-	}
-}
-
-func (wc *workerClient) ping() error {
-	wc.mu.Lock()
-	defer wc.mu.Unlock()
-	if err := wc.conn.Send(wire.MsgPing, nil, nil); err != nil {
-		return err
-	}
-	msg, err := wc.conn.Recv()
-	if err != nil {
-		return err
-	}
-	if msg.Type != wire.MsgPong {
-		return fmt.Errorf("runtime: %s: unexpected %v to ping", wc.id, msg.Type)
-	}
-	return nil
-}
 
 // StageSpan records one task's occupancy of one pipeline stage.
 type StageSpan struct {
@@ -175,6 +52,11 @@ type flight struct {
 // feature map from the input queue, split it into the plan's strips,
 // distribute the tiles to the stage workers, gather and stitch the results,
 // and hand the stitched map to the next stage.
+//
+// With window > 1 the driver pipelines within the stage too: tiles for task
+// N+1 are sliced, serialized and sent while the workers still compute task
+// N (whose strips are gathered concurrently), so coordinator-side transport
+// work overlaps remote compute instead of extending the stage's period.
 type stageDriver struct {
 	stage   core.Stage
 	workers []*workerClient // parallel to stage.DeviceIdx; nil for idle slots
@@ -184,80 +66,127 @@ type stageDriver struct {
 		seed int64
 	}
 	outH int
+	// window caps how many tasks may be dispatched but not yet stitched.
+	window int
 	// record accumulates per-device compute time into the pipeline stats.
 	record func(deviceIdx int, seconds float64)
+}
+
+// flightWork is one dispatched task awaiting its strips.
+type flightWork struct {
+	f     *flight
+	calls []*call // parallel to workers; nil slots were idle
+	start time.Time
 }
 
 func (sd *stageDriver) run(in <-chan *flight, out chan<- *flight, wg *sync.WaitGroup) {
 	defer wg.Done()
 	defer close(out)
-	for f := range in {
-		if f.err == nil {
-			start := time.Now()
-			sd.process(f)
-			f.spans = append(f.spans, StageSpan{
-				From: sd.stage.From, To: sd.stage.To,
-				Start: start, End: time.Now(),
-			})
+	if sd.window <= 1 {
+		// Synchronous: one task occupies the stage end to end.
+		for f := range in {
+			sd.gather(sd.dispatch(f))
+			out <- f
 		}
-		out <- f
+		return
 	}
+	// Pipelined: the dispatcher stays up to window-1 tasks ahead of the
+	// gatherer, so its split/encode/send work overlaps worker compute.
+	work := make(chan *flightWork, sd.window-1)
+	var dispatchWG sync.WaitGroup
+	dispatchWG.Add(1)
+	go func() {
+		defer dispatchWG.Done()
+		defer close(work)
+		for f := range in {
+			work <- sd.dispatch(f)
+		}
+	}()
+	for fw := range work {
+		sd.gather(fw)
+		out <- fw.f
+	}
+	dispatchWG.Wait()
 }
 
-func (sd *stageDriver) process(f *flight) {
-	type strip struct {
-		t    tensor.Tensor
-		lo   int
-		comp float64
-		err  error
+// dispatch splits a flight's feature map into the stage's strips and sends
+// every tile, returning the in-flight calls for gather. Failed flights pass
+// through untouched.
+func (sd *stageDriver) dispatch(f *flight) *flightWork {
+	fw := &flightWork{f: f, start: time.Now()}
+	if f.err != nil {
+		return fw
 	}
-	var wg sync.WaitGroup
-	strips := make([]strip, len(sd.workers))
-	active := 0
+	fw.calls = make([]*call, len(sd.workers))
 	for k, wc := range sd.workers {
 		part := sd.stage.Parts[k]
 		if wc == nil || part.Empty() {
-			strips[k].lo = -1
 			continue
 		}
-		active++
 		inR := sd.calc.InputRange(sd.stage.From, sd.stage.To, part)
 		tile := f.t.SliceRows(inR.Lo, inR.Hi)
-		wg.Add(1)
-		go func(k int, wc *workerClient, tile tensor.Tensor, inLo int, part partition.Range) {
-			defer wg.Done()
-			out, comp, err := wc.exec(execHeader{
-				ExecHeader: wire.ExecHeader{
-					TaskID: f.id,
-					From:   sd.stage.From, To: sd.stage.To,
-					OutLo: part.Lo, OutHi: part.Hi,
-					InLo: inLo,
-				},
-				ModelName: sd.ref.name,
-				Seed:      sd.ref.seed,
-			}, tile)
-			tensor.Recycle(tile) // fully serialized into the request
-			strips[k] = strip{t: out, lo: part.Lo, comp: comp, err: err}
-		}(k, wc, tile, inR.Lo, part)
+		c, err := wc.startExec(wire.ExecHeader{
+			TaskID: f.id,
+			From:   sd.stage.From, To: sd.stage.To,
+			OutLo: part.Lo, OutHi: part.Hi,
+			InLo:      inR.Lo,
+			ModelName: sd.ref.name,
+			Seed:      sd.ref.seed,
+		}, tile)
+		tensor.Recycle(tile) // fully serialized into the request
+		if err != nil {
+			f.err = err
+			break // outstanding calls for this flight are still gathered
+		}
+		fw.calls[k] = c
 	}
-	wg.Wait()
-	outs := make([]tensor.Tensor, 0, active)
-	los := make([]int, 0, active)
-	for k := range strips {
-		if strips[k].lo < 0 {
+	return fw
+}
+
+// gather collects a dispatched flight's strips and stitches them into the
+// stage output.
+func (sd *stageDriver) gather(fw *flightWork) {
+	f := fw.f
+	if fw.calls == nil {
+		return // flight failed before this stage
+	}
+	defer func() {
+		f.spans = append(f.spans, StageSpan{
+			From: sd.stage.From, To: sd.stage.To,
+			Start: fw.start, End: time.Now(),
+		})
+	}()
+	outs := make([]tensor.Tensor, 0, len(fw.calls))
+	los := make([]int, 0, len(fw.calls))
+	for k, c := range fw.calls {
+		if c == nil {
 			continue
 		}
-		if strips[k].err != nil {
-			f.err = strips[k].err
-			return
+		strip, comp, err := c.waitExec()
+		if err != nil {
+			// Keep draining the remaining calls so every in-flight
+			// response is accounted for before the flight fails.
+			if f.err == nil {
+				f.err = err
+			}
+			continue
 		}
-		sd.record(sd.stage.DeviceIdx[k], strips[k].comp)
-		outs = append(outs, strips[k].t)
-		los = append(los, strips[k].lo)
+		sd.record(sd.stage.DeviceIdx[k], comp)
+		outs = append(outs, strip)
+		los = append(los, sd.stage.Parts[k].Lo)
+	}
+	if f.err != nil {
+		for _, o := range outs {
+			tensor.Recycle(o)
+		}
+		return
 	}
 	stitched, err := tensor.StitchRows(outs, los, sd.outH)
 	if err != nil {
 		f.err = fmt.Errorf("runtime: stage [%d,%d) stitch: %w", sd.stage.From, sd.stage.To, err)
+		for _, o := range outs {
+			tensor.Recycle(o)
+		}
 		return
 	}
 	for _, o := range outs {
@@ -285,7 +214,30 @@ type Pipeline struct {
 	mu     sync.Mutex
 	nextID int64
 	closed bool
-	stats  map[int]*WorkerStat
+
+	// stats holds one lock-free counter per device, built once at
+	// construction; stage goroutines update them with atomics on every
+	// tile, so the per-tile hot path never takes the pipeline mutex.
+	stats map[int]*deviceCounter
+}
+
+// deviceCounter accumulates one device's activity with atomics.
+type deviceCounter struct {
+	tiles atomic.Int64
+	// computeBits holds the float64 bit pattern of accumulated compute
+	// seconds, updated by CAS.
+	computeBits atomic.Uint64
+}
+
+func (dc *deviceCounter) add(seconds float64) {
+	dc.tiles.Add(1)
+	for {
+		old := dc.computeBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if dc.computeBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // WorkerStat aggregates one device's activity over the pipeline's lifetime.
@@ -303,6 +255,12 @@ type PipelineOptions struct {
 	Seed int64
 	// QueueDepth is the per-stage input buffer (default 8).
 	QueueDepth int
+	// StageWindow caps how many tasks a stage driver may have dispatched
+	// but not yet stitched. 1 is fully synchronous (send, compute, gather
+	// one task at a time — the pre-v2 behaviour); the default 2 double-
+	// buffers: the coordinator slices, serializes and sends task N+1's
+	// tiles while the workers still compute task N.
+	StageWindow int
 }
 
 // NewPipeline connects to the workers backing the plan's devices and starts
@@ -318,12 +276,15 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 8
 	}
+	if opts.StageWindow <= 0 {
+		opts.StageWindow = 2
+	}
 	p := &Pipeline{
 		plan:    plan,
 		seed:    opts.Seed,
 		in:      make(chan *flight, opts.QueueDepth),
 		results: make(chan TaskResult, opts.QueueDepth),
-		stats:   make(map[int]*WorkerStat),
+		stats:   make(map[int]*deviceCounter),
 	}
 	spec := wire.SpecFromModel(plan.Model)
 	calc := partition.NewCalc(plan.Model)
@@ -339,6 +300,7 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 			workers: make([]*workerClient, len(st.DeviceIdx)),
 			calc:    calc,
 			outH:    plan.Model.OutShape(st.To - 1).H,
+			window:  opts.StageWindow,
 		}
 		sd.ref.name = plan.Model.Name
 		sd.ref.seed = opts.Seed
@@ -360,6 +322,9 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 				return fail(err)
 			}
 			sd.workers[k] = wc
+			if p.stats[di] == nil {
+				p.stats[di] = &deviceCounter{}
+			}
 		}
 		p.stages = append(p.stages, sd)
 	}
@@ -432,27 +397,25 @@ func (p *Pipeline) Close() error {
 // Plan returns the executed plan.
 func (p *Pipeline) Plan() *core.Plan { return p.plan }
 
-// recordCompute accumulates a worker-reported tile execution.
+// recordCompute accumulates a worker-reported tile execution. Lock-free:
+// the counter map is immutable after construction and each counter is
+// atomic, so concurrent stage goroutines never contend on a pipeline-wide
+// mutex.
 func (p *Pipeline) recordCompute(deviceIdx int, seconds float64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := p.stats[deviceIdx]
-	if st == nil {
-		st = &WorkerStat{}
-		p.stats[deviceIdx] = st
+	if dc := p.stats[deviceIdx]; dc != nil {
+		dc.add(seconds)
 	}
-	st.Tiles++
-	st.ComputeSeconds += seconds
 }
 
 // WorkerStats returns a snapshot of per-device activity, keyed by cluster
-// device index.
+// device index. Devices that have not executed a tile yet report zeros.
 func (p *Pipeline) WorkerStats() map[int]WorkerStat {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	out := make(map[int]WorkerStat, len(p.stats))
-	for di, st := range p.stats {
-		out[di] = *st
+	for di, dc := range p.stats {
+		out[di] = WorkerStat{
+			Tiles:          int(dc.tiles.Load()),
+			ComputeSeconds: math.Float64frombits(dc.computeBits.Load()),
+		}
 	}
 	return out
 }

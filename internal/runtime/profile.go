@@ -51,13 +51,11 @@ func MeasureWorker(addr string, probe *nn.Model, seed int64, rounds int) ([]clus
 		flops := float64(exec.RegionFLOPs(0, probe.NumLayers(), part))
 		best := 0.0
 		for r := 0; r < rounds; r++ {
-			_, comp, err := wc.exec(execHeader{
-				ExecHeader: wire.ExecHeader{
-					TaskID: int64(r),
-					From:   0, To: probe.NumLayers(),
-					OutLo: part.Lo, OutHi: part.Hi,
-					InLo: inR.Lo,
-				},
+			_, comp, err := wc.exec(wire.ExecHeader{
+				TaskID: int64(r),
+				From:   0, To: probe.NumLayers(),
+				OutLo: part.Lo, OutHi: part.Hi,
+				InLo:      inR.Lo,
 				ModelName: probe.Name,
 				Seed:      seed,
 			}, tile)

@@ -3,6 +3,7 @@ package runtime
 import (
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -290,9 +291,9 @@ func TestWorkerRejectsExecWithoutModel(t *testing.T) {
 	}
 	defer wc.close()
 	tile := tensor.RandomInput(nn.Shape{C: 1, H: 4, W: 4}, 1)
-	_, _, err = wc.exec(execHeader{
-		ExecHeader: wire.ExecHeader{TaskID: 1, From: 0, To: 1, OutLo: 0, OutHi: 4},
-		ModelName:  "nope", Seed: 1,
+	_, _, err = wc.exec(wire.ExecHeader{
+		TaskID: 1, From: 0, To: 1, OutLo: 0, OutHi: 4,
+		ModelName: "nope", Seed: 1,
 	}, tile)
 	if err == nil || !strings.Contains(err.Error(), "not loaded") {
 		t.Fatalf("err = %v, want model-not-loaded", err)
@@ -337,18 +338,18 @@ func TestWorkerExecBadTile(t *testing.T) {
 	}
 	// Tile too small for the requested range.
 	tile := tensor.RandomInput(nn.Shape{C: 1, H: 4, W: 16}, 1)
-	_, _, err = wc.exec(execHeader{
-		ExecHeader: wire.ExecHeader{TaskID: 2, From: 0, To: 2, OutLo: 0, OutHi: 16, InLo: 0},
-		ModelName:  "w", Seed: 3,
+	_, _, err = wc.exec(wire.ExecHeader{
+		TaskID: 2, From: 0, To: 2, OutLo: 0, OutHi: 16, InLo: 0,
+		ModelName: "w", Seed: 3,
 	}, tile)
 	if err == nil {
 		t.Fatal("undersized tile accepted")
 	}
 	// The connection must survive the error for the next request.
 	fullIn := tensor.RandomInput(m.Input, 1)
-	out, _, err := wc.exec(execHeader{
-		ExecHeader: wire.ExecHeader{TaskID: 3, From: 0, To: 2, OutLo: 0, OutHi: 16, InLo: 0},
-		ModelName:  "w", Seed: 3,
+	out, _, err := wc.exec(wire.ExecHeader{
+		TaskID: 3, From: 0, To: 2, OutLo: 0, OutHi: 16, InLo: 0,
+		ModelName: "w", Seed: 3,
 	}, fullIn)
 	if err != nil {
 		t.Fatalf("recovery exec failed: %v", err)
@@ -432,9 +433,9 @@ func TestManualStageSplitMatchesWorkers(t *testing.T) {
 	for k, part := range parts {
 		inR := ref.InputRange(0, m.NumLayers(), part)
 		tile := in.SliceRows(inR.Lo, inR.Hi)
-		out, _, err := clients[k].exec(execHeader{
-			ExecHeader: wire.ExecHeader{TaskID: int64(k), From: 0, To: m.NumLayers(), OutLo: part.Lo, OutHi: part.Hi, InLo: inR.Lo},
-			ModelName:  m.Name, Seed: 9,
+		out, _, err := clients[k].exec(wire.ExecHeader{
+			TaskID: int64(k), From: 0, To: m.NumLayers(), OutLo: part.Lo, OutHi: part.Hi, InLo: inR.Lo,
+			ModelName: m.Name, Seed: 9,
 		}, tile)
 		if err != nil {
 			t.Fatal(err)
@@ -448,5 +449,126 @@ func TestManualStageSplitMatchesWorkers(t *testing.T) {
 	}
 	if !tensor.Equal(want, got) {
 		t.Fatal("manual stage split differs from reference")
+	}
+}
+
+func TestClientManyRequestsInFlight(t *testing.T) {
+	// One shared connection, many goroutines with overlapping exec requests:
+	// the multiplexer must route every response to its caller, and every
+	// result must stay bit-identical to the reference.
+	m := nn.ToyChain("mux", 2, 0, 4, 24)
+	lc := startCluster(t, 1, nil)
+	wc, err := dialWorker(lc.Addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.close()
+	if err := wc.loadModel(wire.SpecFromModel(m), 5); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := tensor.NewExecutor(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outH := m.Output().H
+	parts := partition.Equal(outH, 4) // 4 distinct strip geometries
+	wants := make([]tensor.Tensor, len(parts))
+	inputs := make([]tensor.Tensor, len(parts))
+	in := tensor.RandomInput(m.Input, 13)
+	for k, part := range parts {
+		inR := ref.InputRange(0, m.NumLayers(), part)
+		inputs[k] = in.SliceRows(inR.Lo, inR.Hi)
+		full, err := ref.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[k] = full.SliceRows(part.Lo, part.Hi)
+	}
+	const goroutines, perG = 8, 10
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := (g + i) % len(parts)
+				part := parts[k]
+				inR := ref.InputRange(0, m.NumLayers(), part)
+				out, comp, err := wc.exec(wire.ExecHeader{
+					TaskID: int64(g*perG + i),
+					From:   0, To: m.NumLayers(),
+					OutLo: part.Lo, OutHi: part.Hi, InLo: inR.Lo,
+					ModelName: m.Name, Seed: 5,
+				}, inputs[k])
+				if err != nil {
+					t.Errorf("goroutine %d req %d: %v", g, i, err)
+					return
+				}
+				if comp <= 0 {
+					t.Errorf("goroutine %d req %d: compute time %g", g, i, comp)
+				}
+				if !tensor.Equal(wants[k], out) {
+					t.Errorf("goroutine %d req %d: strip %d differs from reference", g, i, k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPipelineStageWindows(t *testing.T) {
+	// Windowed (pipelined) dispatch must be bit-identical and in-order at
+	// every window depth, including the synchronous baseline.
+	plan := testPlan(t, 3)
+	ref, err := tensor.NewExecutor(plan.Model, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 6
+	inputs := make([]tensor.Tensor, tasks)
+	wants := make([]tensor.Tensor, tasks)
+	for i := range inputs {
+		inputs[i] = tensor.RandomInput(plan.Model.Input, int64(100+i))
+		wants[i], err = ref.Run(inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, window := range []int{1, 2, 4} {
+		t.Run("window="+strconv.Itoa(window), func(t *testing.T) {
+			lc := startCluster(t, 3, nil)
+			p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: 7, StageWindow: window})
+			if err != nil {
+				t.Fatal(err)
+			}
+			go func() {
+				for _, in := range inputs {
+					if _, err := p.Submit(in); err != nil {
+						t.Errorf("submit: %v", err)
+						return
+					}
+				}
+				if err := p.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}()
+			var next int64 = 1
+			for res := range p.Results() {
+				if res.Err != nil {
+					t.Fatalf("task %d: %v", res.ID, res.Err)
+				}
+				if res.ID != next {
+					t.Fatalf("result %d out of order (want %d)", res.ID, next)
+				}
+				if !tensor.Equal(wants[res.ID-1], res.Output) {
+					t.Fatalf("task %d differs from reference", res.ID)
+				}
+				next++
+			}
+			if next != tasks+1 {
+				t.Fatalf("got %d results, want %d", next-1, tasks)
+			}
+		})
 	}
 }

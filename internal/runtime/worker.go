@@ -43,6 +43,13 @@ type Worker struct {
 	// (0 = all cores).
 	parallelism int
 
+	// execQueue is the per-connection bounded exec request queue depth:
+	// the serve loop keeps reading (and the coordinator keeps sending)
+	// while up to this many tiles wait for the compute goroutine, so
+	// transmission overlaps computation. Depth 1 restores strict
+	// request-at-a-time behaviour.
+	execQueue int
+
 	logf func(format string, args ...any)
 
 	mu    sync.Mutex
@@ -73,6 +80,18 @@ func WithParallelism(n int) WorkerOption {
 	return func(w *Worker) { w.parallelism = n }
 }
 
+// WithExecQueue sets the per-connection bounded exec queue depth (default
+// 2 — double buffering: one tile computing, one received and waiting).
+// Values below 1 are clamped to 1 (no overlap).
+func WithExecQueue(n int) WorkerOption {
+	return func(w *Worker) {
+		if n < 1 {
+			n = 1
+		}
+		w.execQueue = n
+	}
+}
+
 // WithLogger routes worker diagnostics to the given function.
 func WithLogger(logf func(format string, args ...any)) WorkerOption {
 	return func(w *Worker) { w.logf = logf }
@@ -86,12 +105,13 @@ func NewWorker(id, addr string, opts ...WorkerOption) (*Worker, error) {
 		return nil, fmt.Errorf("runtime: worker %s listen: %w", id, err)
 	}
 	w := &Worker{
-		id:      id,
-		ln:      ln,
-		execs:   make(map[execKey]*tensor.Executor),
-		conns:   make(map[*wire.Conn]struct{}),
-		closing: make(chan struct{}),
-		logf:    func(string, ...any) {},
+		id:        id,
+		ln:        ln,
+		execQueue: 2,
+		execs:     make(map[execKey]*tensor.Executor),
+		conns:     make(map[*wire.Conn]struct{}),
+		closing:   make(chan struct{}),
+		logf:      func(string, ...any) {},
 	}
 	for _, opt := range opts {
 		opt(w)
@@ -158,6 +178,10 @@ func (w *Worker) Abort() error {
 	return err
 }
 
+// handle serves one coordinator connection. The read loop and the compute
+// goroutine are decoupled by a bounded exec queue so a queued tile's
+// transmission overlaps the previous tile's computation; when the queue is
+// full the loop stops reading and TCP backpressure reaches the coordinator.
 func (w *Worker) handle(conn *wire.Conn) {
 	defer func() {
 		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
@@ -168,25 +192,47 @@ func (w *Worker) handle(conn *wire.Conn) {
 		w.logf("worker %s: hello: %v", w.id, err)
 		return
 	}
+	queue := make(chan *wire.Message, w.execQueue)
+	var computeWG sync.WaitGroup
+	computeWG.Add(1)
+	go func() {
+		defer computeWG.Done()
+		failed := false
+		for msg := range queue {
+			if !failed {
+				if err := w.handleExec(conn, msg); err != nil {
+					w.logf("worker %s: %v", w.id, err)
+					failed = true
+					_ = conn.Close() // unblock the read loop; the queue drains below
+				}
+			}
+			wire.PutBuffer(msg.Payload)
+		}
+	}()
+	defer computeWG.Wait()
+	defer close(queue)
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
 			return // peer gone or shutting down
 		}
+		if msg.Type == wire.MsgExec {
+			queue <- msg // payload ownership moves to the compute goroutine
+			continue
+		}
+		// Control frames are handled inline so a load or ping never waits
+		// behind queued compute.
 		switch msg.Type {
 		case wire.MsgLoadModel:
 			err = w.handleLoad(conn, msg)
-		case wire.MsgExec:
-			err = w.handleExec(conn, msg)
 		case wire.MsgPing:
-			err = conn.Send(wire.MsgPong, nil, nil)
+			err = conn.SendRequest(wire.MsgPong, msg.ReqID, nil, nil)
 		case wire.MsgShutdown:
+			wire.PutBuffer(msg.Payload)
 			return
 		default:
-			err = conn.Send(wire.MsgError, wire.ErrorHeader{Message: fmt.Sprintf("unexpected %v", msg.Type)}, nil)
+			err = conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{Message: fmt.Sprintf("unexpected %v", msg.Type)}, nil)
 		}
-		// Handlers fully consume the request payload (tiles are decoded
-		// into tensors); recycle the receive buffer.
 		wire.PutBuffer(msg.Payload)
 		if err != nil {
 			w.logf("worker %s: %v", w.id, err)
@@ -198,21 +244,21 @@ func (w *Worker) handle(conn *wire.Conn) {
 func (w *Worker) handleLoad(conn *wire.Conn, msg *wire.Message) error {
 	var hdr wire.LoadModelHeader
 	if err := msg.DecodeHeader(&hdr); err != nil {
-		return conn.Send(wire.MsgError, wire.ErrorHeader{Message: err.Error()}, nil)
+		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{Message: err.Error()}, nil)
 	}
 	m, err := hdr.Model.ToModel()
 	if err != nil {
-		return conn.Send(wire.MsgError, wire.ErrorHeader{Message: err.Error()}, nil)
+		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{Message: err.Error()}, nil)
 	}
 	exec, err := tensor.NewExecutor(m, hdr.Seed, tensor.WithParallelism(w.parallelism))
 	if err != nil {
-		return conn.Send(wire.MsgError, wire.ErrorHeader{Message: err.Error()}, nil)
+		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{Message: err.Error()}, nil)
 	}
 	w.mu.Lock()
 	w.execs[execKey{name: m.Name, seed: hdr.Seed}] = exec
 	w.mu.Unlock()
 	w.logf("worker %s: loaded %s (seed %d)", w.id, m.Name, hdr.Seed)
-	return conn.Send(wire.MsgPong, nil, nil)
+	return conn.SendRequest(wire.MsgPong, msg.ReqID, nil, nil)
 }
 
 func (w *Worker) executor(name string, seed int64) (*tensor.Executor, bool) {
@@ -230,33 +276,21 @@ func (w *Worker) executor(name string, seed int64) (*tensor.Executor, bool) {
 	return nil, false
 }
 
-// ExecModelHeader extension: the model is identified by name+seed, carried
-// in the Exec header via these fields on the wire (kept in ExecHeader's
-// JSON by the coordinator).
-type execModelRef struct {
-	ModelName string `json:"model_name"`
-	Seed      int64  `json:"seed"`
-}
-
 func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) error {
 	var hdr wire.ExecHeader
-	if err := msg.DecodeHeader(&hdr); err != nil {
-		return conn.Send(wire.MsgError, wire.ErrorHeader{Message: err.Error()}, nil)
+	if err := msg.DecodeExec(&hdr); err != nil {
+		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{Message: err.Error()}, nil)
 	}
-	var ref execModelRef
-	if err := msg.DecodeHeader(&ref); err != nil {
-		return conn.Send(wire.MsgError, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
-	}
-	exec, ok := w.executor(ref.ModelName, ref.Seed)
+	exec, ok := w.executor(hdr.ModelName, hdr.Seed)
 	if !ok {
-		return conn.Send(wire.MsgError, wire.ErrorHeader{
+		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{
 			TaskID:  hdr.TaskID,
-			Message: fmt.Sprintf("model %q (seed %d) not loaded", ref.ModelName, ref.Seed),
+			Message: fmt.Sprintf("model %q (seed %d) not loaded", hdr.ModelName, hdr.Seed),
 		}, nil)
 	}
 	tile, err := wire.DecodeTensor(hdr.TileC, hdr.TileH, hdr.TileW, msg.Payload)
 	if err != nil {
-		return conn.Send(wire.MsgError, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
+		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
 	}
 	start := time.Now()
 	var out tensor.Tensor
@@ -275,7 +309,7 @@ func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) error {
 	}
 	tensor.Recycle(tile)
 	if err != nil {
-		return conn.Send(wire.MsgError, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
+		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
 	}
 	elapsed := time.Since(start)
 	if w.emulatedSpeed > 0 {
@@ -288,8 +322,10 @@ func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) error {
 			elapsed = want
 		}
 	}
-	payload := wire.EncodeTensor(out)
-	err = conn.Send(wire.MsgExecResult, wire.ExecResultHeader{
+	// Zero-copy on little-endian hosts: the payload aliases out.Data, and
+	// SendExecResult consumes it synchronously before out is recycled.
+	payload, pooled := wire.TensorBytes(out)
+	err = conn.SendExecResult(msg.ReqID, &wire.ExecResultHeader{
 		TaskID:         hdr.TaskID,
 		OutLo:          hdr.OutLo,
 		C:              out.C,
@@ -297,7 +333,9 @@ func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) error {
 		W:              out.W,
 		ComputeSeconds: elapsed.Seconds(),
 	}, payload)
-	wire.PutBuffer(payload)
+	if pooled {
+		wire.PutBuffer(payload)
+	}
 	tensor.Recycle(out)
 	return err
 }

@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"pico/internal/nn"
 )
@@ -12,8 +14,10 @@ type HelloHeader struct {
 	Version int    `json:"version"`
 }
 
-// ProtocolVersion guards against mixed deployments.
-const ProtocolVersion = 1
+// ProtocolVersion guards against mixed deployments. Version 2 added the
+// request id to the frame prefix (request multiplexing) and binary headers
+// on the exec hot path.
+const ProtocolVersion = 2
 
 // LoadModelHeader ships a model and weight seed. The payload is empty; the
 // model travels inside the header as JSON (weights are derived from the
@@ -46,39 +50,140 @@ func (s ModelSpec) ToModel() (*nn.Model, error) {
 
 // ExecHeader asks a worker for output rows [OutLo, OutHi) of segment
 // [From, To). The payload is the input tile: rows [InLo, InLo+TileH) of the
-// feature map at boundary From, extent TileC x TileH x TileW.
+// feature map at boundary From, extent TileC x TileH x TileW. The model is
+// identified by ModelName and Seed, resolved against the worker's loaded
+// executors.
 //
 // Grid mode (DeepThings-style rectangular tiles): when OutColHi > 0 the
 // request is for the output rectangle [OutLo,OutHi) x [OutColLo,OutColHi)
 // and the tile's first column is global column InColLo.
+//
+// On the wire the header is binary (see appendBinary), not JSON: exec
+// frames are the per-tile hot path.
 type ExecHeader struct {
-	TaskID int64 `json:"task_id"`
-	From   int   `json:"from"`
-	To     int   `json:"to"`
-	OutLo  int   `json:"out_lo"`
-	OutHi  int   `json:"out_hi"`
-	InLo   int   `json:"in_lo"`
-	TileC  int   `json:"tile_c"`
-	TileH  int   `json:"tile_h"`
-	TileW  int   `json:"tile_w"`
+	TaskID int64
+	From   int
+	To     int
+	OutLo  int
+	OutHi  int
+	InLo   int
+	TileC  int
+	TileH  int
+	TileW  int
 
 	// Grid-mode extensions (zero values select row-strip mode).
-	OutColLo int `json:"out_col_lo,omitempty"`
-	OutColHi int `json:"out_col_hi,omitempty"`
-	InColLo  int `json:"in_col_lo,omitempty"`
+	OutColLo int
+	OutColHi int
+	InColLo  int
+
+	// Model reference.
+	ModelName string
+	Seed      int64
+}
+
+// execHeaderFixed is the binary exec header's fixed part: TaskID and Seed
+// as int64, then 11 int32 geometry fields. The model name occupies the
+// remaining header bytes.
+const execHeaderFixed = 8 + 8 + 11*4
+
+// appendBinary encodes h in the fixed little-endian layout:
+//
+//	TaskID int64 | Seed int64 |
+//	From, To, OutLo, OutHi, InLo, TileC, TileH, TileW,
+//	OutColLo, OutColHi, InColLo (int32 each) |
+//	ModelName (remaining header bytes)
+func (h *ExecHeader) appendBinary(buf []byte) []byte {
+	var fixed [execHeaderFixed]byte
+	binary.LittleEndian.PutUint64(fixed[0:], uint64(h.TaskID))
+	binary.LittleEndian.PutUint64(fixed[8:], uint64(h.Seed))
+	for i, v := range [...]int{
+		h.From, h.To, h.OutLo, h.OutHi, h.InLo,
+		h.TileC, h.TileH, h.TileW,
+		h.OutColLo, h.OutColHi, h.InColLo,
+	} {
+		binary.LittleEndian.PutUint32(fixed[16+4*i:], uint32(int32(v)))
+	}
+	buf = append(buf, fixed[:]...)
+	return append(buf, h.ModelName...)
+}
+
+func (h *ExecHeader) decodeBinary(b []byte) error {
+	if len(b) < execHeaderFixed {
+		return fmt.Errorf("wire: exec header %d bytes, want at least %d", len(b), execHeaderFixed)
+	}
+	h.TaskID = int64(binary.LittleEndian.Uint64(b[0:]))
+	h.Seed = int64(binary.LittleEndian.Uint64(b[8:]))
+	geo := [11]int{}
+	for i := range geo {
+		geo[i] = int(int32(binary.LittleEndian.Uint32(b[16+4*i:])))
+	}
+	h.From, h.To, h.OutLo, h.OutHi, h.InLo = geo[0], geo[1], geo[2], geo[3], geo[4]
+	h.TileC, h.TileH, h.TileW = geo[5], geo[6], geo[7]
+	h.OutColLo, h.OutColHi, h.InColLo = geo[8], geo[9], geo[10]
+	h.ModelName = string(b[execHeaderFixed:])
+	return nil
+}
+
+// DecodeExec parses a binary exec header from an MsgExec frame.
+func (m *Message) DecodeExec(h *ExecHeader) error {
+	if m.Type != MsgExec {
+		return fmt.Errorf("wire: decode exec header of %v frame", m.Type)
+	}
+	return h.decodeBinary(m.Header)
 }
 
 // ExecResultHeader returns a computed tile of extent C x H x W whose first
-// row is global row OutLo of the segment output.
+// row is global row OutLo of the segment output. Binary on the wire, like
+// ExecHeader.
 type ExecResultHeader struct {
-	TaskID int64 `json:"task_id"`
-	OutLo  int   `json:"out_lo"`
-	C      int   `json:"c"`
-	H      int   `json:"h"`
-	W      int   `json:"w"`
+	TaskID int64
+	OutLo  int
+	C      int
+	H      int
+	W      int
 	// ComputeSeconds is the worker-side pure compute time, reported for
 	// utilization accounting.
-	ComputeSeconds float64 `json:"compute_seconds"`
+	ComputeSeconds float64
+}
+
+// execResultHeaderLen is the binary exec-result header size: TaskID int64,
+// four int32 geometry fields, ComputeSeconds float64.
+const execResultHeaderLen = 8 + 4*4 + 8
+
+// appendBinary encodes h as:
+//
+//	TaskID int64 | OutLo, C, H, W (int32 each) | ComputeSeconds float64
+func (h *ExecResultHeader) appendBinary(buf []byte) []byte {
+	var fixed [execResultHeaderLen]byte
+	binary.LittleEndian.PutUint64(fixed[0:], uint64(h.TaskID))
+	binary.LittleEndian.PutUint32(fixed[8:], uint32(int32(h.OutLo)))
+	binary.LittleEndian.PutUint32(fixed[12:], uint32(int32(h.C)))
+	binary.LittleEndian.PutUint32(fixed[16:], uint32(int32(h.H)))
+	binary.LittleEndian.PutUint32(fixed[20:], uint32(int32(h.W)))
+	binary.LittleEndian.PutUint64(fixed[24:], math.Float64bits(h.ComputeSeconds))
+	return append(buf, fixed[:]...)
+}
+
+func (h *ExecResultHeader) decodeBinary(b []byte) error {
+	if len(b) != execResultHeaderLen {
+		return fmt.Errorf("wire: exec result header %d bytes, want %d", len(b), execResultHeaderLen)
+	}
+	h.TaskID = int64(binary.LittleEndian.Uint64(b[0:]))
+	h.OutLo = int(int32(binary.LittleEndian.Uint32(b[8:])))
+	h.C = int(int32(binary.LittleEndian.Uint32(b[12:])))
+	h.H = int(int32(binary.LittleEndian.Uint32(b[16:])))
+	h.W = int(int32(binary.LittleEndian.Uint32(b[20:])))
+	h.ComputeSeconds = math.Float64frombits(binary.LittleEndian.Uint64(b[24:]))
+	return nil
+}
+
+// DecodeExecResult parses a binary exec-result header from an MsgExecResult
+// frame.
+func (m *Message) DecodeExecResult(h *ExecResultHeader) error {
+	if m.Type != MsgExecResult {
+		return fmt.Errorf("wire: decode exec-result header of %v frame", m.Type)
+	}
+	return h.decodeBinary(m.Header)
 }
 
 // ErrorHeader reports a request failure.

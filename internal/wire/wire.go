@@ -1,14 +1,21 @@
 // Package wire is the binary framing protocol of the distributed runtime —
 // the Go counterpart of the paper's C++ TCP/IP socket framework (§IV-D).
 //
-// Each frame is:
+// Protocol v2 frames are:
 //
-//	magic "PICO" | type (1 byte) | header length (4 bytes LE) |
-//	payload length (8 bytes LE) | header JSON | raw payload
+//	magic "PICO" | type (1 byte) | request id (8 bytes LE) |
+//	header length (4 bytes LE) | payload length (8 bytes LE) |
+//	header | raw payload
 //
-// Control information travels as a small JSON header; feature-map tiles
-// travel as raw little-endian float32 payloads, avoiding any per-element
-// encoding cost on the hot path.
+// The request id lets one connection carry many requests concurrently: a
+// response frame echoes the id of the request it answers, so a single reader
+// goroutine can demultiplex responses to pending calls in any order.
+//
+// Control frames (hello, load-model, ping, error, …) carry a small JSON
+// header. The hot-path frames — MsgExec and MsgExecResult — carry fixed-
+// layout little-endian binary headers instead (see headers.go), and
+// feature-map tiles travel as raw little-endian float32 payloads, so the
+// per-tile path never touches encoding/json.
 package wire
 
 import (
@@ -21,6 +28,7 @@ import (
 	"math/bits"
 	"net"
 	"sync"
+	"unsafe"
 
 	"pico/internal/tensor"
 )
@@ -72,16 +80,31 @@ func (t MsgType) String() string {
 
 var magic = [4]byte{'P', 'I', 'C', 'O'}
 
+// prefixLen is the fixed frame prefix: magic, type, request id, header
+// length, payload length.
+const prefixLen = 4 + 1 + 8 + 4 + 8
+
 // Frame size guards: a corrupt length prefix must not allocate the moon.
+// maxPayloadBytes is explicitly int64-typed — as an untyped constant, 1<<31
+// overflows int on 32-bit platforms the moment it meets an int-typed
+// operand, so every comparison against it must happen in 64-bit space.
 const (
-	maxHeaderBytes  = 8 << 20 // 8 MiB of JSON is already absurd
-	maxPayloadBytes = 1 << 31 // 2 GiB tile cap
+	maxHeaderBytes        = 8 << 20 // 8 MiB of header is already absurd
+	maxPayloadBytes int64 = 1 << 31 // 2 GiB tile cap
+
+	// maxIntPayload is the largest payload this platform can hold in a
+	// []byte: lengths above it would truncate in the int conversion that
+	// sizes the receive buffer (the classic 32-bit plen bug).
+	maxIntPayload = uint64(^uint(0) >> 1)
 )
 
 // Message is one decoded frame.
 type Message struct {
-	Type    MsgType
-	Header  []byte // raw JSON, decoded by the caller into a typed header
+	Type MsgType
+	// ReqID is the multiplexing request id (0 for unsolicited frames such
+	// as the hello). Responses echo the id of the request they answer.
+	ReqID   uint64
+	Header  []byte // raw header bytes: JSON for control frames, binary for exec frames
 	Payload []byte
 }
 
@@ -91,8 +114,9 @@ type Conn struct {
 	c  net.Conn
 	br *bufio.Reader
 
-	mu sync.Mutex // guards bw
-	bw *bufio.Writer
+	mu      sync.Mutex // guards bw and scratch
+	bw      *bufio.Writer
+	scratch []byte // reusable binary-header encode buffer
 }
 
 // NewConn wraps a net.Conn.
@@ -110,30 +134,20 @@ func (c *Conn) Close() error { return c.c.Close() }
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
 
-// Send frames and flushes one message. header is marshalled to JSON; a nil
-// header sends an empty object.
-func (c *Conn) Send(t MsgType, header any, payload []byte) error {
-	var hdr []byte
-	var err error
-	if header == nil {
-		hdr = []byte("{}")
-	} else if hdr, err = json.Marshal(header); err != nil {
-		return fmt.Errorf("wire: marshal %v header: %w", t, err)
-	}
+// writeFrame frames and flushes one message. Callers hold c.mu.
+func (c *Conn) writeFrame(t MsgType, reqID uint64, hdr, payload []byte) error {
 	if len(hdr) > maxHeaderBytes {
 		return fmt.Errorf("wire: header of %d bytes exceeds cap", len(hdr))
 	}
 	if int64(len(payload)) > maxPayloadBytes {
 		return fmt.Errorf("wire: payload of %d bytes exceeds cap", len(payload))
 	}
-	var pre [17]byte
+	var pre [prefixLen]byte
 	copy(pre[:4], magic[:])
 	pre[4] = byte(t)
-	binary.LittleEndian.PutUint32(pre[5:9], uint32(len(hdr)))
-	binary.LittleEndian.PutUint64(pre[9:17], uint64(len(payload)))
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	binary.LittleEndian.PutUint64(pre[5:13], reqID)
+	binary.LittleEndian.PutUint32(pre[13:17], uint32(len(hdr)))
+	binary.LittleEndian.PutUint64(pre[17:25], uint64(len(payload)))
 	if _, err := c.bw.Write(pre[:]); err != nil {
 		return fmt.Errorf("wire: write frame prefix: %w", err)
 	}
@@ -149,9 +163,50 @@ func (c *Conn) Send(t MsgType, header any, payload []byte) error {
 	return nil
 }
 
+// Send frames and flushes one control message with request id 0. header is
+// marshalled to JSON; a nil header sends an empty object.
+func (c *Conn) Send(t MsgType, header any, payload []byte) error {
+	return c.SendRequest(t, 0, header, payload)
+}
+
+// SendRequest frames and flushes one control message carrying the given
+// request id. header is marshalled to JSON; a nil header sends an empty
+// object.
+func (c *Conn) SendRequest(t MsgType, reqID uint64, header any, payload []byte) error {
+	var hdr []byte
+	var err error
+	if header == nil {
+		hdr = []byte("{}")
+	} else if hdr, err = json.Marshal(header); err != nil {
+		return fmt.Errorf("wire: marshal %v header: %w", t, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeFrame(t, reqID, hdr, payload)
+}
+
+// SendExec frames and flushes one exec request with a binary header. The
+// payload is fully written before SendExec returns, so callers may reuse or
+// recycle it immediately afterwards.
+func (c *Conn) SendExec(reqID uint64, hdr *ExecHeader, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scratch = hdr.appendBinary(c.scratch[:0])
+	return c.writeFrame(MsgExec, reqID, c.scratch, payload)
+}
+
+// SendExecResult frames and flushes one exec response with a binary header.
+// Like SendExec, the payload is consumed synchronously.
+func (c *Conn) SendExecResult(reqID uint64, hdr *ExecResultHeader, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scratch = hdr.appendBinary(c.scratch[:0])
+	return c.writeFrame(MsgExecResult, reqID, c.scratch, payload)
+}
+
 // Recv reads one message, blocking until a full frame arrives.
 func (c *Conn) Recv() (*Message, error) {
-	var pre [17]byte
+	var pre [prefixLen]byte
 	if _, err := io.ReadFull(c.br, pre[:]); err != nil {
 		return nil, err
 	}
@@ -159,13 +214,17 @@ func (c *Conn) Recv() (*Message, error) {
 		return nil, fmt.Errorf("wire: bad magic %q", pre[:4])
 	}
 	t := MsgType(pre[4])
-	hlen := binary.LittleEndian.Uint32(pre[5:9])
-	plen := binary.LittleEndian.Uint64(pre[9:17])
+	reqID := binary.LittleEndian.Uint64(pre[5:13])
+	hlen := binary.LittleEndian.Uint32(pre[13:17])
+	plen := binary.LittleEndian.Uint64(pre[17:25])
 	if hlen > maxHeaderBytes {
 		return nil, fmt.Errorf("wire: header length %d exceeds cap", hlen)
 	}
-	if plen > maxPayloadBytes {
+	if plen > uint64(maxPayloadBytes) {
 		return nil, fmt.Errorf("wire: payload length %d exceeds cap", plen)
+	}
+	if plen > maxIntPayload {
+		return nil, fmt.Errorf("wire: payload length %d exceeds platform int range", plen)
 	}
 	hdr := make([]byte, hlen)
 	if _, err := io.ReadFull(c.br, hdr); err != nil {
@@ -178,10 +237,11 @@ func (c *Conn) Recv() (*Message, error) {
 		PutBuffer(payload)
 		return nil, fmt.Errorf("wire: read payload: %w", err)
 	}
-	return &Message{Type: t, Header: hdr, Payload: payload}, nil
+	return &Message{Type: t, ReqID: reqID, Header: hdr, Payload: payload}, nil
 }
 
-// DecodeHeader unmarshals a message's JSON header into v.
+// DecodeHeader unmarshals a control message's JSON header into v. Exec
+// frames carry binary headers; use DecodeExec / DecodeExecResult for those.
 func (m *Message) DecodeHeader(v any) error {
 	if err := json.Unmarshal(m.Header, v); err != nil {
 		return fmt.Errorf("wire: decode %v header: %w", m.Type, err)
@@ -208,7 +268,9 @@ func GetBuffer(n int) []byte {
 		return nil
 	}
 	cl := bits.Len(uint(n - 1))
-	if cl < minPooledBufBits || cl > maxPooledBufBits {
+	// The final guard keeps 1<<cl inside this platform's int range: on
+	// 32-bit hosts the top size class would overflow to a negative cap.
+	if cl < minPooledBufBits || cl > maxPooledBufBits || cl >= bits.UintSize-1 {
 		return make([]byte, n)
 	}
 	if v := bufPool[cl].Get(); v != nil {
@@ -232,19 +294,53 @@ func PutBuffer(b []byte) {
 	bufPool[cl].Put(&b)
 }
 
-// EncodeTensor serializes tensor data as little-endian float32 into a
-// pooled buffer. Callers done with the buffer (after Send returns) should
-// hand it back via PutBuffer to keep the hot path allocation-free.
-func EncodeTensor(t tensor.Tensor) []byte {
-	buf := GetBuffer(4 * len(t.Data))
-	for i, v := range t.Data {
-		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+// hostLittleEndian reports whether this machine stores float32 in the wire's
+// little-endian byte order, enabling the zero-copy codec paths.
+var hostLittleEndian = func() bool {
+	var probe uint32 = 0x01020304
+	return *(*byte)(unsafe.Pointer(&probe)) == 0x04
+}()
+
+// float32Bytes reinterprets a float32 slice as its raw bytes without
+// copying. Only meaningful on little-endian hosts, where the in-memory
+// layout already matches the wire format.
+func float32Bytes(d []float32) []byte {
+	if len(d) == 0 {
+		return nil
 	}
-	return buf
+	return unsafe.Slice((*byte)(unsafe.Pointer(&d[0])), 4*len(d))
+}
+
+// EncodeTensor serializes tensor data as little-endian float32 into a
+// pooled buffer. On little-endian hosts this is a single bulk copy; the
+// per-element conversion only runs on big-endian hosts. Callers done with
+// the buffer (after Send returns) should hand it back via PutBuffer to keep
+// the hot path allocation-free.
+func EncodeTensor(t tensor.Tensor) []byte {
+	if hostLittleEndian {
+		buf := GetBuffer(4 * len(t.Data))
+		copy(buf, float32Bytes(t.Data))
+		return buf
+	}
+	return EncodeTensorPortable(t)
+}
+
+// TensorBytes returns t's data as little-endian wire bytes. On little-endian
+// hosts the slice aliases t.Data — zero copy; the tensor must stay live and
+// unmodified until the bytes have been consumed (e.g. until Send returns) —
+// and pooled is false. On big-endian hosts the bytes are an encoded pooled
+// buffer and pooled is true; return it with PutBuffer when done.
+func TensorBytes(t tensor.Tensor) (b []byte, pooled bool) {
+	if hostLittleEndian {
+		return float32Bytes(t.Data), false
+	}
+	return EncodeTensorPortable(t), true
 }
 
 // DecodeTensor reconstructs a tensor of the given extent from a payload.
-// The tensor is arena-backed; callers done with it may tensor.Recycle it.
+// On little-endian hosts the payload is bulk-copied into the tensor's
+// storage; the per-element conversion only runs on big-endian hosts. The
+// tensor is arena-backed; callers done with it may tensor.Recycle it.
 func DecodeTensor(c, h, w int, payload []byte) (tensor.Tensor, error) {
 	if c <= 0 || h <= 0 || w <= 0 {
 		return tensor.Tensor{}, fmt.Errorf("wire: invalid tensor extent %dx%dx%d", c, h, w)
@@ -254,8 +350,42 @@ func DecodeTensor(c, h, w int, payload []byte) (tensor.Tensor, error) {
 		return tensor.Tensor{}, fmt.Errorf("wire: payload %d bytes, want %d for %dx%dx%d", len(payload), 4*n, c, h, w)
 	}
 	t := tensor.Alloc(c, h, w)
-	for i := range t.Data {
-		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	if hostLittleEndian {
+		copy(float32Bytes(t.Data), payload)
+		return t, nil
 	}
+	decodeTensorInto(t.Data, payload)
 	return t, nil
+}
+
+// EncodeTensorPortable is the endianness-independent per-element reference
+// encoder. The fast paths above are property-tested for bit identity against
+// it; it also serves as the codec baseline in benchmarks.
+func EncodeTensorPortable(t tensor.Tensor) []byte {
+	buf := GetBuffer(4 * len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// DecodeTensorPortable is the per-element reference decoder matching
+// EncodeTensorPortable.
+func DecodeTensorPortable(c, h, w int, payload []byte) (tensor.Tensor, error) {
+	if c <= 0 || h <= 0 || w <= 0 {
+		return tensor.Tensor{}, fmt.Errorf("wire: invalid tensor extent %dx%dx%d", c, h, w)
+	}
+	n := c * h * w
+	if len(payload) != 4*n {
+		return tensor.Tensor{}, fmt.Errorf("wire: payload %d bytes, want %d for %dx%dx%d", len(payload), 4*n, c, h, w)
+	}
+	t := tensor.Alloc(c, h, w)
+	decodeTensorInto(t.Data, payload)
+	return t, nil
+}
+
+func decodeTensorInto(dst []float32, payload []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
 }

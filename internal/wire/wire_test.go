@@ -2,6 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -24,7 +27,7 @@ func TestRoundTripMessage(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- a.Send(MsgExec, ExecHeader{TaskID: 7, From: 1, To: 3, OutLo: 2, OutHi: 5}, []byte{1, 2, 3})
+		done <- a.SendExec(9, &ExecHeader{TaskID: 7, From: 1, To: 3, OutLo: 2, OutHi: 5, TileC: 1, TileH: 3, TileW: 1, ModelName: "m", Seed: 4}, []byte{1, 2, 3})
 	}()
 	msg, err := b.Recv()
 	if err != nil {
@@ -36,11 +39,15 @@ func TestRoundTripMessage(t *testing.T) {
 	if msg.Type != MsgExec {
 		t.Fatalf("type = %v", msg.Type)
 	}
+	if msg.ReqID != 9 {
+		t.Fatalf("reqID = %d", msg.ReqID)
+	}
 	var hdr ExecHeader
-	if err := msg.DecodeHeader(&hdr); err != nil {
+	if err := msg.DecodeExec(&hdr); err != nil {
 		t.Fatal(err)
 	}
-	if hdr.TaskID != 7 || hdr.From != 1 || hdr.To != 3 || hdr.OutLo != 2 || hdr.OutHi != 5 {
+	if hdr.TaskID != 7 || hdr.From != 1 || hdr.To != 3 || hdr.OutLo != 2 || hdr.OutHi != 5 ||
+		hdr.ModelName != "m" || hdr.Seed != 4 {
 		t.Fatalf("header = %+v", hdr)
 	}
 	if string(msg.Payload) != "\x01\x02\x03" {
@@ -57,8 +64,23 @@ func TestNilHeader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if msg.Type != MsgPing || len(msg.Payload) != 0 {
+	if msg.Type != MsgPing || msg.ReqID != 0 || len(msg.Payload) != 0 {
 		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestRequestIDSurvivesWire(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	const id = ^uint64(0) - 3
+	go func() { _ = a.SendRequest(MsgPing, id, nil, nil) }()
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.ReqID != id {
+		t.Fatalf("reqID = %d, want %d", msg.ReqID, id)
 	}
 }
 
@@ -68,26 +90,45 @@ func TestBadMagicRejected(t *testing.T) {
 	conn := NewConn(b)
 	defer conn.Close()
 	go func() {
-		_, _ = a.Write([]byte("JUNKxxxxxxxxxxxxxxxxx"))
+		_, _ = a.Write([]byte("JUNKxxxxxxxxxxxxxxxxxxxxxxxxx"))
 	}()
 	if _, err := conn.Recv(); err == nil || !strings.Contains(err.Error(), "magic") {
 		t.Fatalf("err = %v, want bad magic", err)
 	}
 }
 
+// prefix hand-builds a v2 frame prefix for corruption tests.
+func prefix(t MsgType, reqID uint64, hlen uint32, plen uint64) []byte {
+	pre := make([]byte, prefixLen)
+	copy(pre[:4], magic[:])
+	pre[4] = byte(t)
+	binary.LittleEndian.PutUint64(pre[5:13], reqID)
+	binary.LittleEndian.PutUint32(pre[13:17], hlen)
+	binary.LittleEndian.PutUint64(pre[17:25], plen)
+	return pre
+}
+
 func TestOversizeLengthsRejected(t *testing.T) {
-	a, b := net.Pipe()
-	defer a.Close()
-	conn := NewConn(b)
-	defer conn.Close()
-	go func() {
-		frame := []byte{'P', 'I', 'C', 'O', byte(MsgPing),
-			0xFF, 0xFF, 0xFF, 0x7F, // 2GiB header
-			0, 0, 0, 0, 0, 0, 0, 0}
-		_, _ = a.Write(frame)
-	}()
-	if _, err := conn.Recv(); err == nil || !strings.Contains(err.Error(), "header length") {
-		t.Fatalf("err = %v, want header length cap", err)
+	cases := []struct {
+		name string
+		pre  []byte
+		want string
+	}{
+		{"header", prefix(MsgPing, 0, 0x7FFFFFFF, 0), "header length"},
+		{"payload", prefix(MsgPing, 0, 0, uint64(maxPayloadBytes)+1), "payload length"},
+		{"payload-huge", prefix(MsgPing, 0, 0, ^uint64(0)), "payload length"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := net.Pipe()
+			defer a.Close()
+			conn := NewConn(b)
+			defer conn.Close()
+			go func() { _, _ = a.Write(tc.pre) }()
+			if _, err := conn.Recv(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %s cap", err, tc.want)
+			}
+		})
 	}
 }
 
@@ -103,12 +144,229 @@ func TestTensorCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCodecFastMatchesPortable property-tests the zero-copy encode/decode
+// paths against the per-element reference for bit identity, including NaN
+// payloads and negative-zero bit patterns drawn from random uint32 bits.
+func TestCodecFastMatchesPortable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		c, h, w := 1+rng.Intn(4), 1+rng.Intn(9), 1+rng.Intn(9)
+		src := tensor.New(c, h, w)
+		for i := range src.Data {
+			src.Data[i] = math.Float32frombits(rng.Uint32())
+		}
+		fast := EncodeTensor(src)
+		portable := EncodeTensorPortable(src)
+		if !bytes.Equal(fast, portable) {
+			t.Fatalf("trial %d: fast and portable encodings differ", trial)
+		}
+		view, pooled := TensorBytes(src)
+		if !bytes.Equal(view, portable) {
+			t.Fatalf("trial %d: TensorBytes differs from portable encoding", trial)
+		}
+		backFast, err := DecodeTensor(c, h, w, portable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backPortable, err := DecodeTensorPortable(c, h, w, fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range src.Data {
+			want := math.Float32bits(src.Data[i])
+			if math.Float32bits(backFast.Data[i]) != want {
+				t.Fatalf("trial %d: fast decode bit mismatch at %d", trial, i)
+			}
+			if math.Float32bits(backPortable.Data[i]) != want {
+				t.Fatalf("trial %d: portable decode bit mismatch at %d", trial, i)
+			}
+		}
+		if pooled {
+			PutBuffer(view)
+		}
+		PutBuffer(fast)
+		PutBuffer(portable)
+	}
+}
+
+// TestTensorBytesAliasing: on little-endian hosts TensorBytes must alias
+// the tensor's storage (that is the zero-copy contract).
+func TestTensorBytesAliasing(t *testing.T) {
+	if !hostLittleEndian {
+		t.Skip("big-endian host: TensorBytes copies by design")
+	}
+	src := tensor.New(1, 2, 2)
+	view, pooled := TensorBytes(src)
+	if pooled {
+		t.Fatal("little-endian TensorBytes returned a pooled copy")
+	}
+	src.Data[0] = math.Float32frombits(0xDEADBEEF)
+	if binary.LittleEndian.Uint32(view) != 0xDEADBEEF {
+		t.Fatal("TensorBytes does not alias tensor storage")
+	}
+}
+
 func TestTensorCodecErrors(t *testing.T) {
 	if _, err := DecodeTensor(0, 1, 1, nil); err == nil {
 		t.Fatal("zero extent accepted")
 	}
 	if _, err := DecodeTensor(1, 2, 2, make([]byte, 15)); err == nil {
 		t.Fatal("short payload accepted")
+	}
+	if _, err := DecodeTensorPortable(0, 1, 1, nil); err == nil {
+		t.Fatal("portable: zero extent accepted")
+	}
+	if _, err := DecodeTensorPortable(1, 2, 2, make([]byte, 15)); err == nil {
+		t.Fatal("portable: short payload accepted")
+	}
+}
+
+func TestExecHeaderBinaryRoundTrip(t *testing.T) {
+	headers := []ExecHeader{
+		{},
+		{TaskID: -5, From: 1, To: 2, OutLo: 3, OutHi: 4, InLo: 5, TileC: 6, TileH: 7, TileW: 8, ModelName: "vgg16", Seed: -9},
+		{TaskID: math.MaxInt64, OutColLo: 10, OutColHi: 20, InColLo: 5, ModelName: strings.Repeat("n", 300), Seed: math.MinInt64},
+	}
+	for i, want := range headers {
+		buf := want.appendBinary(nil)
+		var got ExecHeader
+		if err := got.decodeBinary(buf); err != nil {
+			t.Fatalf("header %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("header %d: got %+v want %+v", i, got, want)
+		}
+	}
+	var h ExecHeader
+	if err := h.decodeBinary(make([]byte, execHeaderFixed-1)); err == nil {
+		t.Fatal("short exec header accepted")
+	}
+}
+
+func TestExecResultHeaderBinaryRoundTrip(t *testing.T) {
+	headers := []ExecResultHeader{
+		{},
+		{TaskID: 77, OutLo: -1, C: 3, H: 4, W: 5, ComputeSeconds: 0.125},
+		{TaskID: -1, OutLo: 1 << 30, C: 1, H: 1, W: 1, ComputeSeconds: math.Inf(1)},
+	}
+	for i, want := range headers {
+		buf := want.appendBinary(nil)
+		var got ExecResultHeader
+		if err := got.decodeBinary(buf); err != nil {
+			t.Fatalf("header %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("header %d: got %+v want %+v", i, got, want)
+		}
+	}
+	var h ExecResultHeader
+	if err := h.decodeBinary(make([]byte, execResultHeaderLen+1)); err == nil {
+		t.Fatal("oversize exec-result header accepted")
+	}
+}
+
+func TestDecodeExecTypeMismatch(t *testing.T) {
+	m := &Message{Type: MsgPing}
+	if err := m.DecodeExec(&ExecHeader{}); err == nil {
+		t.Fatal("DecodeExec accepted a ping frame")
+	}
+	if err := m.DecodeExecResult(&ExecResultHeader{}); err == nil {
+		t.Fatal("DecodeExecResult accepted a ping frame")
+	}
+}
+
+// TestFrameRoundTripProperty pushes randomized frames — control and exec,
+// zero-length and large payloads, arbitrary request ids — through a
+// net.Pipe and checks every field and byte survives.
+func TestFrameRoundTripProperty(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	rng := rand.New(rand.NewSource(7))
+	const frames = 200
+	type sent struct {
+		typ     MsgType
+		reqID   uint64
+		payload []byte
+		exec    *ExecHeader
+		result  *ExecResultHeader
+	}
+	queue := make([]sent, frames)
+	for i := range queue {
+		s := sent{reqID: rng.Uint64()}
+		if n := rng.Intn(4); n > 0 {
+			s.payload = make([]byte, rng.Intn(1<<14))
+			rng.Read(s.payload)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			s.typ = MsgExec
+			s.exec = &ExecHeader{
+				TaskID: rng.Int63() - rng.Int63(), From: rng.Intn(100), To: rng.Intn(100),
+				OutLo: -rng.Intn(10), OutHi: rng.Intn(1 << 20), InLo: rng.Intn(100),
+				TileC: rng.Intn(512), TileH: rng.Intn(512), TileW: rng.Intn(512),
+				OutColLo: rng.Intn(64), OutColHi: rng.Intn(64), InColLo: rng.Intn(64),
+				ModelName: strings.Repeat("x", rng.Intn(40)), Seed: rng.Int63(),
+			}
+		case 1:
+			s.typ = MsgExecResult
+			s.result = &ExecResultHeader{
+				TaskID: rng.Int63(), OutLo: rng.Intn(1 << 16),
+				C: rng.Intn(1 << 10), H: rng.Intn(1 << 10), W: rng.Intn(1 << 10),
+				ComputeSeconds: rng.Float64(),
+			}
+		default:
+			s.typ = MsgPing
+		}
+		queue[i] = s
+	}
+	go func() {
+		for _, s := range queue {
+			var err error
+			switch {
+			case s.exec != nil:
+				err = a.SendExec(s.reqID, s.exec, s.payload)
+			case s.result != nil:
+				err = a.SendExecResult(s.reqID, s.result, s.payload)
+			default:
+				err = a.SendRequest(s.typ, s.reqID, nil, s.payload)
+			}
+			if err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	for i, s := range queue {
+		msg, err := b.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if msg.Type != s.typ || msg.ReqID != s.reqID {
+			t.Fatalf("frame %d: got (%v, %d), want (%v, %d)", i, msg.Type, msg.ReqID, s.typ, s.reqID)
+		}
+		if !bytes.Equal(msg.Payload, s.payload) {
+			t.Fatalf("frame %d: payload corrupted (%d vs %d bytes)", i, len(msg.Payload), len(s.payload))
+		}
+		if s.exec != nil {
+			var hdr ExecHeader
+			if err := msg.DecodeExec(&hdr); err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			if hdr != *s.exec {
+				t.Fatalf("frame %d: exec header %+v, want %+v", i, hdr, *s.exec)
+			}
+		}
+		if s.result != nil {
+			var hdr ExecResultHeader
+			if err := msg.DecodeExecResult(&hdr); err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			if hdr != *s.result {
+				t.Fatalf("frame %d: result header %+v, want %+v", i, hdr, *s.result)
+			}
+		}
+		PutBuffer(msg.Payload)
 	}
 }
 
@@ -169,7 +427,8 @@ func TestMsgTypeStrings(t *testing.T) {
 }
 
 func TestConcurrentSendsAreFramed(t *testing.T) {
-	// Many goroutines share one Conn; every frame must arrive intact.
+	// Many goroutines share one Conn; every frame must arrive intact, with
+	// its request id matched to its payload.
 	client, server := pipePair()
 	defer client.Close()
 	defer server.Close()
@@ -181,7 +440,8 @@ func TestConcurrentSendsAreFramed(t *testing.T) {
 			defer wg.Done()
 			payload := bytes.Repeat([]byte{byte(s)}, 64+s)
 			for i := 0; i < perSender; i++ {
-				if err := client.Send(MsgExec, ExecHeader{TaskID: int64(s)}, payload); err != nil {
+				hdr := ExecHeader{TaskID: int64(s), TileC: 1, TileH: 1, TileW: 16 + s}
+				if err := client.SendExec(uint64(s), &hdr, payload); err != nil {
 					t.Errorf("send: %v", err)
 					return
 				}
@@ -195,10 +455,13 @@ func TestConcurrentSendsAreFramed(t *testing.T) {
 			t.Fatal(err)
 		}
 		var hdr ExecHeader
-		if err := msg.DecodeHeader(&hdr); err != nil {
+		if err := msg.DecodeExec(&hdr); err != nil {
 			t.Fatal(err)
 		}
 		s := int(hdr.TaskID)
+		if msg.ReqID != uint64(s) {
+			t.Fatalf("sender %d frame has reqID %d", s, msg.ReqID)
+		}
 		if len(msg.Payload) != 64+s {
 			t.Fatalf("sender %d payload length %d", s, len(msg.Payload))
 		}
@@ -218,10 +481,7 @@ func TestRecvTruncatedStream(t *testing.T) {
 	conn := NewConn(b)
 	defer conn.Close()
 	go func() {
-		frame := []byte{'P', 'I', 'C', 'O', byte(MsgExec),
-			2, 0, 0, 0, // header length 2
-			8, 0, 0, 0, 0, 0, 0, 0} // payload length 8
-		_, _ = a.Write(frame)
+		_, _ = a.Write(prefix(MsgExec, 1, 2, 8))
 		_, _ = a.Write([]byte("{}")) // header arrives...
 		_ = a.Close()                // ...payload never does
 	}()
@@ -251,6 +511,7 @@ func FuzzRecv(f *testing.F) {
 		}()
 		c := NewConn(b)
 		_ = c.Send(MsgPing, nil, []byte("xy"))
+		_ = c.SendExec(3, &ExecHeader{TaskID: 1, ModelName: "m"}, []byte{1})
 		_ = b.Close()
 		<-done
 		return buf.Bytes()
@@ -268,9 +529,18 @@ func FuzzRecv(f *testing.F) {
 			_ = client.Close()
 		}()
 		for {
-			if _, err := conn.Recv(); err != nil {
+			msg, err := conn.Recv()
+			if err != nil {
 				return
 			}
+			// Exercise the binary header decoders on arbitrary bytes too.
+			switch msg.Type {
+			case MsgExec:
+				_ = msg.DecodeExec(&ExecHeader{})
+			case MsgExecResult:
+				_ = msg.DecodeExecResult(&ExecResultHeader{})
+			}
+			PutBuffer(msg.Payload)
 		}
 	})
 }
