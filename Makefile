@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check
+.PHONY: all build vet test race race-hot bench bench-json bench-kernel bench-compare check
 
 all: check
 
@@ -18,14 +18,31 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Targeted race pass over the packages with lock-free hot paths (kernel
+# worker pool, per-kind stat counters, pipeline stage drivers) — quicker
+# than the full `race` sweep when iterating on the engine.
+race-hot:
+	$(GO) test -race ./internal/tensor ./internal/runtime
+
 # Smoke-run the execution-engine benchmarks (single iteration): catches
 # bench-only compile errors and allocation regressions without a full sweep.
 bench:
-	$(GO) test -run NONE -bench 'ConvForwardParallel|RunSegmentAlloc|ConvForwardTile|WireTensorCodec' -benchtime=1x -benchmem .
+	$(GO) test -run NONE -bench 'ConvForwardParallel|RunSegmentAlloc|ConvForwardTile|WireTensorCodec|KernelKinds' -benchtime=1x -benchmem .
 
 # Full wire-layer benchmark sweep (codec MB/s, pipeline tasks/sec across
 # overlap settings), written as machine-readable JSON.
 bench-json:
 	$(GO) run ./cmd/picobench -benchjson BENCH_PR2.json
+
+# Full compute-engine sweep (per-layer-kind kernels + whole-model forward
+# passes, reference vs cache-blocked), written as machine-readable JSON.
+bench-kernel:
+	$(GO) run ./cmd/picobench -kernjson BENCH_PR4.json
+
+# Re-run the kernel sweep and fail if any recorded kernel benchmark
+# regressed >10% against the committed BENCH_PR4.json baseline. Kept out of
+# `check`: wall-clock comparisons are too noisy for an unconditional gate.
+bench-compare:
+	$(GO) run ./cmd/picobench -kerncompare BENCH_PR4.json
 
 check: build vet test race bench bench-json

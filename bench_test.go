@@ -442,6 +442,66 @@ func BenchmarkConvForwardParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelKinds measures every layer-kind kernel as ref (the
+// pre-blocking loops) vs blocked (the cache-blocked engine) pairs at par=1.
+// internal/experiments/kernelbench.go runs the full sweep behind
+// BENCH_PR4.json; these sub-benchmarks are the quick interactive view:
+//
+//	go test -bench 'KernelKinds' -benchtime=10x .
+func BenchmarkKernelKinds(b *testing.B) {
+	cases := []struct {
+		name string
+		in   nn.Shape
+		l    nn.Layer
+	}{
+		{"conv3x3", nn.Shape{C: 64, H: 28, W: 28},
+			nn.Layer{Name: "c", Kind: nn.Conv, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, OutC: 64, Act: nn.ReLU}},
+		{"conv1x7", nn.Shape{C: 64, H: 17, W: 17},
+			nn.Layer{Name: "c", Kind: nn.Conv, KH: 1, KW: 7, SH: 1, SW: 1, PH: 0, PW: 3, OutC: 64, Act: nn.ReLU, BatchNorm: true}},
+		{"pointwise", nn.Shape{C: 128, H: 28, W: 28},
+			nn.Layer{Name: "c", Kind: nn.Conv, KH: 1, KW: 1, SH: 1, SW: 1, OutC: 128, Act: nn.ReLU, BatchNorm: true}},
+		{"depthwise", nn.Shape{C: 128, H: 28, W: 28},
+			nn.Layer{Name: "c", Kind: nn.Conv, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, OutC: 128, Groups: 128, Act: nn.ReLU, BatchNorm: true}},
+		{"pool", nn.Shape{C: 64, H: 28, W: 28},
+			nn.Layer{Name: "p", Kind: nn.MaxPool, KH: 2, KW: 2, SH: 2, SW: 2}},
+		{"fc", nn.Shape{C: 256, H: 4, W: 4},
+			nn.Layer{Name: "f", Kind: nn.FullyConnected, OutF: 512, Act: nn.ReLU}},
+	}
+	engines := []struct {
+		name string
+		opts []tensor.ExecutorOption
+	}{
+		{"ref", []tensor.ExecutorOption{tensor.WithParallelism(1), tensor.WithReferenceKernels()}},
+		{"blocked", []tensor.ExecutorOption{tensor.WithParallelism(1)}},
+	}
+	for _, tc := range cases {
+		m := &nn.Model{Name: "bk-" + tc.name, Input: tc.in, Layers: []nn.Layer{tc.l}}
+		in := tensor.RandomInput(m.Input, 1)
+		for _, eng := range engines {
+			exec, err := tensor.NewExecutor(m, 1, eng.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(tc.name+"/"+eng.name, func(b *testing.B) {
+				// Warm the weight cache and arena out of the timed region.
+				if out, err := exec.Run(in); err != nil {
+					b.Fatal(err)
+				} else {
+					tensor.Recycle(out)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err := exec.Run(in)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tensor.Recycle(out)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkRunSegmentAlloc tracks steady-state allocations of the segment
 // hot path: with the arena recycling outputs, allocs/op should be near zero
 // after warm-up.

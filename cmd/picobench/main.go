@@ -33,6 +33,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick     = fs.Bool("quick", false, "use the reduced configuration (fast, noisier)")
 		listOnly  = fs.Bool("list", false, "list experiment IDs and exit")
 		benchJSON = fs.String("benchjson", "", "run the wire-layer benchmarks and write the JSON result to this file, then exit")
+		kernJSON  = fs.String("kernjson", "", "run the kernel benchmarks and write the JSON result to this file, then exit")
+		kernBase  = fs.String("kerncompare", "", "re-run the kernel benchmarks and fail if any regresses >10% vs this baseline JSON, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,6 +80,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *kernJSON != "" || *kernBase != "" {
+		return runKernelBench(cfg, *kernJSON, *kernBase, stdout, stderr)
+	}
+
 	var ids []string
 	if *expFlag == "all" {
 		ids = experiments.IDs()
@@ -114,6 +120,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
+	}
+	return 0
+}
+
+// runKernelBench runs the compute-engine sweep. With jsonPath it writes the
+// result (the BENCH_PR4.json artefact); with basePath it instead diffs the
+// fresh sweep against the committed baseline and fails on >10% regression of
+// any recorded kernel benchmark.
+func runKernelBench(cfg experiments.Config, jsonPath, basePath string, stdout, stderr io.Writer) int {
+	res, err := experiments.RunKernelBench(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "picobench: kernel bench: %v\n", err)
+		return 1
+	}
+	for _, row := range res.Kernels {
+		fmt.Fprintf(stdout, "kernel %-10s %-10s par=%d: ref %8.3fms, blocked %8.3fms (%.2fx)\n",
+			row.Kind, row.Shape, row.Par, row.RefMs, row.BlockedMs, row.Speedup)
+	}
+	for _, row := range res.Forward {
+		fmt.Fprintf(stdout, "forward %-12s par=%d: ref %8.1fms, blocked %8.1fms (%.2fx)\n",
+			row.Model, row.Par, row.RefMs, row.BlockedMs, row.Speedup)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "picobench: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "picobench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
+	}
+	if basePath != "" {
+		raw, err := os.ReadFile(basePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "picobench: %v\n", err)
+			return 1
+		}
+		var base experiments.KernelBenchResult
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(stderr, "picobench: parse %s: %v\n", basePath, err)
+			return 1
+		}
+		regs := experiments.CompareKernelBench(&base, res, 0.10)
+		for _, r := range regs {
+			fmt.Fprintf(stderr, "picobench: REGRESSION %s\n", r)
+		}
+		if len(regs) > 0 {
+			return 1
+		}
+		fmt.Fprintf(stdout, "no kernel benchmark regressed >10%% vs %s\n", basePath)
 	}
 	return 0
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -197,7 +198,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, ", all outputs verified against local reference")
 	}
 	fmt.Fprintln(stdout)
+	printKindSeconds(stdout, stderr, p)
 	return 0
+}
+
+// printKindSeconds renders the workers' per-layer-kind compute attribution:
+// where the real kernel time went, summed over devices, largest share first.
+func printKindSeconds(stdout, stderr io.Writer, p *runtime.Pipeline) {
+	byDevice, err := p.WorkerKindSeconds()
+	if err != nil {
+		fmt.Fprintf(stderr, "picorun: worker stats: %v\n", err)
+		return
+	}
+	totals := map[string]float64{}
+	var sum float64
+	for _, ks := range byDevice {
+		for kind, sec := range ks {
+			totals[kind] += sec
+			sum += sec
+		}
+	}
+	if sum == 0 {
+		return
+	}
+	kinds := make([]string, 0, len(totals))
+	for kind, sec := range totals {
+		if sec > 0 {
+			kinds = append(kinds, kind)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return totals[kinds[i]] > totals[kinds[j]] })
+	fmt.Fprint(stdout, "compute by kind:")
+	for _, kind := range kinds {
+		fmt.Fprintf(stdout, " %s %.3fs (%.0f%%)", kind, totals[kind], 100*totals[kind]/sum)
+	}
+	fmt.Fprintln(stdout)
 }
 
 func modelByName(name string) (*nn.Model, error) {

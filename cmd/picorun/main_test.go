@@ -38,6 +38,9 @@ func TestEndToEndVerified(t *testing.T) {
 	if !strings.Contains(out.String(), "completed 3 tasks") {
 		t.Fatalf("missing completion line:\n%s", out.String())
 	}
+	if !strings.Contains(out.String(), "compute by kind:") || !strings.Contains(out.String(), "conv") {
+		t.Fatalf("missing per-kind compute attribution:\n%s", out.String())
+	}
 }
 
 func TestSaveThenLoadPlan(t *testing.T) {

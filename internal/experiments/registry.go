@@ -31,6 +31,7 @@ var registry = map[string]Func{
 	"ext-mobilenet":    ExtMobileNet,
 	"ablation-overlap": AblationOverlap,
 	"wire":             WireBench,
+	"kern":             KernelBench,
 }
 
 // order fixes the presentation sequence for "run everything".
@@ -39,7 +40,7 @@ var order = []string{
 	"table2", "fig13", "bandwidth",
 	"ablation-greedy", "ablation-strips", "ablation-tlim", "ablation-ewma",
 	"ablation-rfmode", "ablation-grid", "ablation-overlap", "ext-mobilenet",
-	"wire",
+	"wire", "kern",
 }
 
 // IDs returns every registered experiment in presentation order.

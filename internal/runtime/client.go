@@ -254,6 +254,23 @@ func (wc *workerClient) exec(hdr wire.ExecHeader, tile tensor.Tensor) (tensor.Te
 	return c.waitExec()
 }
 
+// stats fetches the worker's cumulative per-layer-kind compute seconds.
+func (wc *workerClient) stats() (map[string]float64, error) {
+	msg, err := wc.roundTrip(wire.MsgStats, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer wire.PutBuffer(msg.Payload)
+	if msg.Type != wire.MsgStatsResult {
+		return nil, fmt.Errorf("runtime: %s: unexpected %v to stats", wc.id, msg.Type)
+	}
+	var sh wire.StatsHeader
+	if err := msg.DecodeHeader(&sh); err != nil {
+		return nil, err
+	}
+	return sh.KindSeconds, nil
+}
+
 func (wc *workerClient) ping() error {
 	msg, err := wc.roundTrip(wire.MsgPing, nil, nil)
 	if err != nil {

@@ -1,0 +1,79 @@
+package runtime
+
+import (
+	"testing"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/tensor"
+)
+
+// TestWorkerKindSecondsAttribution runs a model that exercises conv, pool,
+// and fc layers through a live pipeline and checks the per-kind compute
+// attribution fetched over MsgStats: every worked device reports, conv time
+// is non-zero, and no kind is negative.
+func TestWorkerKindSecondsAttribution(t *testing.T) {
+	m := nn.ToyChain("kinds", 4, 2, 6, 32)
+	cl := cluster.Homogeneous(2, 600e6)
+	plan, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := startCluster(t, 2, nil)
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Before any task, stats must round-trip and hold no attribution
+	// (weights are generated lazily, at first execution).
+	kinds, err := p.WorkerKindSeconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for di, ks := range kinds {
+		for kind, sec := range ks {
+			if sec != 0 {
+				t.Fatalf("device %d: %s has %gs before any task", di, kind, sec)
+			}
+		}
+	}
+
+	const tasks = 3
+	in := tensor.RandomInput(m.Input, 1)
+	go func() {
+		for i := 0; i < tasks; i++ {
+			if _, err := p.Submit(in); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < tasks; i++ {
+		if res := <-p.Results(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+
+	kinds, err = p.WorkerKindSeconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) == 0 {
+		t.Fatal("no devices reported kind stats")
+	}
+	var conv float64
+	for di, ks := range kinds {
+		for kind, sec := range ks {
+			if sec < 0 {
+				t.Fatalf("device %d: negative %s seconds", di, kind)
+			}
+		}
+		conv += ks["conv"]
+	}
+	if conv <= 0 {
+		t.Fatal("conv layers executed but no conv seconds attributed")
+	}
+}

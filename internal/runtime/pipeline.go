@@ -219,6 +219,11 @@ type Pipeline struct {
 	// construction; stage goroutines update them with atomics on every
 	// tile, so the per-tile hot path never takes the pipeline mutex.
 	stats map[int]*deviceCounter
+
+	// byDevice holds one control connection per cluster device for
+	// out-of-band requests (worker stats); a device serving several
+	// stages keeps its first connection here.
+	byDevice map[int]*workerClient
 }
 
 // deviceCounter accumulates one device's activity with atomics.
@@ -282,9 +287,10 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 	p := &Pipeline{
 		plan:    plan,
 		seed:    opts.Seed,
-		in:      make(chan *flight, opts.QueueDepth),
-		results: make(chan TaskResult, opts.QueueDepth),
-		stats:   make(map[int]*deviceCounter),
+		in:       make(chan *flight, opts.QueueDepth),
+		results:  make(chan TaskResult, opts.QueueDepth),
+		stats:    make(map[int]*deviceCounter),
+		byDevice: make(map[int]*workerClient),
 	}
 	spec := wire.SpecFromModel(plan.Model)
 	calc := partition.NewCalc(plan.Model)
@@ -318,6 +324,9 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 				return fail(err)
 			}
 			p.clients = append(p.clients, wc)
+			if p.byDevice[di] == nil {
+				p.byDevice[di] = wc
+			}
 			if err := wc.loadModel(spec, opts.Seed); err != nil {
 				return fail(err)
 			}
@@ -418,4 +427,22 @@ func (p *Pipeline) WorkerStats() map[int]WorkerStat {
 		}
 	}
 	return out
+}
+
+// WorkerKindSeconds asks every worker for its per-layer-kind kernel-time
+// attribution (conv, pointwise, depthwise, pool, fc) and returns it keyed by
+// cluster device index. Unlike WorkerStats' coordinator-side accounting,
+// these are wall-clock kernel seconds measured inside the workers' executors
+// — emulated-capacity sleep top-ups are excluded, so the split shows where
+// the real arithmetic went.
+func (p *Pipeline) WorkerKindSeconds() (map[int]map[string]float64, error) {
+	out := make(map[int]map[string]float64, len(p.byDevice))
+	for di, wc := range p.byDevice {
+		ks, err := wc.stats()
+		if err != nil {
+			return nil, fmt.Errorf("runtime: stats from device %d: %w", di, err)
+		}
+		out[di] = ks
+	}
+	return out, nil
 }

@@ -227,6 +227,8 @@ func (w *Worker) handle(conn *wire.Conn) {
 			err = w.handleLoad(conn, msg)
 		case wire.MsgPing:
 			err = conn.SendRequest(wire.MsgPong, msg.ReqID, nil, nil)
+		case wire.MsgStats:
+			err = conn.SendRequest(wire.MsgStatsResult, msg.ReqID, wire.StatsHeader{KindSeconds: w.KindSeconds()}, nil)
 		case wire.MsgShutdown:
 			wire.PutBuffer(msg.Payload)
 			return
@@ -259,6 +261,20 @@ func (w *Worker) handleLoad(conn *wire.Conn, msg *wire.Message) error {
 	w.mu.Unlock()
 	w.logf("worker %s: loaded %s (seed %d)", w.id, m.Name, hdr.Seed)
 	return conn.SendRequest(wire.MsgPong, msg.ReqID, nil, nil)
+}
+
+// KindSeconds sums per-layer-kind kernel seconds over every executor the
+// worker has loaded — the payload of a MsgStatsResult frame.
+func (w *Worker) KindSeconds() map[string]float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := map[string]float64{}
+	for _, e := range w.execs {
+		for kind, sec := range e.KindSeconds() {
+			total[kind] += sec
+		}
+	}
+	return total
 }
 
 func (w *Worker) executor(name string, seed int64) (*tensor.Executor, bool) {

@@ -2,8 +2,11 @@ package tensor
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pico/internal/nn"
 	"pico/internal/partition"
@@ -26,6 +29,13 @@ type Executor struct {
 	calc *partition.Calc
 	par  int
 
+	// refKernels routes conv/fc layers through the pre-blocking reference
+	// loops; used by benchmarks and A/B property tests.
+	refKernels bool
+
+	// stats attributes kernel wall time by layer kind (see KindSeconds).
+	stats kindStats
+
 	// The weight cache takes a read lock on the hot path and serialises
 	// only the creation of a key's entry, never weight generation itself:
 	// each entry generates its weights under its own sync.Once, so two
@@ -46,6 +56,59 @@ type fcEntry struct {
 	w    *fcWeights
 }
 
+// kindStats accumulates kernel wall-clock seconds per layer kind. Counters
+// are float64 bit patterns updated by CAS so concurrent segment runs on one
+// executor attribute time without a lock on the hot path.
+type kindStats struct {
+	conv      atomic.Uint64 // spatial convolutions (kernel > 1x1, grouped-but-not-depthwise)
+	pointwise atomic.Uint64 // 1x1 stride-1 unpadded convolutions
+	depthwise atomic.Uint64 // groups == channels convolutions
+	pool      atomic.Uint64 // max/avg/global-average pools
+	fc        atomic.Uint64 // fully connected layers
+}
+
+func (s *kindStats) add(c *atomic.Uint64, d time.Duration) {
+	sec := d.Seconds()
+	for {
+		old := c.Load()
+		if c.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+sec)) {
+			return
+		}
+	}
+}
+
+// convCounter picks the attribution bucket for a convolution's shape,
+// mirroring the kernel dispatch in convForward.
+func (s *kindStats) convCounter(l *nn.Layer, inC int) *atomic.Uint64 {
+	groups := l.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	switch {
+	case groups > 1 && inC/groups == 1 && l.OutC/groups == 1:
+		return &s.depthwise
+	case groups == 1 && l.KH == 1 && l.KW == 1 && l.SH == 1 && l.SW == 1 && l.PH == 0 && l.PW == 0:
+		return &s.pointwise
+	default:
+		return &s.conv
+	}
+}
+
+// KindSeconds returns cumulative kernel wall-clock seconds since the
+// executor was created, keyed by layer kind: conv, pointwise, depthwise,
+// pool (including global average pool), and fc. Block combine overhead and
+// tensor stitching are not attributed.
+func (e *Executor) KindSeconds() map[string]float64 {
+	f := func(c *atomic.Uint64) float64 { return math.Float64frombits(c.Load()) }
+	return map[string]float64{
+		"conv":      f(&e.stats.conv),
+		"pointwise": f(&e.stats.pointwise),
+		"depthwise": f(&e.stats.depthwise),
+		"pool":      f(&e.stats.pool),
+		"fc":        f(&e.stats.fc),
+	}
+}
+
 // ExecutorOption configures an Executor.
 type ExecutorOption func(*Executor)
 
@@ -59,6 +122,15 @@ func WithParallelism(n int) ExecutorOption {
 		}
 		e.par = n
 	}
+}
+
+// WithReferenceKernels makes the executor run convolutions and fully
+// connected layers through the pre-blocking reference loops instead of the
+// cache-blocked kernels. Results are bit-identical either way; the option
+// exists so benchmarks and property tests can A/B the two engines through
+// the full execution stack.
+func WithReferenceKernels() ExecutorOption {
+	return func(e *Executor) { e.refKernels = true }
 }
 
 // NewExecutor builds an executor for the model with the given weight seed.
@@ -111,17 +183,23 @@ func (e *Executor) RectFLOPs(from, to int, out partition.Rect) int64 {
 // Run executes the whole model on a full input tensor. Models whose
 // geometry drops trailing rows (odd extents into stride-2 layers) never
 // read them; Run trims the unused border before delegating to RunSegment.
+// Ownership: Run never recycles the caller's tensor. When trimming is
+// needed, SliceRows copies the kept rows into a fresh executor-owned
+// arena tensor (it is a copy, not a view — see Tensor.SliceRows), and only
+// that copy is recycled. The caller's buffer, arena-backed or not, stays
+// live and untouched after Run returns.
 func (e *Executor) Run(in Tensor) (Tensor, error) {
 	outH := e.m.Output().H
 	need := e.calc.InputRange(0, e.m.NumLayers(), partition.Full(outH))
-	trimmed := false
+	run := in
+	var trimmed Tensor
 	if in.Valid() && in.C == e.m.Input.C && in.H == e.m.Input.H && in.W == e.m.Input.W && need.Len() < in.H {
-		in = in.SliceRows(need.Lo, need.Hi)
-		trimmed = true
+		trimmed = in.SliceRows(need.Lo, need.Hi)
+		run = trimmed
 	}
-	out, err := e.RunSegment(0, e.m.NumLayers(), in, partition.Full(outH))
-	if trimmed {
-		Recycle(in)
+	out, err := e.RunSegment(0, e.m.NumLayers(), run, partition.Full(outH))
+	if trimmed.Valid() {
+		Recycle(trimmed)
 	}
 	return out, err
 }
@@ -182,20 +260,40 @@ func (e *Executor) runLayerOn(l *nn.Layer, key string, in Tensor, inLo int, inSh
 	switch l.Kind {
 	case nn.Conv:
 		wts := e.convW(key, l, inShape.C)
-		return convForward(in, inLo, inShape.H, l, wts, out.Lo, out.Hi, e.par), nil
+		kernel := convForward
+		if e.refKernels {
+			kernel = convForwardRef
+		}
+		start := time.Now()
+		res := kernel(in, inLo, inShape.H, l, wts, out.Lo, out.Hi, e.par)
+		e.stats.add(e.stats.convCounter(l, inShape.C), time.Since(start))
+		return res, nil
 	case nn.MaxPool, nn.AvgPool:
-		return poolForward(in, inLo, inShape.H, l, out.Lo, out.Hi, e.par), nil
+		start := time.Now()
+		res := poolForward(in, inLo, inShape.H, l, out.Lo, out.Hi, e.par)
+		e.stats.add(&e.stats.pool, time.Since(start))
+		return res, nil
 	case nn.FullyConnected:
 		if inLo != 0 || in.H != inShape.H {
 			return Tensor{}, fmt.Errorf("fc needs the full input, got rows [%d,%d) of %d", inLo, inLo+in.H, inShape.H)
 		}
 		wts := e.fcW(key, l, inShape.Elems())
-		return fcForward(in, l, wts, e.par), nil
+		kernel := fcForward
+		if e.refKernels {
+			kernel = fcForwardRef
+		}
+		start := time.Now()
+		res := kernel(in, l, wts, e.par)
+		e.stats.add(&e.stats.fc, time.Since(start))
+		return res, nil
 	case nn.GlobalAvgPool:
 		if inLo != 0 || in.H != inShape.H {
 			return Tensor{}, fmt.Errorf("global pool needs the full input, got rows [%d,%d) of %d", inLo, inLo+in.H, inShape.H)
 		}
-		return gapForward(in, l), nil
+		start := time.Now()
+		res := gapForward(in, l, e.par)
+		e.stats.add(&e.stats.pool, time.Since(start))
+		return res, nil
 	case nn.Block:
 		return e.runBlock(l, key, in, inLo, inShape, out)
 	default:

@@ -7,7 +7,7 @@ import (
 	"pico/internal/nn"
 )
 
-// convForward computes output rows [out.Lo, out.Hi) of a convolution.
+// convForward computes output rows [outLo, outHi) of a convolution.
 //
 // in holds input rows [inLo, inLo+in.H) of a feature map whose true global
 // height is inHGlobal; rows outside [0, inHGlobal) are zero padding. The
@@ -15,11 +15,41 @@ import (
 // Accumulation order per output element is (ic, kh, kw) regardless of the
 // tile, which makes tiled execution bit-identical to whole-map execution.
 //
+// This is a dispatcher over cache-blocked kernels that all preserve that
+// per-element order exactly (see DESIGN.md): a depthwise path (groups ==
+// channels), a 1x1 stride-1 row-panel matmul path, and the general
+// register-tiled path. convForwardRef keeps the original single-channel
+// sweep for property tests and benchmarks.
+func convForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, outLo, outHi, par int) Tensor {
+	groups := l.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	if len(wts.blocks) == 0 {
+		// Hand-built weights without a register-tile plan (tests).
+		return convForwardRef(in, inLo, inHGlobal, l, wts, outLo, outHi, par)
+	}
+	icg := in.C / groups
+	ocg := l.OutC / groups
+	switch {
+	case groups > 1 && icg == 1 && ocg == 1:
+		return convForwardDepthwise(in, inLo, inHGlobal, l, wts, outLo, outHi, par)
+	case groups == 1 && l.KH == 1 && l.KW == 1 && l.SH == 1 && l.SW == 1 && l.PH == 0 && l.PW == 0:
+		return convForwardPointwise(in, inLo, inHGlobal, l, wts, outLo, outHi, par)
+	default:
+		return convForwardBlocked(in, inLo, inHGlobal, l, wts, outLo, outHi, par)
+	}
+}
+
+// convForwardRef is the pre-blocking engine: each (output channel, output
+// row) pair re-reads its input rows independently. It remains the reference
+// implementation that the blocked kernels are tested bit-identical against.
+//
 // The (output channel, output row) space is split into contiguous chunks
 // executed on up to par pool workers. Each chunk owns a disjoint slice of
 // the output and runs the unchanged per-element loop, so any worker count
 // produces bit-identical results.
-func convForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, outLo, outHi, par int) Tensor {
+func convForwardRef(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, outLo, outHi, par int) Tensor {
 	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
 	outRows := outHi - outLo
 	out := Alloc(l.OutC, outRows, outW)
@@ -55,16 +85,191 @@ func convForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, 
 					convRow(acc, inRow, row, l.SW, l.PW, in.W, outW)
 				}
 			}
-			if wts.bnScale != nil {
-				s, sh := wts.bnScale[oc], wts.bnShift[oc]
-				for i := range acc {
-					acc[i] = acc[i]*s + sh
-				}
-			}
-			applyActivation(acc, l.Act)
+			finishChannel(acc, wts, oc, l.Act)
 		}
 	})
 	return out
+}
+
+// convForwardBlocked is the general register-tiled kernel: each work unit is
+// one output row of one oc-block, so every sweep over an input row feeds up
+// to ocBlockWidth accumulator rows at once and input bandwidth drops by the
+// block width. Work units are (block, row) pairs — a parallelFor chunk can
+// never split a register block across workers.
+//
+// Per output element the accumulation order is unchanged: channels have
+// independent accumulator chains, so interleaving the taps of four channels
+// over the same input row reorders nothing within any one chain. The packed
+// tap layout is only used for dense full-width blocks (see ocBlock.packed);
+// ragged or sparse blocks fall back to the per-channel compacted rows, which
+// preserves the zero-tap skip order exactly.
+func convForwardBlocked(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, outLo, outHi, par int) Tensor {
+	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
+	outRows := outHi - outLo
+	out := Alloc(l.OutC, outRows, outW)
+	groups := l.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	icg := in.C / groups
+	grain := grainFor(ocBlockWidth * icg * l.KH * l.KW * outW)
+	parallelForGrain(len(wts.blocks)*outRows, par, grain, func(lo, hi int) {
+		var accs [ocBlockWidth][]float32
+		for u := lo; u < hi; u++ {
+			blk := &wts.blocks[u/outRows]
+			or := u % outRows
+			ohGlobal := outLo + or
+			for b := 0; b < blk.width; b++ {
+				oc := blk.oc0 + b
+				acc := out.Data[(oc*outRows+or)*outW : (oc*outRows+or+1)*outW]
+				for i := range acc {
+					acc[i] = wts.bias[oc]
+				}
+				accs[b] = acc
+			}
+			for g := 0; g < icg; g++ {
+				ic := blk.icBase + g
+				for kh := 0; kh < l.KH; kh++ {
+					ihGlobal := ohGlobal*l.SH - l.PH + kh
+					if ihGlobal < 0 || ihGlobal >= inHGlobal {
+						continue // zero padding row
+					}
+					ih := ihGlobal - inLo
+					if ih < 0 || ih >= in.H {
+						panic(fmt.Sprintf("tensor: conv needs global row %d outside tile [%d,%d)", ihGlobal, inLo, inLo+in.H))
+					}
+					inRow := in.Data[(ic*in.H+ih)*in.W : (ic*in.H+ih+1)*in.W]
+					if blk.packed != nil {
+						pk := blk.packed[(g*l.KH+kh)*l.KW*ocBlockWidth:]
+						convRowBlock4(&accs, inRow, pk, l.KW, l.SW, l.PW, in.W, outW)
+					} else {
+						for b := 0; b < blk.width; b++ {
+							oc := blk.oc0 + b
+							row := &wts.rows[(oc*icg+g)*l.KH+kh]
+							convRow(accs[b], inRow, row, l.SW, l.PW, in.W, outW)
+						}
+					}
+				}
+			}
+			for b := 0; b < blk.width; b++ {
+				finishChannel(accs[b], wts, blk.oc0+b, l.Act)
+			}
+		}
+	})
+	return out
+}
+
+// convForwardPointwise handles 1x1 stride-1 unpadded convolutions — most of
+// InceptionV3's channel mixers — as a blocked row-panel matrix multiply:
+// output row or of an oc-block is sum over input channels of (scalar weight x
+// input row), with no tap-bounds logic at all since output and input rows
+// align 1:1.
+func convForwardPointwise(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, outLo, outHi, par int) Tensor {
+	outW := in.W
+	outRows := outHi - outLo
+	out := Alloc(l.OutC, outRows, outW)
+	grain := grainFor(ocBlockWidth * in.C * outW)
+	parallelForGrain(len(wts.blocks)*outRows, par, grain, func(lo, hi int) {
+		var accs [ocBlockWidth][]float32
+		for u := lo; u < hi; u++ {
+			blk := &wts.blocks[u/outRows]
+			or := u % outRows
+			ih := outLo + or - inLo
+			if ih < 0 || ih >= in.H {
+				panic(fmt.Sprintf("tensor: conv needs global row %d outside tile [%d,%d)", outLo+or, inLo, inLo+in.H))
+			}
+			for b := 0; b < blk.width; b++ {
+				oc := blk.oc0 + b
+				acc := out.Data[(oc*outRows+or)*outW : (oc*outRows+or+1)*outW]
+				for i := range acc {
+					acc[i] = wts.bias[oc]
+				}
+				accs[b] = acc
+			}
+			if blk.packed != nil {
+				n := outW
+				d0 := accs[0][:n]
+				d1 := accs[1][:n]
+				d2 := accs[2][:n]
+				d3 := accs[3][:n]
+				for g := 0; g < in.C; g++ {
+					src := in.Data[(g*in.H+ih)*in.W:][:n]
+					pk := blk.packed[g*ocBlockWidth:]
+					w0, w1, w2, w3 := pk[0], pk[1], pk[2], pk[3]
+					for i, v := range src {
+						d0[i] += w0 * v
+						d1[i] += w1 * v
+						d2[i] += w2 * v
+						d3[i] += w3 * v
+					}
+				}
+			} else {
+				for b := 0; b < blk.width; b++ {
+					oc := blk.oc0 + b
+					for g := 0; g < in.C; g++ {
+						inRow := in.Data[(g*in.H+ih)*in.W:][:in.W]
+						row := &wts.rows[oc*in.C+g]
+						convRow(accs[b], inRow, row, 1, 0, in.W, outW)
+					}
+				}
+			}
+			for b := 0; b < blk.width; b++ {
+				finishChannel(accs[b], wts, blk.oc0+b, l.Act)
+			}
+		}
+	})
+	return out
+}
+
+// convForwardDepthwise handles groups == channels convolutions — half of
+// MobileNetV1's layers — where each output channel reads exactly one input
+// channel. Register blocking across channels is impossible (adjacent output
+// channels read different inputs), but dropping the grouped-index arithmetic
+// and the inner channel loop still buys a measurable win on these thin
+// kernels.
+func convForwardDepthwise(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, outLo, outHi, par int) Tensor {
+	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
+	outRows := outHi - outLo
+	out := Alloc(l.OutC, outRows, outW)
+	grain := grainFor(l.KH * l.KW * outW)
+	parallelForGrain(l.OutC*outRows, par, grain, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			oc := t / outRows
+			or := t % outRows
+			acc := out.Data[t*outW : (t+1)*outW]
+			for i := range acc {
+				acc[i] = wts.bias[oc]
+			}
+			ohGlobal := outLo + or
+			for kh := 0; kh < l.KH; kh++ {
+				ihGlobal := ohGlobal*l.SH - l.PH + kh
+				if ihGlobal < 0 || ihGlobal >= inHGlobal {
+					continue // zero padding row
+				}
+				ih := ihGlobal - inLo
+				if ih < 0 || ih >= in.H {
+					panic(fmt.Sprintf("tensor: conv needs global row %d outside tile [%d,%d)", ihGlobal, inLo, inLo+in.H))
+				}
+				inRow := in.Data[(oc*in.H+ih)*in.W : (oc*in.H+ih+1)*in.W]
+				row := &wts.rows[oc*l.KH+kh]
+				convRow(acc, inRow, row, l.SW, l.PW, in.W, outW)
+			}
+			finishChannel(acc, wts, oc, l.Act)
+		}
+	})
+	return out
+}
+
+// finishChannel applies the folded batch-norm affine and the activation to
+// one finished output-channel row.
+func finishChannel(acc []float32, wts *convWeights, oc int, act nn.Activation) {
+	if wts.bnScale != nil {
+		s, sh := wts.bnScale[oc], wts.bnShift[oc]
+		for i := range acc {
+			acc[i] = acc[i]*s + sh
+		}
+	}
+	applyActivation(acc, act)
 }
 
 // convRow accumulates one compacted kernel row over one input row. The taps
@@ -115,6 +320,67 @@ func convRow(acc, inRow []float32, row *kernelRow, sw, pw, inW, outW int) {
 	}
 }
 
+// convRowBlock4 accumulates one dense packed kernel row into four output
+// channels' accumulator rows in a single sweep over the input row. pk holds
+// the row's taps tap-major: pk[kw*ocBlockWidth+b] is channel b's weight for
+// horizontal tap kw. Each channel's adds happen in ascending kw, identical
+// to convRow over a dense compacted row, so per-channel accumulation chains
+// are bit-identical to the reference.
+func convRowBlock4(accs *[ocBlockWidth][]float32, inRow, pk []float32, kw, sw, pw, inW, outW int) {
+	a0, a1, a2, a3 := accs[0], accs[1], accs[2], accs[3]
+	if sw == 1 {
+		for x := 0; x < kw; x++ {
+			iwOff := x - pw
+			owLo := 0
+			if iwOff < 0 {
+				owLo = -iwOff
+			}
+			owHi := outW
+			if maxOw := inW - 1 - iwOff; maxOw+1 < owHi {
+				owHi = maxOw + 1
+			}
+			if owLo >= owHi {
+				continue
+			}
+			w0, w1, w2, w3 := pk[x*ocBlockWidth], pk[x*ocBlockWidth+1], pk[x*ocBlockWidth+2], pk[x*ocBlockWidth+3]
+			n := owHi - owLo
+			src := inRow[owLo+iwOff:][:n]
+			d0 := a0[owLo:][:n]
+			d1 := a1[owLo:][:n]
+			d2 := a2[owLo:][:n]
+			d3 := a3[owLo:][:n]
+			for i, v := range src {
+				d0[i] += w0 * v
+				d1[i] += w1 * v
+				d2[i] += w2 * v
+				d3[i] += w3 * v
+			}
+		}
+		return
+	}
+	for x := 0; x < kw; x++ {
+		iwOff := x - pw
+		owLo := 0
+		if iwOff < 0 {
+			owLo = (-iwOff + sw - 1) / sw
+		}
+		owHi := outW
+		if maxOw := (inW - 1 - iwOff) / sw; maxOw+1 < owHi {
+			owHi = maxOw + 1
+		}
+		w0, w1, w2, w3 := pk[x*ocBlockWidth], pk[x*ocBlockWidth+1], pk[x*ocBlockWidth+2], pk[x*ocBlockWidth+3]
+		iw := owLo*sw + iwOff
+		for ow := owLo; ow < owHi; ow++ {
+			v := inRow[iw]
+			a0[ow] += w0 * v
+			a1[ow] += w1 * v
+			a2[ow] += w2 * v
+			a3[ow] += w3 * v
+			iw += sw
+		}
+	}
+}
+
 // poolForward computes output rows [outLo, outHi) of a max or average pool
 // under the same global-row-offset convention as convForward. Padding cells
 // are excluded from both the max and the average (divisor counts valid cells
@@ -125,7 +391,8 @@ func poolForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi, par 
 	outRows := outHi - outLo
 	out := Alloc(in.C, outRows, outW)
 	isMax := l.Kind == nn.MaxPool
-	parallelFor(in.C*outRows, par, func(lo, hi int) {
+	grain := grainFor(l.KH * l.KW * outW)
+	parallelForGrain(in.C*outRows, par, grain, func(lo, hi int) {
 		for t := lo; t < hi; t++ {
 			c := t / outRows
 			or := t % outRows
@@ -173,9 +440,52 @@ func poolForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi, par 
 	return out
 }
 
-// fcForward computes a fully connected layer over the whole input,
-// parallelised across output features.
+// fcForward computes a fully connected layer with register blocking: each
+// pool chunk walks its output features in runs of ocBlockWidth, streaming the
+// input vector once per run into four accumulators instead of once per
+// feature. Each feature's dot product still sums in ascending element order,
+// so results are bit-identical to fcForwardRef.
 func fcForward(in Tensor, l *nn.Layer, wts *fcWeights, par int) Tensor {
+	out := Alloc(l.OutF, 1, 1)
+	n := in.Elems()
+	parallelForGrain(l.OutF, par, grainFor(n), func(lo, hi int) {
+		o := lo
+		for ; o+ocBlockWidth <= hi; o += ocBlockWidth {
+			acc0 := wts.bias[o]
+			acc1 := wts.bias[o+1]
+			acc2 := wts.bias[o+2]
+			acc3 := wts.bias[o+3]
+			r0 := wts.w[o*n:][:n]
+			r1 := wts.w[(o+1)*n:][:n]
+			r2 := wts.w[(o+2)*n:][:n]
+			r3 := wts.w[(o+3)*n:][:n]
+			for i, v := range in.Data[:n] {
+				acc0 += r0[i] * v
+				acc1 += r1[i] * v
+				acc2 += r2[i] * v
+				acc3 += r3[i] * v
+			}
+			out.Data[o] = acc0
+			out.Data[o+1] = acc1
+			out.Data[o+2] = acc2
+			out.Data[o+3] = acc3
+		}
+		for ; o < hi; o++ {
+			acc := wts.bias[o]
+			row := wts.w[o*n:][:n]
+			for i, v := range in.Data[:n] {
+				acc += row[i] * v
+			}
+			out.Data[o] = acc
+		}
+	})
+	applyActivation(out.Data, l.Act)
+	return out
+}
+
+// fcForwardRef is the unblocked fully connected layer: one row dot product
+// per output feature. Retained as the bit-identity reference for fcForward.
+func fcForwardRef(in Tensor, l *nn.Layer, wts *fcWeights, par int) Tensor {
 	out := Alloc(l.OutF, 1, 1)
 	n := in.Elems()
 	parallelFor(l.OutF, par, func(lo, hi int) {
@@ -192,17 +502,22 @@ func fcForward(in Tensor, l *nn.Layer, wts *fcWeights, par int) Tensor {
 	return out
 }
 
-// gapForward computes a global average pool.
-func gapForward(in Tensor, l *nn.Layer) Tensor {
+// gapForward computes a global average pool, parallelised across channels
+// when the per-channel reduction is big enough to amortise a pool hand-off.
+// Each channel sums its elements in ascending order regardless of the worker
+// count, so results are bit-identical at any parallelism.
+func gapForward(in Tensor, l *nn.Layer, par int) Tensor {
 	out := Alloc(in.C, 1, 1)
 	per := in.H * in.W
-	for c := 0; c < in.C; c++ {
-		var acc float32
-		for _, v := range in.Data[c*per : (c+1)*per] {
-			acc += v
+	parallelForGrain(in.C, par, grainFor(per), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			var acc float32
+			for _, v := range in.Data[c*per : (c+1)*per] {
+				acc += v
+			}
+			out.Data[c] = acc / float32(per)
 		}
-		out.Data[c] = acc / float32(per)
-	}
+	})
 	applyActivation(out.Data, l.Act)
 	return out
 }

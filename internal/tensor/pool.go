@@ -46,14 +46,49 @@ func ensurePool() {
 	})
 }
 
+// minChunkMACs is the floor on per-chunk arithmetic for the kernels: below
+// roughly this many multiply-accumulates a pool hand-off costs more than the
+// chunk computes, so kernels lower their worker count instead.
+const minChunkMACs = 16 << 10
+
+// grainFor converts a per-work-item MAC estimate into a parallelForGrain
+// grain (the minimum items per chunk).
+func grainFor(itemMACs int) int {
+	if itemMACs <= 0 {
+		return 1
+	}
+	g := minChunkMACs / itemMACs
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // parallelFor runs fn over [0, n) split into at most `workers` contiguous
 // chunks. The calling goroutine always executes the first chunk itself;
 // remaining chunks are offered to the shared pool and executed inline when
 // no pool worker is free, so parallelFor never blocks waiting for a slot
 // and cannot deadlock. workers <= 1 (or n <= 1) is exactly the serial loop.
 func parallelFor(n, workers int, fn func(lo, hi int)) {
+	parallelForGrain(n, workers, 1, fn)
+}
+
+// parallelForGrain is parallelFor with a minimum work grain: the worker
+// count is lowered until every chunk holds at least `grain` items, so tiny
+// ranges (a 1x1 conv over an 8x8 map, the tail layers of a deep net) run
+// serially — or on few workers — instead of paying per-chunk dispatch
+// overhead that exceeds the work itself. Chunking never changes which
+// elements a chunk computes relative to parallelFor — only how many chunks
+// there are — so results stay bit-identical at every (workers, grain)
+// combination.
+func parallelForGrain(n, workers, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
+	}
+	if grain > 1 {
+		if maxW := n / grain; workers > maxW {
+			workers = maxW
+		}
 	}
 	if workers > n {
 		workers = n

@@ -24,6 +24,88 @@ type convWeights struct {
 	// accumulation order (kw ascending, zeros skipped) identical to the
 	// original scalar loop.
 	rows []kernelRow
+
+	// blocks is the register-tile plan: the output channels of each group
+	// partitioned into runs of up to ocBlockWidth channels that the blocked
+	// kernels compute together, re-reading each input row once per block
+	// instead of once per channel. See pack for the packed tap layout.
+	blocks []ocBlock
+}
+
+// ocBlockWidth is the register-tile width: how many output channels the
+// blocked conv kernels accumulate per sweep over an input row. Four float32
+// accumulator rows of a typical feature-map width fit comfortably in L1
+// alongside the input row, and four weights per tap stay in registers.
+const ocBlockWidth = 4
+
+// ocBlock is one register-tile of output channels [oc0, oc0+width) within a
+// single convolution group (all channels of a block read the same input
+// channels [icBase, icBase+icg)).
+type ocBlock struct {
+	oc0    int
+	width  int
+	icBase int
+
+	// packed, when non-nil, holds the block's kernel taps tap-major so the
+	// inner loop streams weights linearly:
+	//
+	//	packed[((g*KH+kh)*KW+kw)*ocBlockWidth + b] = w[oc0+b][icBase+g][kh][kw]
+	//
+	// It is built only for full-width blocks whose every kernel row is
+	// dense (no zero taps dropped by compact): the packed kernel applies
+	// every tap in ascending kw order, which is then exactly the
+	// compacted rows' order, so bit-identity with the reference loop
+	// holds. Ragged or sparse blocks leave packed nil and fall back to
+	// the per-channel compacted rows.
+	packed []float32
+}
+
+// pack builds the register-tile plan from the flat kernel. compact must run
+// first (pack consults the compacted rows to detect dropped zero taps).
+func (cw *convWeights) pack(l *nn.Layer, icg int) {
+	groups := l.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	ocg := l.OutC / groups
+	cw.blocks = cw.blocks[:0]
+	for g := 0; g < groups; g++ {
+		for oc0 := g * ocg; oc0 < (g+1)*ocg; oc0 += ocBlockWidth {
+			blk := ocBlock{oc0: oc0, width: min(ocBlockWidth, (g+1)*ocg-oc0), icBase: g * icg}
+			if blk.width == ocBlockWidth && cw.denseRows(oc0, blk.width, icg, l.KH) {
+				blk.packed = make([]float32, icg*l.KH*l.KW*ocBlockWidth)
+				for gg := 0; gg < icg; gg++ {
+					for kh := 0; kh < l.KH; kh++ {
+						for kw := 0; kw < l.KW; kw++ {
+							for b := 0; b < ocBlockWidth; b++ {
+								blk.packed[((gg*l.KH+kh)*l.KW+kw)*ocBlockWidth+b] =
+									cw.w[(((oc0+b)*icg+gg)*l.KH+kh)*l.KW+kw]
+							}
+						}
+					}
+				}
+			}
+			cw.blocks = append(cw.blocks, blk)
+		}
+	}
+}
+
+// denseRows reports whether every compacted kernel row of channels
+// [oc0, oc0+width) still holds all KW taps, i.e. compact dropped no zero
+// weight anywhere in the block.
+func (cw *convWeights) denseRows(oc0, width, icg, kh int) bool {
+	kw := 0
+	if len(cw.rows) > 0 {
+		kw = cap(cw.rows[0].kw)
+	}
+	for oc := oc0; oc < oc0+width; oc++ {
+		for r := oc * icg * kh; r < (oc+1)*icg*kh; r++ {
+			if len(cw.rows[r].w) != kw {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // kernelRow is one compacted kernel row: kw[i] is the horizontal tap
@@ -97,6 +179,7 @@ func genConv(seed int64, key string, l *nn.Layer, inC int) *convWeights {
 		}
 	}
 	cw.compact(l, icg)
+	cw.pack(l, icg)
 	return cw
 }
 

@@ -191,3 +191,13 @@ type ErrorHeader struct {
 	TaskID  int64  `json:"task_id"`
 	Message string `json:"message"`
 }
+
+// StatsHeader returns a worker's cumulative compute-time attribution in a
+// MsgStatsResult frame. A control-plane message, so plain JSON: it crosses
+// the wire once per run, not per tile.
+type StatsHeader struct {
+	// KindSeconds maps layer kind (conv, pointwise, depthwise, pool, fc)
+	// to cumulative kernel wall-clock seconds across the worker's
+	// executors since the worker started.
+	KindSeconds map[string]float64 `json:"kind_seconds"`
+}
