@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot bench bench-json bench-kernel bench-compare check
+.PHONY: all build vet test race race-hot chaos bench bench-json bench-kernel bench-compare check
 
 all: check
 
@@ -23,6 +23,13 @@ race:
 # than the full `race` sweep when iterating on the engine.
 race-hot:
 	$(GO) test -race ./internal/tensor ./internal/runtime
+
+# Fault-injection suite under the race detector: worker crashes, hangs,
+# flaky connections and panics against the pipeline's recovery machinery
+# (deadlines, retry, redial, re-balance). Every test carries a watchdog, so
+# a recovery regression fails fast instead of wedging CI.
+chaos:
+	$(GO) test -race -timeout 300s -run 'Chaos|PanicContained|DeadlineFailsConn|Flaky|RunDegraded|SurvivesWorkerCrash' ./internal/runtime ./internal/wire ./internal/simulate
 
 # Smoke-run the execution-engine benchmarks (single iteration): catches
 # bench-only compile errors and allocation regressions without a full sweep.
@@ -45,4 +52,4 @@ bench-kernel:
 bench-compare:
 	$(GO) run ./cmd/picobench -kerncompare BENCH_PR4.json
 
-check: build vet test race bench bench-json
+check: build vet test race chaos bench bench-json

@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		window      = fs.Int("window", 0, "per-stage dispatch window (1 = synchronous, 2 = double buffering; 0 = default)")
 		savePlan    = fs.String("saveplan", "", "write the computed plan as JSON to this file")
 		loadPlan    = fs.String("loadplan", "", "execute a previously saved plan instead of planning")
+		execTimeout = fs.Duration("exec-timeout", 0, "per-tile exec deadline (0 = derive from the plan's modelled stage cost)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -128,7 +129,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i, a := range addrs {
 		addrMap[i] = strings.TrimSpace(a)
 	}
-	p, err := runtime.NewPipeline(plan, addrMap, runtime.PipelineOptions{Seed: *seed, StageWindow: *window})
+	p, err := runtime.NewPipeline(plan, addrMap, runtime.PipelineOptions{
+		Seed:        *seed,
+		StageWindow: *window,
+		ExecTimeout: *execTimeout,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "picorun: connect: %v\n", err)
 		return 1
@@ -162,12 +167,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}()
-	completed := 0
+	completed, failed := 0, 0
 	var totalLatency time.Duration
 	for res := range p.Results() {
 		if res.Err != nil {
+			// Worker faults degrade the run, they do not abort it: the
+			// pipeline keeps serving on the survivors, so keep draining and
+			// report the failures at the end.
 			fmt.Fprintf(stderr, "picorun: task %d: %v\n", res.ID, res.Err)
-			return 1
+			failed++
+			if completed+failed == *tasks {
+				break
+			}
+			continue
 		}
 		lat := res.Done.Sub(res.Submitted)
 		totalLatency += lat
@@ -185,21 +197,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "task %2d done in %v\n", res.ID, lat.Round(time.Microsecond))
 		completed++
-		if completed == *tasks {
+		if completed+failed == *tasks {
 			break
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Fprintf(stdout, "completed %d tasks in %v (%.2f/min), mean latency %v",
+	fmt.Fprintf(stdout, "completed %d tasks in %v (%.2f/min)",
 		completed, elapsed.Round(time.Millisecond),
-		float64(completed)/elapsed.Minutes(),
-		(totalLatency / time.Duration(completed)).Round(time.Microsecond))
-	if *verify {
+		float64(completed)/elapsed.Minutes())
+	if completed > 0 {
+		fmt.Fprintf(stdout, ", mean latency %v", (totalLatency / time.Duration(completed)).Round(time.Microsecond))
+	}
+	if *verify && completed > 0 {
 		fmt.Fprint(stdout, ", all outputs verified against local reference")
 	}
 	fmt.Fprintln(stdout)
+	printFaults(stdout, p, failed)
 	printKindSeconds(stdout, stderr, p)
+	if failed > 0 {
+		fmt.Fprintf(stderr, "picorun: %d of %d tasks failed\n", failed, *tasks)
+		return 1
+	}
 	return 0
+}
+
+// printFaults reports the pipeline's fault journal — timeouts, redials,
+// devices gone down, stage re-balances — so a degraded run explains itself.
+func printFaults(stdout io.Writer, p *runtime.Pipeline, failed int) {
+	events, dropped := p.FaultEvents()
+	if len(events) == 0 && failed == 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "fault events (%d", len(events))
+	if dropped > 0 {
+		fmt.Fprintf(stdout, ", %d more dropped", dropped)
+	}
+	fmt.Fprintln(stdout, "):")
+	for _, ev := range events {
+		fmt.Fprintf(stdout, "  %s\n", ev.String())
+	}
+	if down := p.DownDevices(); len(down) > 0 {
+		fmt.Fprintf(stdout, "devices down: %v\n", down)
+	}
 }
 
 // printKindSeconds renders the workers' per-layer-kind compute attribution:

@@ -47,6 +47,16 @@ type Adaptive struct {
 
 	// submitMu serializes Submit (including the drain-and-switch path) so
 	// a concurrent Submit can never observe the pipeline mid-swap.
+	//
+	// It is held across the ENTIRE drain of the incumbent pipeline during a
+	// scheme switch, so every concurrent Submit stalls for up to one full
+	// pipeline traversal — the reconfiguration bubble the simulator's
+	// RunAdaptive models on purpose. Before exec deadlines that stall was
+	// unbounded: a wedged worker could hold Close (and therefore every
+	// Submit) forever. Now Close's drain is deadline-bounded per tile with
+	// finite retry/redial budgets, so the switch stall has a computable
+	// worst case: window × (stage deadline + retry budget × (deadline +
+	// backoff)) per stage, rather than ∞.
 	submitMu sync.Mutex
 
 	mu      sync.Mutex
@@ -117,7 +127,10 @@ func (a *Adaptive) openLocked(idx int) error {
 // picks a candidate, and if it differs from the incumbent the old pipeline
 // is drained and the new one opened before the task is enqueued. The drain
 // makes Submit block for up to one pipeline traversal during a switch —
-// the same reconfiguration stall the simulator models.
+// the same reconfiguration stall the simulator models. Because submitMu is
+// held for the whole drain, the stall extends to every concurrent Submit;
+// it is bounded even under faults because each in-flight tile's wait
+// carries an exec deadline (see PipelineOptions.ExecTimeout).
 func (a *Adaptive) Submit(input tensor.Tensor) error {
 	a.submitMu.Lock()
 	defer a.submitMu.Unlock()

@@ -1,0 +1,416 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/partition"
+	"pico/internal/tensor"
+	"pico/internal/wire"
+)
+
+// The chaos suite drives the pipeline through injected worker faults —
+// crashes, hangs, flaky connections, panics — and asserts the recovery
+// contract: every submitted task resolves (output or typed error, never a
+// deadlock), surviving replicas absorb the dead device's strips, and the
+// pipeline shuts down cleanly afterwards. Every test runs under a watchdog
+// so a regression shows up as a failure, not a hung `go test -race`.
+
+// chaosPlan is a single-stage plan splitting the full model across n
+// replica devices — every device holds the whole model, so any replica can
+// execute any strip, the topology retry and re-balancing need.
+func chaosPlan(t *testing.T, m *nn.Model, n int) *core.Plan {
+	t.Helper()
+	calc := partition.NewCalc(m)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	plan := &core.Plan{
+		Model:   m,
+		Cluster: cluster.Homogeneous(n, 600e6),
+		Stages: []core.Stage{{
+			From: 0, To: m.NumLayers(),
+			DeviceIdx: idx,
+			Parts:     calc.Balanced(0, m.NumLayers(), w),
+		}},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// startFaultCluster launches n workers where perWorker(i) arms per-worker
+// fault plans. Cleanup closes the cluster (idempotent even if a test
+// Aborts a victim first).
+func startFaultCluster(t *testing.T, n int, perWorker func(i int) []WorkerOption) *LocalCluster {
+	t.Helper()
+	lc, err := StartLocalClusterWith(n, nil, perWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := lc.Close(); err != nil && !errors.Is(err, errClosed) {
+			t.Errorf("cluster close: %v", err)
+		}
+	})
+	return lc
+}
+
+// drainResults collects exactly want results under a watchdog; a missing
+// result (a deadlocked task) fails the test rather than hanging the run.
+func drainResults(t *testing.T, p *Pipeline, want int, timeout time.Duration) []TaskResult {
+	t.Helper()
+	out := make([]TaskResult, 0, want)
+	deadline := time.After(timeout)
+	for len(out) < want {
+		select {
+		case res, ok := <-p.Results():
+			if !ok {
+				t.Fatalf("results closed after %d of %d tasks", len(out), want)
+			}
+			out = append(out, res)
+		case <-deadline:
+			t.Fatalf("watchdog: %d of %d tasks resolved within %v", len(out), want, timeout)
+		}
+	}
+	return out
+}
+
+func chaosOptions() PipelineOptions {
+	return PipelineOptions{
+		Seed:           9,
+		ExecTimeout:    2 * time.Second,
+		RetryBudget:    3,
+		RedialAttempts: 2,
+		RedialBackoff:  25 * time.Millisecond,
+	}
+}
+
+// TestChaosWorkerKilledMidStream crashes one of three replicas while a task
+// stream is in flight. Contract: every task resolves — on the survivors via
+// retry, or (at most briefly, around the crash) with a typed ErrWorkerFault
+// — the victim is eventually marked down, and its strip is re-balanced.
+func TestChaosWorkerKilledMidStream(t *testing.T) {
+	m := nn.ToyChain("chaos-kill", 4, 0, 6, 32)
+	const n, tasks, killAfter = 3, 20, 5
+	plan := chaosPlan(t, m, n)
+	lc := startFaultCluster(t, n, nil)
+	p, err := NewPipeline(plan, lc.Addrs, chaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the pipeline before the cluster even when an assertion fails
+	// mid-test: worker handlers exit only when the coordinator hangs up, so
+	// a still-open pipeline would deadlock the cluster cleanup. Close is
+	// idempotent, so the explicit happy-path Close below is unaffected.
+	t.Cleanup(func() { _ = p.Close() })
+	ref, err := tensor.NewExecutor(m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]tensor.Tensor, tasks)
+	for i := range inputs {
+		inputs[i] = tensor.RandomInput(m.Input, int64(i))
+	}
+	go func() {
+		for i, in := range inputs {
+			if i == killAfter {
+				if err := lc.Workers[1].Abort(); err != nil && !errors.Is(err, errClosed) {
+					t.Logf("abort: %v", err)
+				}
+			}
+			if _, err := p.Submit(in); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	results := drainResults(t, p, tasks, 60*time.Second)
+	ok := 0
+	for _, res := range results {
+		if res.Err != nil {
+			if !errors.Is(res.Err, ErrWorkerFault) {
+				t.Fatalf("task %d failed with untyped error: %v", res.ID, res.Err)
+			}
+			continue
+		}
+		want, err := ref.Run(inputs[res.ID-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(want, res.Output) {
+			t.Fatalf("task %d: output differs by %g", res.ID, tensor.MaxAbsDiff(want, res.Output))
+		}
+		ok++
+	}
+	// The crash window can fail a few in-flight tasks; the stream as a
+	// whole must keep completing on the survivors.
+	if ok < tasks-killAfter {
+		t.Fatalf("only %d of %d tasks succeeded after the crash", ok, tasks)
+	}
+	// The victim must go down once its redial budget is spent (dial to the
+	// closed listener fails fast, so this converges quickly).
+	waitFor(t, 5*time.Second, "device 1 marked down", func() bool {
+		for _, di := range p.DownDevices() {
+			if di == 1 {
+				return true
+			}
+		}
+		return false
+	})
+	events, _ := p.FaultEvents()
+	if !hasKind(events, FaultRebalanced) {
+		t.Fatalf("no rebalance event after device went down; events: %v", events)
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("close after chaos: %v", err)
+	}
+}
+
+// TestChaosHangingWorkerDeadlineRecovers wedges one of two replicas (execs
+// accepted, never answered — the failure mode only a deadline can detect).
+// Every task must still complete correctly via deadline + retry on the
+// healthy replica.
+func TestChaosHangingWorkerDeadlineRecovers(t *testing.T) {
+	m := nn.ToyChain("chaos-hang", 4, 0, 6, 32)
+	const n, tasks = 2, 6
+	plan := chaosPlan(t, m, n)
+	lc := startFaultCluster(t, n, func(i int) []WorkerOption {
+		if i == 1 {
+			return []WorkerOption{WithFault(Fault{HangFromExec: 3})}
+		}
+		return nil
+	})
+	opts := chaosOptions()
+	opts.ExecTimeout = time.Second
+	p, err := NewPipeline(plan, lc.Addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	ref, err := tensor.NewExecutor(m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]tensor.Tensor, tasks)
+	for i := range inputs {
+		inputs[i] = tensor.RandomInput(m.Input, int64(i))
+	}
+	go func() {
+		for i, in := range inputs {
+			if _, err := p.Submit(in); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for _, res := range drainResults(t, p, tasks, 60*time.Second) {
+		if res.Err != nil {
+			t.Fatalf("task %d: %v", res.ID, res.Err)
+		}
+		want, err := ref.Run(inputs[res.ID-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(want, res.Output) {
+			t.Fatalf("task %d: output differs by %g", res.ID, tensor.MaxAbsDiff(want, res.Output))
+		}
+	}
+	events, _ := p.FaultEvents()
+	if !hasKind(events, FaultTimeout) {
+		t.Fatalf("hung worker produced no timeout event; events: %v", events)
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestChaosFlakyConnRedialHeals severs the victim's first connection at the
+// wire layer mid-stream. The replacement connection is clean, so redial must
+// fully heal the pipeline: zero failed tasks, a redialed event, no device
+// down.
+func TestChaosFlakyConnRedialHeals(t *testing.T) {
+	m := nn.ToyChain("chaos-flaky", 4, 0, 6, 32)
+	const n, tasks = 2, 10
+	plan := chaosPlan(t, m, n)
+	lc := startFaultCluster(t, n, func(i int) []WorkerOption {
+		if i == 1 {
+			// The worker's conn writes are hello + one result per exec;
+			// severing after 4 writes kills the stream mid-run.
+			return []WorkerOption{WithFault(Fault{
+				Wire:           wire.FlakyOptions{Seed: 7, CloseAfterWrites: 4},
+				WireFirstConns: 1,
+			})}
+		}
+		return nil
+	})
+	p, err := NewPipeline(plan, lc.Addrs, chaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	ref, err := tensor.NewExecutor(m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]tensor.Tensor, tasks)
+	for i := range inputs {
+		inputs[i] = tensor.RandomInput(m.Input, int64(i))
+	}
+	go func() {
+		for i, in := range inputs {
+			if _, err := p.Submit(in); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for _, res := range drainResults(t, p, tasks, 60*time.Second) {
+		if res.Err != nil {
+			t.Fatalf("task %d failed despite redial: %v", res.ID, res.Err)
+		}
+		want, err := ref.Run(inputs[res.ID-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(want, res.Output) {
+			t.Fatalf("task %d: output differs by %g", res.ID, tensor.MaxAbsDiff(want, res.Output))
+		}
+	}
+	// The redial runs in the background and may land after the last result
+	// drains; poll for it rather than racing it.
+	waitFor(t, 5*time.Second, "redialed event", func() bool {
+		events, _ := p.FaultEvents()
+		return hasKind(events, FaultRedialed)
+	})
+	if down := p.DownDevices(); len(down) != 0 {
+		t.Fatalf("redial should heal, but devices %v are down", down)
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestWorkerPanicContained is the satellite regression for panic
+// containment: a panicking executor request is answered with an error frame
+// (a deterministic failure, not ErrWorkerFault — retrying would panic
+// again), and the worker keeps serving subsequent requests.
+func TestWorkerPanicContained(t *testing.T) {
+	m := nn.ToyChain("chaos-panic", 4, 0, 6, 32)
+	plan := chaosPlan(t, m, 1)
+	lc := startFaultCluster(t, 1, func(int) []WorkerOption {
+		return []WorkerOption{WithFault(Fault{PanicOnExec: 1})}
+	})
+	p, err := NewPipeline(plan, lc.Addrs, chaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := p.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	in := tensor.RandomInput(m.Input, 1)
+	if _, err := p.Submit(in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(in); err != nil {
+		t.Fatal(err)
+	}
+	results := drainResults(t, p, 2, 30*time.Second)
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "panic") {
+		t.Fatalf("panicking exec: want panic error, got %v", results[0].Err)
+	}
+	if errors.Is(results[0].Err, ErrWorkerFault) {
+		t.Fatalf("panic reply misclassified as transient worker fault: %v", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("worker stopped serving after contained panic: %v", results[1].Err)
+	}
+	ref, err := tensor.NewExecutor(m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, results[1].Output) {
+		t.Fatalf("post-panic output differs by %g", tensor.MaxAbsDiff(want, results[1].Output))
+	}
+}
+
+// TestDeadlineFailsConnAndWakesPending covers the send/wait terminal-error
+// contract at the client layer: when one call's deadline fires, the
+// connection is failed, so every other pending call on it wakes immediately
+// instead of burning its own full deadline.
+func TestDeadlineFailsConnAndWakesPending(t *testing.T) {
+	lc := startFaultCluster(t, 1, func(int) []WorkerOption {
+		return []WorkerOption{WithFault(Fault{HangFromExec: 1}), WithExecQueue(4)}
+	})
+	wc, err := dialWorker(lc.Addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.close()
+	m := nn.ToyChain("chaos-wake", 2, 0, 4, 16)
+	if err := wc.loadModel(wire.SpecFromModel(m), 1); err != nil {
+		t.Fatal(err)
+	}
+	tile := tensor.RandomInput(m.Input, 1)
+	hdr := wire.ExecHeader{From: 0, To: m.NumLayers(), OutLo: 0, OutHi: 16, ModelName: m.Name, Seed: 1}
+	c1, err := wc.startExec(hdr, tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := wc.startExec(hdr, tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, transient, err := c1.waitExec(300 * time.Millisecond); err == nil || !transient {
+		t.Fatalf("hung exec: want transient deadline error, got transient=%v err=%v", transient, err)
+	}
+	start := time.Now()
+	_, _, transient, err := c2.waitExec(time.Minute)
+	if err == nil || !transient {
+		t.Fatalf("second pending call: want transient error, got transient=%v err=%v", transient, err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("second pending call waited %v; the failed conn should wake it immediately", waited)
+	}
+	if wc.alive() {
+		t.Fatal("deadline expiry must be terminal for the connection")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func hasKind(events []FaultEvent, kind FaultKind) bool {
+	for _, ev := range events {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}

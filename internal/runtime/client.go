@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sync"
+	"time"
 
 	"pico/internal/tensor"
 	"pico/internal/wire"
@@ -28,13 +29,16 @@ type workerClient struct {
 }
 
 // dialWorker connects, consumes the hello frame, and starts the response
-// reader.
+// reader. The hello read is deadline-bounded so a peer that accepts but
+// never speaks cannot hang connection setup.
 func dialWorker(addr string) (*workerClient, error) {
 	conn, err := dialTCP(addr)
 	if err != nil {
 		return nil, err
 	}
+	_ = conn.SetReadDeadline(time.Now().Add(dialTimeout))
 	msg, err := conn.Recv()
+	_ = conn.SetReadDeadline(time.Time{})
 	if err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("runtime: hello from %s: %w", addr, err)
@@ -103,6 +107,7 @@ func (wc *workerClient) readLoop() {
 // call is one in-flight request awaiting its response frame.
 type call struct {
 	wc *workerClient
+	id uint64
 	ch chan *wire.Message
 }
 
@@ -117,14 +122,35 @@ func (wc *workerClient) register() (uint64, *call, error) {
 	id := wc.nextReq
 	ch := make(chan *wire.Message, 1)
 	wc.pending[id] = ch
-	return id, &call{wc: wc, ch: ch}, nil
+	return id, &call{wc: wc, id: id, ch: ch}, nil
 }
 
-// cancel abandons a registered request whose send failed.
+// cancel abandons a registered request (failed send or expired deadline); a
+// late response frame for the id is dropped by the reader.
 func (wc *workerClient) cancel(id uint64) {
 	wc.mu.Lock()
 	delete(wc.pending, id)
 	wc.mu.Unlock()
+}
+
+// fail marks the connection terminally broken and severs it, which makes the
+// reader exit and wake every pending call. Any error on the send path goes
+// through here: a half-written frame has already desynchronized the stream,
+// so the connection must never carry another request.
+func (wc *workerClient) fail(err error) {
+	wc.mu.Lock()
+	if wc.err == nil && err != nil {
+		wc.err = err
+	}
+	wc.mu.Unlock()
+	_ = wc.conn.Close()
+}
+
+// alive reports whether the connection has not failed yet.
+func (wc *workerClient) alive() bool {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.err == nil
 }
 
 // readError returns the terminal connection error (the reader sets it
@@ -147,8 +173,38 @@ func (c *call) wait() (*wire.Message, error) {
 	return msg, nil
 }
 
+// waitTimeout blocks for the response frame, the connection dying, or the
+// deadline — whichever comes first. A deadline hit is treated as the
+// connection being wedged (a worker that still computes will answer a fresh
+// connection after redial): the pending slot is cancelled so a late frame is
+// dropped, and the connection is failed so every other pending call wakes
+// immediately instead of each burning its own full deadline. d <= 0 waits
+// forever.
+func (c *call) waitTimeout(d time.Duration) (*wire.Message, error) {
+	if d <= 0 {
+		return c.wait()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case msg, ok := <-c.ch:
+		if !ok {
+			return nil, c.wc.readError()
+		}
+		return msg, nil
+	case <-timer.C:
+		c.wc.cancel(c.id)
+		err := fmt.Errorf("runtime: %s: no response within %v: %w", c.wc.id, d, errDeadline)
+		c.wc.fail(err)
+		return nil, err
+	}
+}
+
+// errDeadline marks exec deadline expiries for fault classification.
+var errDeadline = fmt.Errorf("exec deadline exceeded")
+
 // roundTrip issues one JSON-header control request and waits for its
-// response.
+// response, bounded by the control deadline.
 func (wc *workerClient) roundTrip(t wire.MsgType, header any, payload []byte) (*wire.Message, error) {
 	id, c, err := wc.register()
 	if err != nil {
@@ -156,10 +212,15 @@ func (wc *workerClient) roundTrip(t wire.MsgType, header any, payload []byte) (*
 	}
 	if err := wc.conn.SendRequest(t, id, header, payload); err != nil {
 		wc.cancel(id)
+		wc.fail(fmt.Errorf("runtime: send %v to %s: %w", t, wc.id, err))
 		return nil, err
 	}
-	return c.wait()
+	return c.waitTimeout(controlTimeout)
 }
+
+// controlTimeout bounds control round trips (load-model, ping, stats). Model
+// construction on a throttled worker is slow but not minutes-slow.
+const controlTimeout = time.Minute
 
 func (wc *workerClient) close() error {
 	wc.mu.Lock()
@@ -208,50 +269,59 @@ func (wc *workerClient) startExec(hdr wire.ExecHeader, tile tensor.Tensor) (*cal
 		wire.PutBuffer(payload)
 	}
 	if err != nil {
+		// A failed or partial send leaves an undefined number of frame
+		// bytes on the stream; cancelling the slot is not enough — the
+		// connection itself is done.
 		wc.cancel(id)
+		wc.fail(fmt.Errorf("runtime: exec send to %s: %w", wc.id, err))
 		return nil, fmt.Errorf("runtime: exec to %s: %w", wc.id, err)
 	}
 	return c, nil
 }
 
 // waitExec resolves an exec call to its output strip and the worker's
-// reported compute seconds.
-func (c *call) waitExec() (tensor.Tensor, float64, error) {
-	msg, err := c.wait()
+// reported compute seconds. transient reports whether the failure is
+// transport-attributable (timeout, lost connection) and therefore worth
+// retrying on a healthy replica; worker-reported errors are deterministic
+// and come back with transient == false.
+func (c *call) waitExec(d time.Duration) (out tensor.Tensor, seconds float64, transient bool, err error) {
+	msg, err := c.waitTimeout(d)
 	if err != nil {
-		return tensor.Tensor{}, 0, fmt.Errorf("runtime: exec result from %s: %w", c.wc.id, err)
+		return tensor.Tensor{}, 0, true, fmt.Errorf("runtime: exec result from %s: %w", c.wc.id, err)
 	}
 	switch msg.Type {
 	case wire.MsgExecResult:
 		var rh wire.ExecResultHeader
 		if err := msg.DecodeExecResult(&rh); err != nil {
 			wire.PutBuffer(msg.Payload)
-			return tensor.Tensor{}, 0, err
+			return tensor.Tensor{}, 0, false, err
 		}
 		out, err := wire.DecodeTensor(rh.C, rh.H, rh.W, msg.Payload)
 		wire.PutBuffer(msg.Payload)
 		if err != nil {
-			return tensor.Tensor{}, 0, err
+			return tensor.Tensor{}, 0, false, err
 		}
-		return out, rh.ComputeSeconds, nil
+		return out, rh.ComputeSeconds, false, nil
 	case wire.MsgError:
 		var eh wire.ErrorHeader
 		_ = msg.DecodeHeader(&eh)
 		wire.PutBuffer(msg.Payload)
-		return tensor.Tensor{}, 0, fmt.Errorf("runtime: %s: %s", c.wc.id, eh.Message)
+		return tensor.Tensor{}, 0, false, fmt.Errorf("runtime: %s: %s", c.wc.id, eh.Message)
 	default:
 		wire.PutBuffer(msg.Payload)
-		return tensor.Tensor{}, 0, fmt.Errorf("runtime: %s: unexpected %v", c.wc.id, msg.Type)
+		return tensor.Tensor{}, 0, false, fmt.Errorf("runtime: %s: unexpected %v", c.wc.id, msg.Type)
 	}
 }
 
-// exec is the synchronous request/response form of startExec + waitExec.
+// exec is the synchronous request/response form of startExec + waitExec,
+// without a deadline (used by tests and profiling probes).
 func (wc *workerClient) exec(hdr wire.ExecHeader, tile tensor.Tensor) (tensor.Tensor, float64, error) {
 	c, err := wc.startExec(hdr, tile)
 	if err != nil {
 		return tensor.Tensor{}, 0, err
 	}
-	return c.waitExec()
+	out, seconds, _, err := c.waitExec(0)
+	return out, seconds, err
 }
 
 // stats fetches the worker's cumulative per-layer-kind compute seconds.

@@ -38,6 +38,14 @@ type LocalCluster struct {
 // StartLocalCluster launches the workers and their serve loops. Extra
 // options (e.g. WithParallelism) are applied to every worker.
 func StartLocalCluster(n int, speeds []float64, extra ...WorkerOption) (*LocalCluster, error) {
+	return StartLocalClusterWith(n, speeds, nil, extra...)
+}
+
+// StartLocalClusterWith is StartLocalCluster with per-worker options:
+// perWorker(i), when non-nil, returns extra options for worker i — how chaos
+// tests arm a fault plan on one victim while the rest of the cluster runs
+// clean.
+func StartLocalClusterWith(n int, speeds []float64, perWorker func(i int) []WorkerOption, extra ...WorkerOption) (*LocalCluster, error) {
 	if n <= 0 {
 		return nil, errors.New("runtime: non-positive cluster size")
 	}
@@ -51,6 +59,9 @@ func StartLocalCluster(n int, speeds []float64, extra ...WorkerOption) (*LocalCl
 			opts = append(opts, WithEmulatedSpeed(speeds[i]))
 		}
 		opts = append(opts, extra...)
+		if perWorker != nil {
+			opts = append(opts, perWorker(i)...)
+		}
 		w, err := NewWorker("worker-"+strconv.Itoa(i), "127.0.0.1:0", opts...)
 		if err != nil {
 			_ = lc.Close()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,25 +58,53 @@ type flight struct {
 // N+1 are sliced, serialized and sent while the workers still compute task
 // N (whose strips are gathered concurrently), so coordinator-side transport
 // work overlaps remote compute instead of extending the stage's period.
+//
+// The driver is fault-tolerant: every exec wait is deadline-bounded, a lost
+// or wedged connection moves its strip onto a healthy replica (bounded
+// retries, while a background goroutine redials the lost worker with
+// exponential backoff), and a worker that exhausts its redial budget is
+// marked down for good — the stage re-balances its strips across the
+// survivors and keeps serving.
 type stageDriver struct {
-	stage   core.Stage
-	workers []*workerClient // parallel to stage.DeviceIdx; nil for idle slots
-	calc    *partition.Calc
-	ref     struct {
+	index int // stage position, for fault events
+	stage core.Stage
+	// slots are the per-position connection states, parallel to
+	// stage.DeviceIdx; nil for positions idle in the original plan.
+	slots []*workerSlot
+	calc  *partition.Calc
+	ref   struct {
 		name string
 		seed int64
 	}
 	outH int
 	// window caps how many tasks may be dispatched but not yet stitched.
 	window int
+	// timeout bounds each tile round trip on this stage.
+	timeout time.Duration
 	// record accumulates per-device compute time into the pipeline stats.
 	record func(deviceIdx int, seconds float64)
+	p      *Pipeline
+
+	// topoMu guards the live strip layout, which re-balancing rewrites
+	// when a device goes down.
+	topoMu sync.Mutex
+	parts  []partition.Range
+	dead   bool // no live device remains; flights fail fast
+
+	// rr rotates replica choice across retries.
+	rr atomic.Uint64
 }
 
 // flightWork is one dispatched task awaiting its strips.
 type flightWork struct {
-	f     *flight
-	calls []*call // parallel to workers; nil slots were idle
+	f *flight
+	// parts is the strip layout this flight was dispatched under (the live
+	// layout can change concurrently on re-balance).
+	parts []partition.Range
+	calls []*call // parallel to parts; nil slots were idle or failed
+	// retry lists part indices whose dispatch or wait failed transiently;
+	// gather re-executes them on healthy replicas.
+	retry []int
 	start time.Time
 }
 
@@ -109,42 +138,65 @@ func (sd *stageDriver) run(in <-chan *flight, out chan<- *flight, wg *sync.WaitG
 	dispatchWG.Wait()
 }
 
+// execHeader builds the exec request for one strip of this stage.
+func (sd *stageDriver) execHeader(f *flight, part partition.Range, inLo int) wire.ExecHeader {
+	return wire.ExecHeader{
+		TaskID: f.id,
+		From:   sd.stage.From, To: sd.stage.To,
+		OutLo: part.Lo, OutHi: part.Hi,
+		InLo:      inLo,
+		ModelName: sd.ref.name,
+		Seed:      sd.ref.seed,
+	}
+}
+
 // dispatch splits a flight's feature map into the stage's strips and sends
-// every tile, returning the in-flight calls for gather. Failed flights pass
-// through untouched.
+// every tile, returning the in-flight calls for gather. Send failures and
+// disconnected slots are queued for gather's retry pass instead of failing
+// the flight. Failed flights pass through untouched.
 func (sd *stageDriver) dispatch(f *flight) *flightWork {
 	fw := &flightWork{f: f, start: time.Now()}
 	if f.err != nil {
 		return fw
 	}
-	fw.calls = make([]*call, len(sd.workers))
-	for k, wc := range sd.workers {
-		part := sd.stage.Parts[k]
-		if wc == nil || part.Empty() {
+	sd.topoMu.Lock()
+	if sd.dead {
+		sd.topoMu.Unlock()
+		f.err = &FaultError{Device: -1, Kind: FaultDown,
+			Err: fmt.Errorf("stage [%d,%d) has no live workers", sd.stage.From, sd.stage.To)}
+		return fw
+	}
+	parts := append([]partition.Range(nil), sd.parts...)
+	sd.topoMu.Unlock()
+	fw.parts = parts
+	fw.calls = make([]*call, len(parts))
+	for k, part := range parts {
+		if part.Empty() || sd.slots[k] == nil {
+			continue
+		}
+		wc := sd.slots[k].current()
+		if wc == nil {
+			// Disconnected (redial in progress): gather retries this strip
+			// on a healthy replica.
+			fw.retry = append(fw.retry, k)
 			continue
 		}
 		inR := sd.calc.InputRange(sd.stage.From, sd.stage.To, part)
 		tile := f.t.SliceRows(inR.Lo, inR.Hi)
-		c, err := wc.startExec(wire.ExecHeader{
-			TaskID: f.id,
-			From:   sd.stage.From, To: sd.stage.To,
-			OutLo: part.Lo, OutHi: part.Hi,
-			InLo:      inR.Lo,
-			ModelName: sd.ref.name,
-			Seed:      sd.ref.seed,
-		}, tile)
+		c, err := wc.startExec(sd.execHeader(f, part, inR.Lo), tile)
 		tensor.Recycle(tile) // fully serialized into the request
 		if err != nil {
-			f.err = err
-			break // outstanding calls for this flight are still gathered
+			sd.noteFault(k, wc, FaultConnLost, err)
+			fw.retry = append(fw.retry, k)
+			continue
 		}
 		fw.calls[k] = c
 	}
 	return fw
 }
 
-// gather collects a dispatched flight's strips and stitches them into the
-// stage output.
+// gather collects a dispatched flight's strips — retrying transiently failed
+// ones on healthy replicas — and stitches them into the stage output.
 func (sd *stageDriver) gather(fw *flightWork) {
 	f := fw.f
 	if fw.calls == nil {
@@ -162,18 +214,36 @@ func (sd *stageDriver) gather(fw *flightWork) {
 		if c == nil {
 			continue
 		}
-		strip, comp, err := c.waitExec()
+		strip, comp, transient, err := c.waitExec(sd.timeout)
 		if err != nil {
 			// Keep draining the remaining calls so every in-flight
 			// response is accounted for before the flight fails.
-			if f.err == nil {
+			if transient {
+				sd.noteFault(k, c.wc, faultKind(err), err)
+				fw.retry = append(fw.retry, k)
+			} else if f.err == nil {
 				f.err = err
 			}
 			continue
 		}
 		sd.record(sd.stage.DeviceIdx[k], comp)
 		outs = append(outs, strip)
-		los = append(los, sd.stage.Parts[k].Lo)
+		los = append(los, fw.parts[k].Lo)
+	}
+	// Retry pass: the stage input f.t is still alive here, so failed strips
+	// can be re-sliced and executed on surviving replicas.
+	for _, k := range fw.retry {
+		if f.err != nil {
+			break
+		}
+		strip, comp, di, err := sd.retryPart(f, fw.parts[k])
+		if err != nil {
+			f.err = err
+			break
+		}
+		sd.record(di, comp)
+		outs = append(outs, strip)
+		los = append(los, fw.parts[k].Lo)
 	}
 	if f.err != nil {
 		for _, o := range outs {
@@ -199,21 +269,207 @@ func (sd *stageDriver) gather(fw *flightWork) {
 	f.owned = true
 }
 
+// faultKind classifies a transient exec failure for the event log.
+func faultKind(err error) FaultKind {
+	if errors.Is(err, errDeadline) {
+		return FaultTimeout
+	}
+	return FaultConnLost
+}
+
+// noteFault records a transport failure against a slot and starts its redial
+// loop if one is not already running.
+func (sd *stageDriver) noteFault(k int, wc *workerClient, kind FaultKind, err error) {
+	slot := sd.slots[k]
+	sd.p.faults.add(FaultEvent{
+		Stage: sd.index, Device: slot.deviceIdx, Worker: slot.workerID,
+		Kind: kind, Detail: err.Error(),
+	})
+	if slot.fault(wc) {
+		sd.p.redialWG.Add(1)
+		go sd.redial(slot)
+	}
+}
+
+// pickLive returns a connected slot of this stage, rotating across calls so
+// retries spread over the replicas. Returns (-1, nil) when none is live.
+func (sd *stageDriver) pickLive() (int, *workerClient) {
+	n := len(sd.slots)
+	start := int(sd.rr.Add(1)) % n
+	for i := 0; i < n; i++ {
+		k := (start + i) % n
+		if sd.slots[k] == nil {
+			continue
+		}
+		if wc := sd.slots[k].current(); wc != nil {
+			return k, wc
+		}
+	}
+	return -1, nil
+}
+
+// retryPart re-executes one strip on healthy replicas, waiting out a redial
+// between attempts, until the retry budget is spent. It returns the strip,
+// its compute seconds and the executing device index.
+func (sd *stageDriver) retryPart(f *flight, part partition.Range) (tensor.Tensor, float64, int, error) {
+	inR := sd.calc.InputRange(sd.stage.From, sd.stage.To, part)
+	backoff := sd.p.redialBackoff
+	lastErr := error(nil)
+	for attempt := 0; attempt <= sd.p.retryBudget; attempt++ {
+		if attempt > 0 {
+			// Give an in-progress redial a chance to land before the next
+			// attempt; skip the wait when the pipeline is closing.
+			select {
+			case <-sd.p.closing:
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		k, wc := sd.pickLive()
+		if wc == nil {
+			lastErr = fmt.Errorf("no live replica in stage [%d,%d)", sd.stage.From, sd.stage.To)
+			continue
+		}
+		tile := f.t.SliceRows(inR.Lo, inR.Hi)
+		c, err := wc.startExec(sd.execHeader(f, part, inR.Lo), tile)
+		tensor.Recycle(tile)
+		if err != nil {
+			sd.noteFault(k, wc, FaultConnLost, err)
+			lastErr = err
+			continue
+		}
+		strip, comp, transient, err := c.waitExec(sd.timeout)
+		if err == nil {
+			sd.p.faults.add(FaultEvent{
+				Stage: sd.index, Device: sd.slots[k].deviceIdx, Worker: sd.slots[k].workerID,
+				Kind: FaultRetried, Detail: fmt.Sprintf("task %d rows %v", f.id, part),
+			})
+			return strip, comp, sd.stage.DeviceIdx[k], nil
+		}
+		if !transient {
+			// Worker-reported (deterministic) error: retrying elsewhere
+			// would fail the same way.
+			return tensor.Tensor{}, 0, 0, err
+		}
+		sd.noteFault(k, wc, faultKind(err), err)
+		lastErr = err
+	}
+	return tensor.Tensor{}, 0, 0, &FaultError{
+		Device: -1, Kind: FaultDown,
+		Err: fmt.Errorf("task %d rows %v: retry budget exhausted: %w", f.id, part, lastErr),
+	}
+}
+
+// redial tries to reconnect a lost worker with exponential backoff. On
+// success the slot resumes serving its strips; after the last attempt the
+// slot goes down for good and the stage re-balances onto the survivors.
+func (sd *stageDriver) redial(slot *workerSlot) {
+	defer sd.p.redialWG.Done()
+	backoff := sd.p.redialBackoff
+	for attempt := 1; attempt <= sd.p.redialAttempts; attempt++ {
+		select {
+		case <-sd.p.closing:
+			// Pipeline tear-down: stop trying, leave the slot disconnected
+			// (not down — no re-balance during close).
+			slot.mu.Lock()
+			slot.redialing = false
+			slot.mu.Unlock()
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		wc, err := dialWorker(slot.addr)
+		if err == nil {
+			wc.conn.SetWriteTimeout(sd.timeout)
+			if err = wc.loadModel(sd.p.spec, sd.p.seed); err == nil {
+				sd.p.trackClient(wc)
+				slot.reconnected(wc)
+				sd.p.faults.add(FaultEvent{
+					Stage: sd.index, Device: slot.deviceIdx, Worker: slot.workerID,
+					Kind: FaultRedialed, Detail: fmt.Sprintf("attempt %d", attempt),
+				})
+				return
+			}
+			_ = wc.close()
+		}
+	}
+	slot.markDown()
+	sd.p.faults.add(FaultEvent{
+		Stage: sd.index, Device: slot.deviceIdx, Worker: slot.workerID,
+		Kind: FaultDown, Detail: fmt.Sprintf("%d redial attempts failed", sd.p.redialAttempts),
+	})
+	sd.rebalance()
+}
+
+// rebalance re-splits the stage's output rows across the surviving devices
+// (the divide-and-conquer balancer of Algorithm 2), or marks the stage dead
+// when none survive.
+func (sd *stageDriver) rebalance() {
+	weights := make([]float64, len(sd.slots))
+	live := 0
+	for k, slot := range sd.slots {
+		if slot == nil || slot.isDown() {
+			continue
+		}
+		w := sd.p.speedOf(slot.deviceIdx)
+		if w <= 0 {
+			w = 1
+		}
+		weights[k] = w
+		live++
+	}
+	if live == 0 {
+		sd.topoMu.Lock()
+		sd.dead = true
+		sd.topoMu.Unlock()
+		sd.p.faults.add(FaultEvent{
+			Stage: sd.index, Device: -1, Kind: FaultDown,
+			Detail: fmt.Sprintf("stage [%d,%d) has no live workers; tasks fail fast", sd.stage.From, sd.stage.To),
+		})
+		return
+	}
+	parts := sd.calc.Balanced(sd.stage.From, sd.stage.To, weights)
+	sd.topoMu.Lock()
+	sd.parts = parts
+	sd.topoMu.Unlock()
+	sd.p.faults.add(FaultEvent{
+		Stage: sd.index, Device: -1, Kind: FaultRebalanced,
+		Detail: fmt.Sprintf("strips re-balanced over %d survivor(s): %v", live, parts),
+	})
+}
+
 // Pipeline executes a PICO plan over TCP workers, one stage driver per
 // stage, all running concurrently so tasks overlap in the pipeline.
 type Pipeline struct {
-	plan    *core.Plan
-	seed    int64
-	stages  []*stageDriver
-	clients []*workerClient
+	plan   *core.Plan
+	seed   int64
+	spec   wire.ModelSpec
+	stages []*stageDriver
+
+	// Fault-tolerance policy (defaulted from PipelineOptions).
+	retryBudget    int
+	redialAttempts int
+	redialBackoff  time.Duration
 
 	in      chan *flight
 	results chan TaskResult
 	wg      sync.WaitGroup
+	// closing is closed during Close, after the stage drivers drain: it
+	// stops redial loops and retry backoff waits.
+	closing chan struct{}
+	// redialWG tracks background redial goroutines.
+	redialWG sync.WaitGroup
 
 	mu     sync.Mutex
 	nextID int64
 	closed bool
+
+	// cmu guards clients, which grows when redials create connections.
+	cmu     sync.Mutex
+	clients []*workerClient
+
+	// faults is the bounded fault-event journal.
+	faults faultLog
 
 	// stats holds one lock-free counter per device, built once at
 	// construction; stage goroutines update them with atomics on every
@@ -266,7 +522,37 @@ type PipelineOptions struct {
 	// buffers: the coordinator slices, serializes and sends task N+1's
 	// tiles while the workers still compute task N.
 	StageWindow int
+
+	// ExecTimeout bounds every tile round trip (send through result). Zero
+	// derives a per-stage deadline from the plan's modelled stage cost:
+	// floor + DeadlineSlack × modelled stage seconds — generous enough for
+	// honest slowness, finite so a wedged worker cannot stall the pipeline.
+	// Negative disables deadlines entirely (a benchmarking/debug escape
+	// hatch: a wedged worker can then stall the pipeline forever).
+	ExecTimeout time.Duration
+	// DeadlineSlack multiplies the modelled stage seconds when deriving
+	// per-stage deadlines (default 8).
+	DeadlineSlack float64
+	// RetryBudget is how many times a transiently failed tile is re-executed
+	// on a healthy replica before its task fails with a FaultError
+	// (default 2; negative disables retries).
+	RetryBudget int
+	// RedialAttempts is how many exponential-backoff reconnects a lost
+	// worker gets before it is marked down and its stage re-balanced across
+	// the survivors (default 3; negative disables redial).
+	RedialAttempts int
+	// RedialBackoff is the initial reconnect backoff, doubled per attempt
+	// (default 100ms). It also paces retryPart's wait for a redial to land.
+	RedialBackoff time.Duration
 }
+
+// Deadline-derivation defaults: a hung worker is detected after
+// deadlineFloor + slack × the stage's modelled seconds, so emulated-slow
+// devices get proportionally longer leashes.
+const (
+	defaultDeadlineSlack = 8.0
+	deadlineFloor        = 5 * time.Second
+)
 
 // NewPipeline connects to the workers backing the plan's devices and starts
 // the stage drivers. addrs maps cluster device index to worker address;
@@ -284,15 +570,32 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 	if opts.StageWindow <= 0 {
 		opts.StageWindow = 2
 	}
-	p := &Pipeline{
-		plan:    plan,
-		seed:    opts.Seed,
-		in:       make(chan *flight, opts.QueueDepth),
-		results:  make(chan TaskResult, opts.QueueDepth),
-		stats:    make(map[int]*deviceCounter),
-		byDevice: make(map[int]*workerClient),
+	if opts.RetryBudget == 0 {
+		opts.RetryBudget = 2
+	} else if opts.RetryBudget < 0 {
+		opts.RetryBudget = 0
 	}
-	spec := wire.SpecFromModel(plan.Model)
+	if opts.RedialAttempts == 0 {
+		opts.RedialAttempts = 3
+	} else if opts.RedialAttempts < 0 {
+		opts.RedialAttempts = 0
+	}
+	if opts.RedialBackoff <= 0 {
+		opts.RedialBackoff = 100 * time.Millisecond
+	}
+	p := &Pipeline{
+		plan:           plan,
+		seed:           opts.Seed,
+		retryBudget:    opts.RetryBudget,
+		redialAttempts: opts.RedialAttempts,
+		redialBackoff:  opts.RedialBackoff,
+		in:             make(chan *flight, opts.QueueDepth),
+		results:        make(chan TaskResult, opts.QueueDepth),
+		closing:        make(chan struct{}),
+		stats:          make(map[int]*deviceCounter),
+		byDevice:       make(map[int]*workerClient),
+	}
+	p.spec = wire.SpecFromModel(plan.Model)
 	calc := partition.NewCalc(plan.Model)
 	fail := func(err error) (*Pipeline, error) {
 		for _, c := range p.clients {
@@ -300,14 +603,28 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 		}
 		return nil, err
 	}
-	for _, st := range plan.Stages {
+	for si, st := range plan.Stages {
+		timeout := opts.ExecTimeout
+		if timeout < 0 {
+			timeout = 0 // deadlines off: waits block until the conn dies
+		} else if timeout == 0 {
+			slack := opts.DeadlineSlack
+			if slack <= 0 {
+				slack = defaultDeadlineSlack
+			}
+			timeout = deadlineFloor + time.Duration(st.Seconds()*slack*float64(time.Second))
+		}
 		sd := &stageDriver{
+			index:   si,
 			stage:   st,
-			workers: make([]*workerClient, len(st.DeviceIdx)),
+			slots:   make([]*workerSlot, len(st.DeviceIdx)),
 			calc:    calc,
 			outH:    plan.Model.OutShape(st.To - 1).H,
 			window:  opts.StageWindow,
+			timeout: timeout,
+			p:       p,
 		}
+		sd.parts = append([]partition.Range(nil), st.Parts...)
 		sd.ref.name = plan.Model.Name
 		sd.ref.seed = opts.Seed
 		sd.record = p.recordCompute
@@ -323,14 +640,15 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 			if err != nil {
 				return fail(err)
 			}
+			wc.conn.SetWriteTimeout(timeout)
 			p.clients = append(p.clients, wc)
 			if p.byDevice[di] == nil {
 				p.byDevice[di] = wc
 			}
-			if err := wc.loadModel(spec, opts.Seed); err != nil {
+			if err := wc.loadModel(p.spec, opts.Seed); err != nil {
 				return fail(err)
 			}
-			sd.workers[k] = wc
+			sd.slots[k] = &workerSlot{deviceIdx: di, addr: addr, workerID: wc.id, wc: wc}
 			if p.stats[di] == nil {
 				p.stats[di] = &deviceCounter{}
 			}
@@ -364,6 +682,21 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 	return p, nil
 }
 
+// speedOf returns a device's effective modelled speed for re-balancing.
+func (p *Pipeline) speedOf(deviceIdx int) float64 {
+	if p.plan.Cluster == nil || deviceIdx < 0 || deviceIdx >= len(p.plan.Cluster.Devices) {
+		return 0
+	}
+	return p.plan.Cluster.Devices[deviceIdx].EffectiveSpeed()
+}
+
+// trackClient registers a redial-created connection for Close.
+func (p *Pipeline) trackClient(wc *workerClient) {
+	p.cmu.Lock()
+	p.clients = append(p.clients, wc)
+	p.cmu.Unlock()
+}
+
 // Submit enqueues one input for inference and returns its task ID. It
 // blocks when the pipeline's input queue is full.
 func (p *Pipeline) Submit(input tensor.Tensor) (int64, error) {
@@ -384,6 +717,9 @@ func (p *Pipeline) Submit(input tensor.Tensor) (int64, error) {
 func (p *Pipeline) Results() <-chan TaskResult { return p.results }
 
 // Close stops accepting tasks, drains the pipeline and disconnects workers.
+// The drain is bounded even under faults: every exec wait carries a
+// deadline, retries and redials have budgets, so Close cannot block forever
+// on a wedged worker.
 func (p *Pipeline) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -394,9 +730,15 @@ func (p *Pipeline) Close() error {
 	p.mu.Unlock()
 	close(p.in)
 	p.wg.Wait()
+	close(p.closing)
+	p.redialWG.Wait()
 	var firstErr error
-	for _, c := range p.clients {
-		if err := c.close(); err != nil && firstErr == nil && !errors.Is(err, errClosed) {
+	p.cmu.Lock()
+	clients := append([]*workerClient(nil), p.clients...)
+	p.cmu.Unlock()
+	for _, c := range clients {
+		err := c.close()
+		if err != nil && firstErr == nil && !errors.Is(err, errClosed) && c.alive() {
 			firstErr = err
 		}
 	}
@@ -405,6 +747,29 @@ func (p *Pipeline) Close() error {
 
 // Plan returns the executed plan.
 func (p *Pipeline) Plan() *core.Plan { return p.plan }
+
+// FaultEvents returns a snapshot of the pipeline's fault journal: timeouts,
+// lost connections, retries, redials, devices marked down and stage
+// re-balances, in observation order. dropped counts events beyond the
+// journal's cap.
+func (p *Pipeline) FaultEvents() (events []FaultEvent, dropped int) {
+	return p.faults.snapshot()
+}
+
+// DownDevices returns the cluster device indices currently marked down,
+// sorted ascending.
+func (p *Pipeline) DownDevices() []int {
+	var down []int
+	for _, sd := range p.stages {
+		for _, slot := range sd.slots {
+			if slot != nil && slot.isDown() {
+				down = append(down, slot.deviceIdx)
+			}
+		}
+	}
+	sort.Ints(down)
+	return down
+}
 
 // recordCompute accumulates a worker-reported tile execution. Lock-free:
 // the counter map is immutable after construction and each counter is
@@ -434,12 +799,19 @@ func (p *Pipeline) WorkerStats() map[int]WorkerStat {
 // cluster device index. Unlike WorkerStats' coordinator-side accounting,
 // these are wall-clock kernel seconds measured inside the workers' executors
 // — emulated-capacity sleep top-ups are excluded, so the split shows where
-// the real arithmetic went.
+// the real arithmetic went. Devices whose control connection has died
+// (crashed or down workers) are skipped rather than failing the snapshot.
 func (p *Pipeline) WorkerKindSeconds() (map[int]map[string]float64, error) {
 	out := make(map[int]map[string]float64, len(p.byDevice))
 	for di, wc := range p.byDevice {
+		if !wc.alive() {
+			continue
+		}
 		ks, err := wc.stats()
 		if err != nil {
+			if errors.Is(err, ErrWorkerFault) || !wc.alive() {
+				continue
+			}
 			return nil, fmt.Errorf("runtime: stats from device %d: %w", di, err)
 		}
 		out[di] = ks

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pico/internal/partition"
@@ -52,12 +53,48 @@ type Worker struct {
 
 	logf func(format string, args ...any)
 
+	// fault is the injection plan for chaos tests; the zero value injects
+	// nothing.
+	fault    Fault
+	execSeen atomic.Int64
+	connSeen atomic.Int64
+
 	mu    sync.Mutex
 	execs map[execKey]*tensor.Executor
 	conns map[*wire.Conn]struct{}
 
-	wg      sync.WaitGroup
-	closing chan struct{}
+	wg        sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
+}
+
+// Fault is a deterministic fault-injection plan for a worker, used by the
+// chaos suite and available to `piconode` experiments. Exec counts are
+// 1-based and shared across all connections; the zero value injects nothing.
+type Fault struct {
+	// Wire injects write-path faults (drop, delay, sever) into accepted
+	// connections via wire.FlakyConn.
+	Wire wire.FlakyOptions
+	// WireFirstConns limits Wire injection to the first N accepted
+	// connections (0 = all), so a redialed replacement connection comes up
+	// clean.
+	WireFirstConns int
+	// PanicOnExec makes the Nth exec request panic mid-execution; earlier
+	// and later requests execute normally. Exercises the worker's panic
+	// containment. Zero disables.
+	PanicOnExec int
+	// HangFromExec makes every exec request from the Nth on block without
+	// replying until the worker closes — the wedged-but-connected scenario
+	// only the coordinator's exec deadline can detect. Zero disables.
+	HangFromExec int
+	// CrashOnExec aborts the worker (listener and every connection severed)
+	// upon receiving the Nth exec request. Zero disables.
+	CrashOnExec int
+}
+
+// armed reports whether any exec-path fault is configured.
+func (f Fault) armed() bool {
+	return f.PanicOnExec > 0 || f.HangFromExec > 0 || f.CrashOnExec > 0
 }
 
 type execKey struct {
@@ -95,6 +132,11 @@ func WithExecQueue(n int) WorkerOption {
 // WithLogger routes worker diagnostics to the given function.
 func WithLogger(logf func(format string, args ...any)) WorkerOption {
 	return func(w *Worker) { w.logf = logf }
+}
+
+// WithFault arms a fault-injection plan on the worker.
+func WithFault(f Fault) WorkerOption {
+	return func(w *Worker) { w.fault = f }
 }
 
 // NewWorker starts listening on addr ("127.0.0.1:0" for an ephemeral test
@@ -139,6 +181,10 @@ func (w *Worker) Serve() error {
 				return fmt.Errorf("runtime: worker %s accept: %w", w.id, err)
 			}
 		}
+		if n := w.connSeen.Add(1); w.fault.Wire.Enabled() &&
+			(w.fault.WireFirstConns == 0 || n <= int64(w.fault.WireFirstConns)) {
+			conn = wire.NewFlakyConn(conn, w.fault.Wire)
+		}
 		wc := wire.NewConn(conn)
 		w.mu.Lock()
 		w.conns[wc] = struct{}{}
@@ -155,10 +201,15 @@ func (w *Worker) Serve() error {
 }
 
 // Close stops the listener; in-flight connections finish their current
-// request.
+// request. Close is idempotent: only the first call tears down (Abort calls
+// Close, and cluster-level cleanup may Close an already-aborted worker).
 func (w *Worker) Close() error {
-	close(w.closing)
-	return w.ln.Close()
+	var err error
+	w.closeOnce.Do(func() {
+		close(w.closing)
+		err = w.ln.Close()
+	})
+	return err
 }
 
 // Abort simulates a crash: the listener and every live connection are
@@ -183,6 +234,14 @@ func (w *Worker) Abort() error {
 // transmission overlaps the previous tile's computation; when the queue is
 // full the loop stops reading and TCP backpressure reaches the coordinator.
 func (w *Worker) handle(conn *wire.Conn) {
+	defer func() {
+		// Last-resort containment for the inline control path: a panicking
+		// handler loses this connection but never the process — the worker
+		// keeps serving its other connections and accepting new ones.
+		if r := recover(); r != nil {
+			w.logf("worker %s: connection handler panic contained: %v", w.id, r)
+		}
+	}()
 	defer func() {
 		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
 			w.logf("worker %s: close %s: %v", w.id, conn.RemoteAddr(), err)
@@ -292,10 +351,36 @@ func (w *Worker) executor(name string, seed int64) (*tensor.Executor, bool) {
 	return nil, false
 }
 
-func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) error {
+func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) (err error) {
 	var hdr wire.ExecHeader
+	// Contain panics from the executor (or injected ones): the request is
+	// answered with a typed error frame and the worker keeps serving. The
+	// coordinator treats the reply as deterministic — it fails the task
+	// rather than retrying a computation that would panic again.
+	defer func() {
+		if r := recover(); r != nil {
+			w.logf("worker %s: exec panic contained: %v", w.id, r)
+			err = conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{
+				TaskID:  hdr.TaskID,
+				Message: fmt.Sprintf("panic: %v", r),
+			}, nil)
+		}
+	}()
 	if err := msg.DecodeExec(&hdr); err != nil {
 		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{Message: err.Error()}, nil)
+	}
+	if n := w.execSeen.Add(1); w.fault.armed() {
+		if w.fault.CrashOnExec > 0 && n >= int64(w.fault.CrashOnExec) {
+			_ = w.Abort()
+			return fmt.Errorf("injected crash on exec %d", n)
+		}
+		if w.fault.HangFromExec > 0 && n >= int64(w.fault.HangFromExec) {
+			<-w.closing // never reply; only the peer's deadline can save it
+			return fmt.Errorf("injected hang on exec %d released by close", n)
+		}
+		if w.fault.PanicOnExec > 0 && n == int64(w.fault.PanicOnExec) {
+			panic(fmt.Sprintf("injected panic on exec %d", n))
+		}
 	}
 	exec, ok := w.executor(hdr.ModelName, hdr.Seed)
 	if !ok {

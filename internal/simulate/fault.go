@@ -1,0 +1,61 @@
+package simulate
+
+import "fmt"
+
+// RunDegraded simulates the runtime's graceful-degradation path: the cluster
+// serves arrivals with the healthy profile until failTime, when a device is
+// lost. Tasks dispatched before the failure still drain under the healthy
+// profile; the degraded profile (the same plan re-balanced over the
+// survivors, e.g. FromPlan of a plan whose dead device got a zero-weight
+// strip) only starts admitting once the drain completes AND the recovery
+// delay has passed — the simulator's analogue of exec-deadline detection,
+// redial backoff and strip re-balancing. The gap between the two profiles'
+// throughput, plus the recovery bubble, is the modelled cost of the fault.
+func RunDegraded(healthy, degraded *ExecProfile, failTime, recoverySeconds float64, arrivals []float64, numDevices int) (*Result, error) {
+	if err := healthy.Validate(); err != nil {
+		return nil, err
+	}
+	if err := degraded.Validate(); err != nil {
+		return nil, err
+	}
+	if recoverySeconds < 0 {
+		return nil, fmt.Errorf("simulate: negative recovery time %g", recoverySeconds)
+	}
+	res := newResult(numDevices)
+	cur := healthy
+	st := newState(cur)
+	last := 0.0
+	failed := false
+	for i, a := range arrivals {
+		if i > 0 && a < arrivals[i-1] {
+			return nil, fmt.Errorf("simulate: arrivals not sorted at index %d", i)
+		}
+		if !failed && a >= failTime {
+			// The fault is detected while earlier tasks drain; the degraded
+			// configuration opens after drain + recovery.
+			drain := st.lastExit()
+			if failTime > drain {
+				drain = failTime
+			}
+			ready := drain + recoverySeconds
+			cur = degraded
+			st = newState(cur)
+			for s := range st.prevFinish {
+				st.prevFinish[s] = ready
+			}
+			failed = true
+		}
+		exit := st.admit(a)
+		res.Latencies = append(res.Latencies, exit-a)
+		res.Completed++
+		res.account(cur)
+		if exit > last {
+			last = exit
+		}
+		if a > last {
+			last = a
+		}
+	}
+	res.MakespanSeconds = last
+	return res, nil
+}

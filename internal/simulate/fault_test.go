@@ -1,0 +1,95 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+)
+
+func degradedProfiles() (healthy, degraded *ExecProfile) {
+	healthy = &ExecProfile{
+		Name: "healthy",
+		Stages: []StageProfile{
+			{Seconds: 1, DeviceBusy: map[int]float64{0: 0.5, 1: 0.5}},
+			{Seconds: 1, DeviceBusy: map[int]float64{2: 1}},
+		},
+		DeviceFLOPs: []float64{1, 1, 2},
+	}
+	// Device 1 died: its strip moved onto device 0, stage 0 slows down.
+	degraded = &ExecProfile{
+		Name: "degraded",
+		Stages: []StageProfile{
+			{Seconds: 2, DeviceBusy: map[int]float64{0: 1}},
+			{Seconds: 1, DeviceBusy: map[int]float64{2: 1}},
+		},
+		DeviceFLOPs: []float64{2, 0, 2},
+	}
+	return healthy, degraded
+}
+
+func TestRunDegradedMatchesHealthyBeforeFailure(t *testing.T) {
+	healthy, degraded := degradedProfiles()
+	arrivals := []float64{0, 1, 2, 3}
+	// Failure far in the future: identical to an open-loop healthy run.
+	got, err := RunDegraded(healthy, degraded, 1e9, 5, arrivals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunOpenLoop(healthy, arrivals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MakespanSeconds != want.MakespanSeconds || got.Completed != want.Completed {
+		t.Fatalf("no-failure run diverged: makespan %g vs %g", got.MakespanSeconds, want.MakespanSeconds)
+	}
+	if got.SchemeTasks["degraded"] != 0 {
+		t.Fatalf("degraded profile used before the failure: %v", got.SchemeTasks)
+	}
+}
+
+func TestRunDegradedRecoveryBubbleAndThroughput(t *testing.T) {
+	healthy, degraded := degradedProfiles()
+	// Saturating arrivals at the healthy period (1 task/s); the device dies
+	// at t=3 with a 2 s recovery.
+	var arrivals []float64
+	for i := 0; i < 10; i++ {
+		arrivals = append(arrivals, float64(i))
+	}
+	const failTime, recovery = 3.0, 2.0
+	res, err := RunDegraded(healthy, degraded, failTime, recovery, arrivals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(arrivals) {
+		t.Fatalf("completed %d of %d", res.Completed, len(arrivals))
+	}
+	if res.SchemeTasks["healthy"] != 3 || res.SchemeTasks["degraded"] != 7 {
+		t.Fatalf("scheme split %v, want 3 healthy / 7 degraded", res.SchemeTasks)
+	}
+	// Pre-fault tasks drain by failTime+1=4; the degraded pipeline opens at
+	// 4+2=6, so the task arriving at t=3 exits at 6+3=9 (latency 6).
+	if math.Abs(res.Latencies[3]-6) > 1e-9 {
+		t.Fatalf("first post-fault latency %g, want 6 (drain + recovery bubble)", res.Latencies[3])
+	}
+	// After recovery the bottleneck is the degraded stage-0 period (2 s):
+	// the last of 7 degraded tasks exits at 6 + 7*2 + 1 = 21.
+	if math.Abs(res.MakespanSeconds-21) > 1e-9 {
+		t.Fatalf("makespan %g, want 21 under the degraded period", res.MakespanSeconds)
+	}
+	// Dead device 1 accumulates no work after the failure.
+	if res.DeviceFLOPs[1] != 3 {
+		t.Fatalf("dead device FLOPs %g, want only the 3 pre-fault tasks", res.DeviceFLOPs[1])
+	}
+}
+
+func TestRunDegradedRejectsBadInput(t *testing.T) {
+	healthy, degraded := degradedProfiles()
+	if _, err := RunDegraded(healthy, degraded, 1, -1, []float64{0}, 3); err == nil {
+		t.Fatal("negative recovery accepted")
+	}
+	if _, err := RunDegraded(healthy, degraded, 1, 1, []float64{1, 0}, 3); err == nil {
+		t.Fatal("unsorted arrivals accepted")
+	}
+	if _, err := RunDegraded(&ExecProfile{Name: "bad"}, degraded, 1, 1, []float64{0}, 3); err == nil {
+		t.Fatal("invalid healthy profile accepted")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"math/bits"
 	"net"
 	"sync"
+	"time"
 	"unsafe"
 
 	"pico/internal/tensor"
@@ -122,9 +123,15 @@ type Conn struct {
 	c  net.Conn
 	br *bufio.Reader
 
-	mu      sync.Mutex // guards bw and scratch
+	mu      sync.Mutex // guards bw, scratch and writeTimeout
 	bw      *bufio.Writer
 	scratch []byte // reusable binary-header encode buffer
+
+	// writeTimeout, when positive, bounds each framed send: the underlying
+	// write deadline is re-armed per frame, so a peer that stops reading
+	// (TCP backpressure from a wedged worker) fails the send instead of
+	// blocking the sender forever.
+	writeTimeout time.Duration
 }
 
 // NewConn wraps a net.Conn.
@@ -142,8 +149,26 @@ func (c *Conn) Close() error { return c.c.Close() }
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
 
+// SetWriteTimeout bounds every subsequent framed send: each frame re-arms the
+// underlying write deadline, so a peer that stops draining the stream fails
+// the send with a timeout error instead of wedging the sender. Zero disables.
+func (c *Conn) SetWriteTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.writeTimeout = d
+	c.mu.Unlock()
+}
+
+// SetReadDeadline bounds the next Recv, passing through to the underlying
+// connection. The zero time clears it.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+
 // writeFrame frames and flushes one message. Callers hold c.mu.
 func (c *Conn) writeFrame(t MsgType, reqID uint64, hdr, payload []byte) error {
+	if c.writeTimeout > 0 {
+		if err := c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return fmt.Errorf("wire: arm write deadline: %w", err)
+		}
+	}
 	if len(hdr) > maxHeaderBytes {
 		return fmt.Errorf("wire: header of %d bytes exceeds cap", len(hdr))
 	}
