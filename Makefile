@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot chaos bench bench-json bench-kernel bench-compare check
+.PHONY: all build vet test race race-hot race-quant chaos bench bench-json bench-kernel bench-compare bench-quant check
 
 all: check
 
@@ -23,6 +23,12 @@ race:
 # than the full `race` sweep when iterating on the engine.
 race-hot:
 	$(GO) test -race ./internal/tensor ./internal/runtime
+
+# Quantized-path property tests under the race detector: kernel
+# blocked-vs-reference bit-identity at par > 1, the int8 codec, and the
+# distributed quant pipeline against local RunQ.
+race-quant:
+	$(GO) test -race -run 'Quant|QCodec|QTensor|QpwTile' ./internal/tensor ./internal/wire ./internal/runtime ./internal/core
 
 # Fault-injection suite under the race detector: worker crashes, hangs,
 # flaky connections and panics against the pipeline's recovery machinery
@@ -46,10 +52,15 @@ bench-json:
 bench-kernel:
 	$(GO) run ./cmd/picobench -kernjson BENCH_PR4.json
 
+# Full int8-vs-float32 sweep (per-kind kernels, whole-model forwards with
+# top-1 agreement, stage-boundary payload sizes), written as JSON.
+bench-quant:
+	$(GO) run ./cmd/picobench -quantjson BENCH_PR6.json
+
 # Re-run the kernel sweep and fail if any recorded kernel benchmark
 # regressed >10% against the committed BENCH_PR4.json baseline. Kept out of
 # `check`: wall-clock comparisons are too noisy for an unconditional gate.
 bench-compare:
 	$(GO) run ./cmd/picobench -kerncompare BENCH_PR4.json
 
-check: build vet test race chaos bench bench-json
+check: build vet test race race-quant chaos bench bench-json

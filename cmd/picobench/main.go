@@ -35,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchJSON = fs.String("benchjson", "", "run the wire-layer benchmarks and write the JSON result to this file, then exit")
 		kernJSON  = fs.String("kernjson", "", "run the kernel benchmarks and write the JSON result to this file, then exit")
 		kernBase  = fs.String("kerncompare", "", "re-run the kernel benchmarks and fail if any regresses >10% vs this baseline JSON, then exit")
+		quantJSON = fs.String("quantjson", "", "run the int8-vs-float32 benchmarks and write the JSON result to this file, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +85,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runKernelBench(cfg, *kernJSON, *kernBase, stdout, stderr)
 	}
 
+	if *quantJSON != "" {
+		return runQuantBench(cfg, *quantJSON, stdout, stderr)
+	}
+
 	var ids []string
 	if *expFlag == "all" {
 		ids = experiments.IDs()
@@ -124,6 +129,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// runQuantBench runs the int8-vs-float32 sweep and writes the result (the
+// BENCH_PR6.json artefact).
+func runQuantBench(cfg experiments.Config, jsonPath string, stdout, stderr io.Writer) int {
+	res, err := experiments.RunQuantBench(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "picobench: quant bench: %v\n", err)
+		return 1
+	}
+	for _, row := range res.Kernels {
+		fmt.Fprintf(stdout, "quant kernel %-10s %-10s par=%d: float %8.3fms, int8 %8.3fms (%.2fx)\n",
+			row.Kind, row.Shape, row.Par, row.FloatMs, row.QuantMs, row.Speedup)
+	}
+	for _, row := range res.Forward {
+		fmt.Fprintf(stdout, "quant forward %-12s par=%d: float %8.1fms, int8 %8.1fms (%.2fx), top-1 %d/%d\n",
+			row.Model, row.Par, row.FloatMs, row.QuantMs, row.Speedup, row.Top1Agree, row.Tasks)
+	}
+	for _, row := range res.Wire {
+		fmt.Fprintf(stdout, "quant wire %s boundary %d (%s): %d B float, %d B int8 (%.2fx)\n",
+			row.Model, row.Boundary, row.Shape, row.FloatBytes, row.QuantBytes, row.Ratio)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "picobench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "picobench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
+	return 0
+}
+
 // runKernelBench runs the compute-engine sweep. With jsonPath it writes the
 // result (the BENCH_PR4.json artefact); with basePath it instead diffs the
 // fresh sweep against the committed baseline and fails on >10% regression of
@@ -135,8 +174,9 @@ func runKernelBench(cfg experiments.Config, jsonPath, basePath string, stdout, s
 		return 1
 	}
 	for _, row := range res.Kernels {
-		fmt.Fprintf(stdout, "kernel %-10s %-10s par=%d: ref %8.3fms, blocked %8.3fms (%.2fx)\n",
-			row.Kind, row.Shape, row.Par, row.RefMs, row.BlockedMs, row.Speedup)
+		fmt.Fprintf(stdout, "kernel %-10s %-10s par=%d: %7.1f MMACs, %6.2f MB, ref %8.3fms, blocked %8.3fms (%.2fx)\n",
+			row.Kind, row.Shape, row.Par, float64(row.MACs)/1e6, float64(row.BytesMoved)/1e6,
+			row.RefMs, row.BlockedMs, row.Speedup)
 	}
 	for _, row := range res.Forward {
 		fmt.Fprintf(stdout, "forward %-12s par=%d: ref %8.1fms, blocked %8.1fms (%.2fx)\n",

@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		savePlan    = fs.String("saveplan", "", "write the computed plan as JSON to this file")
 		loadPlan    = fs.String("loadplan", "", "execute a previously saved plan instead of planning")
 		execTimeout = fs.Duration("exec-timeout", 0, "per-tile exec deadline (0 = derive from the plan's modelled stage cost)")
+		quant       = fs.Bool("quant", false, "run the int8 quantized pipeline (4x smaller stage payloads; -verify checks against local quantized execution plus float top-1 agreement)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,9 +99,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "picorun: plan wants %d devices, got %d workers\n", plan.Cluster.Size(), len(addrs))
 			return 2
 		}
+		if plan.Quantized != *quant {
+			fmt.Fprintf(stderr, "picorun: plan quantized=%v but -quant=%v\n", plan.Quantized, *quant)
+			return 2
+		}
 	} else {
 		var err error
-		plan, err = core.PlanPipeline(m, cl, core.Options{})
+		plan, err = core.PlanPipeline(m, cl, core.Options{Quantized: *quant})
 		if err != nil {
 			fmt.Fprintf(stderr, "picorun: plan: %v\n", err)
 			return 1
@@ -133,6 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:        *seed,
 		StageWindow: *window,
 		ExecTimeout: *execTimeout,
+		Quantized:   *quant,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "picorun: connect: %v\n", err)
@@ -144,12 +150,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
-	var ref *tensor.Executor
+	var ref, refQ *tensor.Executor
 	if *verify {
 		ref, err = tensor.NewExecutor(m, *seed, tensor.WithParallelism(*parallel))
 		if err != nil {
 			fmt.Fprintf(stderr, "picorun: %v\n", err)
 			return 1
+		}
+		if *quant {
+			// Distributed int8 must match local int8 exactly; the float
+			// executor additionally scores top-1 agreement across precisions.
+			refQ, err = tensor.NewExecutor(m, *seed, tensor.WithParallelism(*parallel), tensor.WithQuantized())
+			if err != nil {
+				fmt.Fprintf(stderr, "picorun: %v\n", err)
+				return 1
+			}
 		}
 	}
 
@@ -167,7 +182,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}()
-	completed, failed := 0, 0
+	completed, failed, top1Agree := 0, 0, 0
 	var totalLatency time.Duration
 	for res := range p.Results() {
 		if res.Err != nil {
@@ -189,7 +204,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "picorun: reference: %v\n", err)
 				return 1
 			}
-			if !tensor.Equal(want, res.Output) {
+			if refQ != nil {
+				wantQ, err := refQ.RunQ(inputs[res.ID-1])
+				if err != nil {
+					fmt.Fprintf(stderr, "picorun: quant reference: %v\n", err)
+					return 1
+				}
+				wantDeq := wantQ.Dequantize()
+				if !tensor.Equal(wantDeq, res.Output) {
+					fmt.Fprintf(stderr, "picorun: task %d quant output MISMATCH (max diff %g)\n",
+						res.ID, tensor.MaxAbsDiff(wantDeq, res.Output))
+					return 1
+				}
+				if argmax(want.Data) == argmax(res.Output.Data) {
+					top1Agree++
+				}
+				tensor.RecycleQ(wantQ)
+				tensor.Recycle(wantDeq)
+			} else if !tensor.Equal(want, res.Output) {
 				fmt.Fprintf(stderr, "picorun: task %d output MISMATCH (max diff %g)\n",
 					res.ID, tensor.MaxAbsDiff(want, res.Output))
 				return 1
@@ -209,7 +241,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, ", mean latency %v", (totalLatency / time.Duration(completed)).Round(time.Microsecond))
 	}
 	if *verify && completed > 0 {
-		fmt.Fprint(stdout, ", all outputs verified against local reference")
+		if *quant {
+			fmt.Fprintf(stdout, ", all outputs match local int8 reference, float top-1 agreement %d/%d", top1Agree, completed)
+		} else {
+			fmt.Fprint(stdout, ", all outputs verified against local reference")
+		}
 	}
 	fmt.Fprintln(stdout)
 	printFaults(stdout, p, failed)
@@ -272,6 +308,17 @@ func printKindSeconds(stdout, stderr io.Writer, p *runtime.Pipeline) {
 		fmt.Fprintf(stdout, " %s %.3fs (%.0f%%)", kind, totals[kind], 100*totals[kind]/sum)
 	}
 	fmt.Fprintln(stdout)
+}
+
+// argmax returns the index of the largest element, ties to the first.
+func argmax(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
 }
 
 func modelByName(name string) (*nn.Model, error) {

@@ -39,12 +39,17 @@ type CostModel struct {
 	// Combine selects Eq. (9) (CostSum, default) or the overlapped
 	// variant (CostMax).
 	Combine CostCombine
+	// BytesPerElem is the wire size of one feature-map element: 4 for
+	// float32 (the default when zero), 1 for the int8 quantized path. The
+	// planner's transfer term scales with it, so quantized plans may choose
+	// deeper pipelines — stage boundaries cost a quarter as much.
+	BytesPerElem int
 }
 
 // NewCostModel builds a cost model with clamped receptive fields and the
 // paper's serialized comm+comp combination.
 func NewCostModel(m *nn.Model, c *cluster.Cluster) *CostModel {
-	return &CostModel{M: m, C: c, Calc: partition.NewCalc(m), Combine: CostSum}
+	return &CostModel{M: m, C: c, Calc: partition.NewCalc(m), Combine: CostSum, BytesPerElem: 4}
 }
 
 // StageComp returns T_comp (Eq. 6): the maximum per-device compute time when
@@ -78,6 +83,10 @@ func (cm *CostModel) StageComm(from, to int, parts []partition.Range) float64 {
 		}
 		in, out := cm.Calc.SegmentIOBytes(from, to, r)
 		bytes += in + out
+	}
+	// Calc prices regions at float32; rescale for the active element size.
+	if cm.BytesPerElem > 0 && cm.BytesPerElem != 4 {
+		return float64(bytes) * float64(cm.BytesPerElem) / 4 / cm.C.BandwidthBps
 	}
 	return float64(bytes) / cm.C.BandwidthBps
 }

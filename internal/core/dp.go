@@ -25,6 +25,11 @@ type Options struct {
 	// OverlapCommCompute plans with T = max(T_comp, T_comm) instead of
 	// the paper's sum — devices that transfer while computing.
 	OverlapCommCompute bool
+	// Quantized plans for the int8 runtime: stage boundaries ship one byte
+	// per element instead of four, so the transfer term shrinks 4x and the
+	// DP may afford deeper pipelines. The produced Plan records the choice
+	// so the runtime executes it in the matching mode.
+	Quantized bool
 }
 
 // homStage is a stage of the homogeneous solution: segment [From, To) on
@@ -249,6 +254,9 @@ func PlanPipeline(m *nn.Model, c *cluster.Cluster, opts Options) (*Plan, error) 
 	if opts.OverlapCommCompute {
 		cm.Combine = CostMax
 	}
+	if opts.Quantized {
+		cm.BytesPerElem = 1
+	}
 
 	// Step 1 (Eq. 12 + Alg. 1): optimise on the homogenised cluster.
 	avgSpeed := c.AverageEffectiveSpeed()
@@ -269,6 +277,7 @@ func PlanPipeline(m *nn.Model, c *cluster.Cluster, opts Options) (*Plan, error) 
 	} else {
 		plan = adaptToHeterogeneity(cm, homStages)
 	}
+	plan.Quantized = opts.Quantized
 	plan.recompute(cm)
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("core: planner produced invalid plan: %w", err)

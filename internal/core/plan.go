@@ -54,6 +54,20 @@ type Plan struct {
 	// LatencySeconds is T(M, D, S) (Eq. 11): the sum of stage times — the
 	// time one task spends traversing the pipeline.
 	LatencySeconds float64
+	// Quantized records that the plan was costed for (and must execute on)
+	// the int8 runtime: one wire byte per element and the quantized
+	// kernels. The runtime reads this to pick the transport precision.
+	Quantized bool
+}
+
+// CostModel returns the cost model matching the plan's execution mode —
+// the one recompute and any re-balancing must price transfers with.
+func (p *Plan) CostModel() *CostModel {
+	cm := NewCostModel(p.Model, p.Cluster)
+	if p.Quantized {
+		cm.BytesPerElem = 1
+	}
+	return cm
 }
 
 // recompute refreshes stage costs and the period/latency aggregates.

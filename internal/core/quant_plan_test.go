@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pico/internal/cluster"
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// TestQuantizedCommScaling: pricing elements at one byte must shrink the
+// transfer term exactly 4x and leave compute untouched.
+func TestQuantizedCommScaling(t *testing.T) {
+	m := nn.ToyChain("qc", 4, 2, 8, 16)
+	cl := cluster.Homogeneous(3, 600e6)
+	cmF := NewCostModel(m, cl)
+	cmQ := NewCostModel(m, cl)
+	cmQ.BytesPerElem = 1
+	parts := partition.Equal(m.OutShape(1).H, 3)
+	commF := cmF.StageComm(0, 2, parts)
+	commQ := cmQ.StageComm(0, 2, parts)
+	if commF <= 0 {
+		t.Fatal("float comm is zero; test is vacuous")
+	}
+	if got, want := commQ, commF/4; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("quantized comm %g, want %g (float/4)", got, want)
+	}
+	speeds := []float64{1e9, 1e9, 1e9}
+	if cmF.StageComp(0, 2, speeds, parts) != cmQ.StageComp(0, 2, speeds, parts) {
+		t.Fatal("quantization changed the compute term")
+	}
+}
+
+// TestQuantizedPlanNoSlower: with cheaper boundaries the planner can only do
+// as well or better on period and latency.
+func TestQuantizedPlanNoSlower(t *testing.T) {
+	m := nn.ToyChain("qp", 6, 2, 8, 32)
+	cl := cluster.Homogeneous(4, 600e6)
+	pf, err := PlanPipeline(m, cl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := PlanPipeline(m, cl, Options{Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pq.Quantized {
+		t.Fatal("plan does not record quantized mode")
+	}
+	if pq.PeriodSeconds > pf.PeriodSeconds*1.0001 {
+		t.Fatalf("quantized period %g worse than float %g", pq.PeriodSeconds, pf.PeriodSeconds)
+	}
+	if pq.LatencySeconds > pf.LatencySeconds*1.0001 {
+		t.Fatalf("quantized latency %g worse than float %g", pq.LatencySeconds, pf.LatencySeconds)
+	}
+}
+
+// TestQuantizedPlanRoundTrip: the quantized flag and int8-priced aggregates
+// must survive save/load (LoadPlan reprices with the recorded mode).
+func TestQuantizedPlanRoundTrip(t *testing.T) {
+	m := nn.ToyChain("qs", 5, 2, 8, 16)
+	cl := cluster.Homogeneous(3, 600e6)
+	plan, err := PlanPipeline(m, cl, Options{Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Quantized {
+		t.Fatal("loaded plan lost the quantized flag")
+	}
+	if back.PeriodSeconds != plan.PeriodSeconds || back.LatencySeconds != plan.LatencySeconds {
+		t.Fatalf("loaded aggregates (%g, %g) differ from saved (%g, %g)",
+			back.PeriodSeconds, back.LatencySeconds, plan.PeriodSeconds, plan.LatencySeconds)
+	}
+}

@@ -21,6 +21,9 @@ type planFile struct {
 	Stages  []stageFile `json:"stages"`
 	Period  float64     `json:"period_seconds"`
 	Latency float64     `json:"latency_seconds"`
+	// Quantized marks int8-costed plans; absent (false) in files written by
+	// older builds, which were all float32.
+	Quantized bool `json:"quantized,omitempty"`
 }
 
 type modelFile struct {
@@ -50,11 +53,12 @@ func SavePlan(w io.Writer, p *Plan) error {
 		return fmt.Errorf("core: refusing to save invalid plan: %w", err)
 	}
 	pf := planFile{
-		Version: planFileVersion,
-		Model:   modelFile{Name: p.Model.Name, Input: p.Model.Input, Layers: p.Model.Layers},
-		Cluster: clusterFile{Devices: p.Cluster.Devices, BandwidthBps: p.Cluster.BandwidthBps},
-		Period:  p.PeriodSeconds,
-		Latency: p.LatencySeconds,
+		Version:   planFileVersion,
+		Model:     modelFile{Name: p.Model.Name, Input: p.Model.Input, Layers: p.Model.Layers},
+		Cluster:   clusterFile{Devices: p.Cluster.Devices, BandwidthBps: p.Cluster.BandwidthBps},
+		Period:    p.PeriodSeconds,
+		Latency:   p.LatencySeconds,
+		Quantized: p.Quantized,
 	}
 	for _, st := range p.Stages {
 		pf.Stages = append(pf.Stages, stageFile{
@@ -89,14 +93,14 @@ func LoadPlan(r io.Reader) (*Plan, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("core: plan file cluster: %w", err)
 	}
-	plan := &Plan{Model: m, Cluster: c}
+	plan := &Plan{Model: m, Cluster: c, Quantized: pf.Quantized}
 	for _, st := range pf.Stages {
 		plan.Stages = append(plan.Stages, Stage{
 			From: st.From, To: st.To,
 			DeviceIdx: st.DeviceIdx, Parts: st.Parts,
 		})
 	}
-	plan.recompute(NewCostModel(m, c))
+	plan.recompute(plan.CostModel())
 	if err := plan.Validate(); err != nil {
 		return nil, fmt.Errorf("core: plan file stages: %w", err)
 	}

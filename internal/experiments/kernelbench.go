@@ -20,6 +20,14 @@ type KernelBenchRow struct {
 	Shape string `json:"shape"`
 	// Par is the kernel worker-count cap.
 	Par int `json:"par"`
+	// MACs is the layer's multiply-accumulate count (Eq. 2); zero for the
+	// pooling kinds the paper does not cost.
+	MACs int64 `json:"macs"`
+	// BytesMoved is the float32 traffic one forward touches at least once:
+	// input read + output write + weights. MACs/BytesMoved separates the
+	// compute-bound kinds (conv) from the bandwidth-bound ones (pool, gap,
+	// depthwise), which is what decides where blocking can win.
+	BytesMoved int64 `json:"bytes_moved"`
 	// RefMs and BlockedMs are per-forward wall milliseconds.
 	RefMs     float64 `json:"ref_ms"`
 	BlockedMs float64 `json:"blocked_ms"`
@@ -81,6 +89,28 @@ func kernelCases(quick bool) []kernelCase {
 		{"fc", nn.Shape{C: 256, H: 4, W: 4},
 			nn.Layer{Name: "f", Kind: nn.FullyConnected, OutF: 512, Act: nn.ReLU}},
 	}
+}
+
+// layerBytesMoved counts the float32 bytes one forward of a single layer
+// must touch at least once: the input map, the output map, and the
+// parameters (weights + bias, plus the folded batch-norm scale/shift).
+func layerBytesMoved(l *nn.Layer, in, out nn.Shape) int64 {
+	elems := int64(in.Elems()) + int64(out.Elems())
+	switch l.Kind {
+	case nn.Conv:
+		g := 1
+		if l.Groups > 1 {
+			g = l.Groups
+		}
+		elems += int64(l.KH) * int64(l.KW) * int64(in.C/g) * int64(out.C)
+		elems += int64(out.C) // bias
+		if l.BatchNorm {
+			elems += 2 * int64(out.C)
+		}
+	case nn.FullyConnected:
+		elems += int64(in.Elems())*int64(l.OutF) + int64(l.OutF)
+	}
+	return elems * 4
 }
 
 // benchForward times exec.Run(in) until enough samples accumulate and
@@ -159,7 +189,9 @@ func RunKernelBench(cfg Config) (*KernelBenchResult, error) {
 			res.Kernels = append(res.Kernels, KernelBenchRow{
 				Kind:  kc.kind,
 				Shape: fmt.Sprintf("%dx%dx%d", kc.in.C, kc.in.H, kc.in.W),
-				Par:   par, RefMs: refMs, BlockedMs: blkMs, Speedup: refMs / blkMs,
+				Par:   par,
+				MACs:  m.LayerFLOPs(0), BytesMoved: layerBytesMoved(&kc.l, kc.in, m.OutShape(0)),
+				RefMs: refMs, BlockedMs: blkMs, Speedup: refMs / blkMs,
 			})
 		}
 	}
@@ -225,13 +257,15 @@ func KernelBench(cfg Config) ([]Table, error) {
 	kern := Table{
 		ID:      "kern-kernels",
 		Title:   "per-layer-kind kernel time, reference vs cache-blocked engine",
-		Columns: []string{"kind", "shape", "par", "ref ms", "blocked ms", "speedup"},
+		Columns: []string{"kind", "shape", "par", "MMACs", "MB moved", "ref ms", "blocked ms", "speedup"},
 		Notes: []string{
 			fmt.Sprintf("GOMAXPROCS=%d; par rows beyond 1 appear only on multi-core hosts", res.GOMAXPROCS),
+			"MB moved = float32 input + output + weights touched per forward",
 		},
 	}
 	for _, r := range res.Kernels {
 		kern.AddRow(r.Kind, r.Shape, fmt.Sprintf("%d", r.Par),
+			fmt.Sprintf("%.1f", float64(r.MACs)/1e6), fmt.Sprintf("%.2f", float64(r.BytesMoved)/1e6),
 			f3(r.RefMs), f3(r.BlockedMs), fmt.Sprintf("%.2fx", r.Speedup))
 	}
 	fwd := Table{

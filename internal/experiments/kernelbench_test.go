@@ -15,11 +15,22 @@ func TestKernShape(t *testing.T) {
 	seen := map[string]bool{}
 	for _, row := range kern.Rows {
 		seen[row[0]] = true
-		if v := parseCell(t, row[3]); v <= 0 {
-			t.Fatalf("%s: non-positive ref time %q", row[0], row[3])
-		}
 		if v := parseCell(t, row[4]); v <= 0 {
-			t.Fatalf("%s: non-positive blocked time %q", row[0], row[4])
+			t.Fatalf("%s: non-positive bytes moved %q", row[0], row[4])
+		}
+		macs := parseCell(t, row[3])
+		if strings.Contains(row[0], "conv") || row[0] == "pointwise" || row[0] == "depthwise" || row[0] == "fc" {
+			if macs <= 0 {
+				t.Fatalf("%s: non-positive MACs %q", row[0], row[3])
+			}
+		} else if macs != 0 {
+			t.Fatalf("%s: pooling kinds are costed at zero MACs, got %q", row[0], row[3])
+		}
+		if v := parseCell(t, row[5]); v <= 0 {
+			t.Fatalf("%s: non-positive ref time %q", row[0], row[5])
+		}
+		if v := parseCell(t, row[6]); v <= 0 {
+			t.Fatalf("%s: non-positive blocked time %q", row[0], row[6])
 		}
 	}
 	for _, k := range wantKinds {

@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/tensor"
+	"pico/internal/wire"
+)
+
+// QuantKernelRow compares one layer kind under the float32 blocked engine
+// and the int8 quantized engine at the same parallelism.
+type QuantKernelRow struct {
+	Kind    string  `json:"kind"`
+	Shape   string  `json:"shape"`
+	Par     int     `json:"par"`
+	FloatMs float64 `json:"float_ms"`
+	QuantMs float64 `json:"quant_ms"`
+	// Speedup is FloatMs / QuantMs.
+	Speedup float64 `json:"speedup"`
+}
+
+// QuantForwardRow compares a whole-model forward pass, float32 vs int8,
+// and records how often the two precisions agree on the arg-max class.
+type QuantForwardRow struct {
+	Model   string  `json:"model"`
+	Par     int     `json:"par"`
+	FloatMs float64 `json:"float_ms"`
+	QuantMs float64 `json:"quant_ms"`
+	Speedup float64 `json:"speedup"`
+	// Top1Agree of Tasks random inputs produced the same arg-max output
+	// index under both precisions.
+	Top1Agree int `json:"top1_agree"`
+	Tasks     int `json:"tasks"`
+}
+
+// QuantWireRow records the encoded payload crossing one stage boundary of a
+// plan, float32 vs int8 — the transfer the quantized path shrinks 4x.
+type QuantWireRow struct {
+	Model string `json:"model"`
+	// Boundary is the index of the stage the payload leaves.
+	Boundary   int    `json:"boundary"`
+	Shape      string `json:"shape"`
+	FloatBytes int    `json:"float_bytes"`
+	QuantBytes int    `json:"quant_bytes"`
+	// Ratio is FloatBytes / QuantBytes.
+	Ratio float64 `json:"ratio"`
+}
+
+// QuantBenchResult is the machine-readable artefact `make bench-quant`
+// writes (BENCH_PR6.json): per-kind kernel and whole-model timings for the
+// int8 path against the float32 blocked engine, the wire payload shrinkage
+// at each stage boundary, and cross-precision top-1 agreement.
+type QuantBenchResult struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// SIMD records whether the int8 pointwise tile ran the AVX2 kernel;
+	// without it the scalar int8 loops cannot beat float32 FMA and the
+	// speedups below are not representative.
+	SIMD    bool              `json:"simd"`
+	Kernels []QuantKernelRow  `json:"kernels"`
+	Forward []QuantForwardRow `json:"forward"`
+	Wire    []QuantWireRow    `json:"wire"`
+}
+
+// benchForwardQ times e.RunQ(in) the way benchForward times e.Run(in).
+func benchForwardQ(e *tensor.Executor, in tensor.Tensor, minIters int, minDur time.Duration) (float64, error) {
+	out, err := e.RunQ(in)
+	if err != nil {
+		return 0, err
+	}
+	tensor.RecycleQ(out)
+	iters := 0
+	start := time.Now()
+	for elapsed := time.Duration(0); iters < minIters || elapsed < minDur; elapsed = time.Since(start) {
+		out, err := e.RunQ(in)
+		if err != nil {
+			return 0, err
+		}
+		tensor.RecycleQ(out)
+		iters++
+	}
+	return time.Since(start).Seconds() * 1e3 / float64(iters), nil
+}
+
+// benchQuantPair times one model under the float32 blocked engine and the
+// int8 engine at one parallelism and returns the (floatMs, quantMs) pair.
+func benchQuantPair(m *nn.Model, par, minIters int, minDur time.Duration) (float64, float64, error) {
+	in := tensor.RandomInput(m.Input, 1)
+	eF, err := tensor.NewExecutor(m, 1, tensor.WithParallelism(par))
+	if err != nil {
+		return 0, 0, err
+	}
+	floatMs, err := benchForward(eF, in, minIters, minDur)
+	if err != nil {
+		return 0, 0, err
+	}
+	eQ, err := tensor.NewExecutor(m, 1, tensor.WithParallelism(par), tensor.WithQuantized())
+	if err != nil {
+		return 0, 0, err
+	}
+	quantMs, err := benchForwardQ(eQ, in, minIters, minDur)
+	if err != nil {
+		return 0, 0, err
+	}
+	return floatMs, quantMs, nil
+}
+
+// top1Agreement runs tasks random inputs through both precisions and counts
+// arg-max matches.
+func top1Agreement(m *nn.Model, tasks int) (int, error) {
+	eF, err := tensor.NewExecutor(m, 1, tensor.WithParallelism(1))
+	if err != nil {
+		return 0, err
+	}
+	eQ, err := tensor.NewExecutor(m, 1, tensor.WithParallelism(1), tensor.WithQuantized())
+	if err != nil {
+		return 0, err
+	}
+	argmax := func(xs []float32) int {
+		best := 0
+		for i, v := range xs {
+			if v > xs[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	agree := 0
+	for i := 0; i < tasks; i++ {
+		in := tensor.RandomInput(m.Input, int64(100+i))
+		wantF, err := eF.Run(in)
+		if err != nil {
+			return 0, err
+		}
+		outQ, err := eQ.RunQ(in)
+		if err != nil {
+			return 0, err
+		}
+		deq := outQ.Dequantize()
+		if argmax(wantF.Data) == argmax(deq.Data) {
+			agree++
+		}
+		tensor.Recycle(wantF)
+		tensor.Recycle(deq)
+		tensor.RecycleQ(outQ)
+		tensor.Recycle(in)
+	}
+	return agree, nil
+}
+
+// quantKernelCases is the quant-capable subset of the kernel sweep: the
+// kinds with int8 kernels (pooling runs on raw int8 bytes, so it rides
+// along; the grid-tiled conv variants stay float-only).
+func quantKernelCases(quick bool) []kernelCase {
+	var out []kernelCase
+	for _, kc := range kernelCases(quick) {
+		switch kc.kind {
+		case "conv3x3", "conv3x3s2", "pointwise", "depthwise", "pool", "fc":
+			out = append(out, kc)
+		}
+	}
+	return out
+}
+
+// RunQuantBench measures the int8 quantized path against the float32
+// blocked engine: per-kind kernels, whole-model forwards with top-1
+// agreement, and encoded stage-boundary payload sizes.
+func RunQuantBench(cfg Config) (*QuantBenchResult, error) {
+	quick := cfg.ClosedLoopTasks < Full().ClosedLoopTasks
+	res := &QuantBenchResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SIMD:       tensor.PointwiseSIMD(),
+	}
+
+	pars := []int{1}
+	if res.GOMAXPROCS > 1 {
+		pars = append(pars, res.GOMAXPROCS)
+	}
+
+	minIters, minDur := 5, 200*time.Millisecond
+	if quick {
+		minIters, minDur = 2, 20*time.Millisecond
+	}
+	for _, kc := range quantKernelCases(quick) {
+		m := &nn.Model{Name: "qkern-" + kc.kind, Input: kc.in, Layers: []nn.Layer{kc.l}}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("quant kernel case %s: %w", kc.kind, err)
+		}
+		for _, par := range pars {
+			floatMs, quantMs, err := benchQuantPair(m, par, minIters, minDur)
+			if err != nil {
+				return nil, fmt.Errorf("quant kernel case %s: %w", kc.kind, err)
+			}
+			res.Kernels = append(res.Kernels, QuantKernelRow{
+				Kind:  kc.kind,
+				Shape: fmt.Sprintf("%dx%dx%d", kc.in.C, kc.in.H, kc.in.W),
+				Par:   par, FloatMs: floatMs, QuantMs: quantMs, Speedup: floatMs / quantMs,
+			})
+		}
+	}
+
+	fwdIters, fwdDur := 3, 500*time.Millisecond
+	agreeTasks := 20
+	models := []*nn.Model{nn.MobileNetV1()}
+	if quick {
+		fwdIters, fwdDur = 1, 0
+		agreeTasks = 5
+		models = []*nn.Model{nn.ToyChain("quant-fwd", 6, 2, 16, 64)}
+	}
+	for _, m := range models {
+		agree, err := top1Agreement(m, agreeTasks)
+		if err != nil {
+			return nil, fmt.Errorf("top-1 agreement %s: %w", m.Name, err)
+		}
+		for _, par := range pars {
+			floatMs, quantMs, err := benchQuantPair(m, par, fwdIters, fwdDur)
+			if err != nil {
+				return nil, fmt.Errorf("quant forward %s: %w", m.Name, err)
+			}
+			res.Forward = append(res.Forward, QuantForwardRow{
+				Model: m.Name, Par: par,
+				FloatMs: floatMs, QuantMs: quantMs, Speedup: floatMs / quantMs,
+				Top1Agree: agree, Tasks: agreeTasks,
+			})
+		}
+	}
+
+	// Wire: encode the feature map crossing every stage boundary of a
+	// 3-device plan with both codecs and record the real payload sizes.
+	wm := models[0]
+	plan, err := core.PlanPipeline(wm, cluster.Homogeneous(3, 600e6), core.Options{Quantized: true})
+	if err != nil {
+		return nil, fmt.Errorf("quant wire plan: %w", err)
+	}
+	for i := 0; i+1 < len(plan.Stages); i++ {
+		shape := wm.OutShape(plan.Stages[i].To - 1)
+		fm := tensor.RandomInput(shape, 1)
+		fb := wire.EncodeTensor(fm)
+		q := tensor.QuantizeTensor(fm, 0.05)
+		qb := wire.EncodeQTensor(q)
+		res.Wire = append(res.Wire, QuantWireRow{
+			Model: wm.Name, Boundary: i,
+			Shape:      fmt.Sprintf("%dx%dx%d", shape.C, shape.H, shape.W),
+			FloatBytes: len(fb), QuantBytes: len(qb),
+			Ratio: float64(len(fb)) / float64(len(qb)),
+		})
+		wire.PutBuffer(fb)
+		wire.PutBuffer(qb)
+		tensor.RecycleQ(q)
+		tensor.Recycle(fm)
+	}
+	return res, nil
+}
+
+// QuantBench renders RunQuantBench as picobench tables (experiment id
+// "quant").
+func QuantBench(cfg Config) ([]Table, error) {
+	res, err := RunQuantBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	kern := Table{
+		ID:      "quant-kernels",
+		Title:   "per-layer-kind kernel time, float32 blocked vs int8 quantized",
+		Columns: []string{"kind", "shape", "par", "float ms", "int8 ms", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d, int8 SIMD=%v", res.GOMAXPROCS, res.SIMD),
+		},
+	}
+	for _, r := range res.Kernels {
+		kern.AddRow(r.Kind, r.Shape, fmt.Sprintf("%d", r.Par),
+			f3(r.FloatMs), f3(r.QuantMs), fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	fwd := Table{
+		ID:      "quant-forward",
+		Title:   "single-node forward pass, float32 vs int8, with top-1 agreement",
+		Columns: []string{"model", "par", "float ms", "int8 ms", "speedup", "top-1 agree"},
+	}
+	for _, r := range res.Forward {
+		fwd.AddRow(r.Model, fmt.Sprintf("%d", r.Par),
+			f3(r.FloatMs), f3(r.QuantMs), fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%d/%d", r.Top1Agree, r.Tasks))
+	}
+	wireT := Table{
+		ID:      "quant-wire",
+		Title:   "stage-boundary payload bytes, float32 vs int8 codec",
+		Columns: []string{"model", "boundary", "shape", "float B", "int8 B", "ratio"},
+	}
+	for _, r := range res.Wire {
+		wireT.AddRow(r.Model, fmt.Sprintf("%d", r.Boundary), r.Shape,
+			fmt.Sprintf("%d", r.FloatBytes), fmt.Sprintf("%d", r.QuantBytes),
+			fmt.Sprintf("%.2fx", r.Ratio))
+	}
+	return []Table{kern, fwd, wireT}, nil
+}

@@ -32,6 +32,7 @@ var registry = map[string]Func{
 	"ablation-overlap": AblationOverlap,
 	"wire":             WireBench,
 	"kern":             KernelBench,
+	"quant":            QuantBench,
 }
 
 // order fixes the presentation sequence for "run everything".
@@ -40,7 +41,7 @@ var order = []string{
 	"table2", "fig13", "bandwidth",
 	"ablation-greedy", "ablation-strips", "ablation-tlim", "ablation-ewma",
 	"ablation-rfmode", "ablation-grid", "ablation-overlap", "ext-mobilenet",
-	"wire", "kern",
+	"wire", "kern", "quant",
 }
 
 // IDs returns every registered experiment in presentation order.

@@ -237,7 +237,14 @@ func (wc *workerClient) close() error {
 }
 
 func (wc *workerClient) loadModel(spec wire.ModelSpec, seed int64) error {
-	msg, err := wc.roundTrip(wire.MsgLoadModel, wire.LoadModelHeader{Model: spec, Seed: seed}, nil)
+	return wc.loadModelQuant(spec, seed, false)
+}
+
+// loadModelQuant ships a model; when quant is set the worker additionally
+// builds and calibrates the int8 executor so quantized exec requests can be
+// served.
+func (wc *workerClient) loadModelQuant(spec wire.ModelSpec, seed int64, quant bool) error {
+	msg, err := wc.roundTrip(wire.MsgLoadModel, wire.LoadModelHeader{Model: spec, Seed: seed, Quant: quant}, nil)
 	if err != nil {
 		return err
 	}
@@ -310,6 +317,66 @@ func (c *call) waitExec(d time.Duration) (out tensor.Tensor, seconds float64, tr
 	default:
 		wire.PutBuffer(msg.Payload)
 		return tensor.Tensor{}, 0, false, fmt.Errorf("runtime: %s: unexpected %v", c.wc.id, msg.Type)
+	}
+}
+
+// startExecQ is startExec for an int8 tile: the header carries the dtype
+// and the tile's quantization scale, and the payload is the tile's raw int8
+// bytes — a quarter of the float32 size for the same extent.
+func (wc *workerClient) startExecQ(hdr wire.ExecHeader, tile tensor.QTensor) (*call, error) {
+	id, c, err := wc.register()
+	if err != nil {
+		return nil, fmt.Errorf("runtime: exec to %s: %w", wc.id, err)
+	}
+	hdr.TileC, hdr.TileH, hdr.TileW = tile.C, tile.H, tile.W
+	hdr.DType = wire.DTypeInt8
+	hdr.Scale = tile.Scale
+	payload, pooled := wire.QTensorBytes(tile)
+	err = wc.conn.SendExec(id, &hdr, payload)
+	if pooled {
+		wire.PutBuffer(payload)
+	}
+	if err != nil {
+		wc.cancel(id)
+		wc.fail(fmt.Errorf("runtime: exec send to %s: %w", wc.id, err))
+		return nil, fmt.Errorf("runtime: exec to %s: %w", wc.id, err)
+	}
+	return c, nil
+}
+
+// waitExecQ resolves an exec call to its int8 output strip; the strip's
+// scale comes from the result header. Same transient classification as
+// waitExec.
+func (c *call) waitExecQ(d time.Duration) (out tensor.QTensor, seconds float64, transient bool, err error) {
+	msg, err := c.waitTimeout(d)
+	if err != nil {
+		return tensor.QTensor{}, 0, true, fmt.Errorf("runtime: exec result from %s: %w", c.wc.id, err)
+	}
+	switch msg.Type {
+	case wire.MsgExecResult:
+		var rh wire.ExecResultHeader
+		if err := msg.DecodeExecResult(&rh); err != nil {
+			wire.PutBuffer(msg.Payload)
+			return tensor.QTensor{}, 0, false, err
+		}
+		if rh.DType != wire.DTypeInt8 {
+			wire.PutBuffer(msg.Payload)
+			return tensor.QTensor{}, 0, false, fmt.Errorf("runtime: %s answered a quantized exec with dtype %d", c.wc.id, rh.DType)
+		}
+		out, err := wire.DecodeQTensor(rh.C, rh.H, rh.W, rh.Scale, msg.Payload)
+		wire.PutBuffer(msg.Payload)
+		if err != nil {
+			return tensor.QTensor{}, 0, false, err
+		}
+		return out, rh.ComputeSeconds, false, nil
+	case wire.MsgError:
+		var eh wire.ErrorHeader
+		_ = msg.DecodeHeader(&eh)
+		wire.PutBuffer(msg.Payload)
+		return tensor.QTensor{}, 0, false, fmt.Errorf("runtime: %s: %s", c.wc.id, eh.Message)
+	default:
+		wire.PutBuffer(msg.Payload)
+		return tensor.QTensor{}, 0, false, fmt.Errorf("runtime: %s: unexpected %v", c.wc.id, msg.Type)
 	}
 }
 

@@ -36,13 +36,17 @@ type TaskResult struct {
 	Spans []StageSpan
 }
 
-// flight is a task moving through the stage drivers.
+// flight is a task moving through the stage drivers. In float mode the
+// feature map travels in t; in quantized mode it travels in q (the input is
+// quantized once at Submit and stays int8 across every stage boundary, so
+// each hop moves a quarter of the float bytes).
 type flight struct {
 	id int64
 	t  tensor.Tensor
-	// owned marks t as pipeline-allocated (a stitched map), safe to recycle
-	// when the next stage replaces it. The user's submitted input is never
-	// recycled.
+	q  tensor.QTensor
+	// owned marks the map as pipeline-allocated (a stitched or quantized
+	// tensor), safe to recycle when the next stage replaces it. The user's
+	// submitted input is never recycled.
 	owned     bool
 	err       error
 	submitted time.Time
@@ -150,6 +154,47 @@ func (sd *stageDriver) execHeader(f *flight, part partition.Range, inLo int) wir
 	}
 }
 
+// stripData is one gathered strip in the pipeline's precision: f in float
+// mode, q in quantized mode.
+type stripData struct {
+	f tensor.Tensor
+	q tensor.QTensor
+}
+
+// sendStrip slices one input tile for a strip and sends it in the
+// pipeline's precision. The tile is fully serialized before return.
+func (sd *stageDriver) sendStrip(wc *workerClient, f *flight, part partition.Range, inLo, inHi int) (*call, error) {
+	hdr := sd.execHeader(f, part, inLo)
+	if sd.p.quant {
+		tile := f.q.SliceRows(inLo, inHi)
+		c, err := wc.startExecQ(hdr, tile)
+		tensor.RecycleQ(tile)
+		return c, err
+	}
+	tile := f.t.SliceRows(inLo, inHi)
+	c, err := wc.startExec(hdr, tile)
+	tensor.Recycle(tile)
+	return c, err
+}
+
+// waitStrip resolves one strip call in the pipeline's precision.
+func (sd *stageDriver) waitStrip(c *call) (stripData, float64, bool, error) {
+	if sd.p.quant {
+		q, comp, transient, err := c.waitExecQ(sd.timeout)
+		return stripData{q: q}, comp, transient, err
+	}
+	t, comp, transient, err := c.waitExec(sd.timeout)
+	return stripData{f: t}, comp, transient, err
+}
+
+func (sd *stageDriver) recycleStrip(s stripData) {
+	if sd.p.quant {
+		tensor.RecycleQ(s.q)
+	} else {
+		tensor.Recycle(s.f)
+	}
+}
+
 // dispatch splits a flight's feature map into the stage's strips and sends
 // every tile, returning the in-flight calls for gather. Send failures and
 // disconnected slots are queued for gather's retry pass instead of failing
@@ -182,9 +227,7 @@ func (sd *stageDriver) dispatch(f *flight) *flightWork {
 			continue
 		}
 		inR := sd.calc.InputRange(sd.stage.From, sd.stage.To, part)
-		tile := f.t.SliceRows(inR.Lo, inR.Hi)
-		c, err := wc.startExec(sd.execHeader(f, part, inR.Lo), tile)
-		tensor.Recycle(tile) // fully serialized into the request
+		c, err := sd.sendStrip(wc, f, part, inR.Lo, inR.Hi)
 		if err != nil {
 			sd.noteFault(k, wc, FaultConnLost, err)
 			fw.retry = append(fw.retry, k)
@@ -208,13 +251,13 @@ func (sd *stageDriver) gather(fw *flightWork) {
 			Start: fw.start, End: time.Now(),
 		})
 	}()
-	outs := make([]tensor.Tensor, 0, len(fw.calls))
+	outs := make([]stripData, 0, len(fw.calls))
 	los := make([]int, 0, len(fw.calls))
 	for k, c := range fw.calls {
 		if c == nil {
 			continue
 		}
-		strip, comp, transient, err := c.waitExec(sd.timeout)
+		strip, comp, transient, err := sd.waitStrip(c)
 		if err != nil {
 			// Keep draining the remaining calls so every in-flight
 			// response is accounted for before the flight fails.
@@ -230,7 +273,7 @@ func (sd *stageDriver) gather(fw *flightWork) {
 		outs = append(outs, strip)
 		los = append(los, fw.parts[k].Lo)
 	}
-	// Retry pass: the stage input f.t is still alive here, so failed strips
+	// Retry pass: the stage input map is still alive here, so failed strips
 	// can be re-sliced and executed on surviving replicas.
 	for _, k := range fw.retry {
 		if f.err != nil {
@@ -247,26 +290,55 @@ func (sd *stageDriver) gather(fw *flightWork) {
 	}
 	if f.err != nil {
 		for _, o := range outs {
-			tensor.Recycle(o)
+			sd.recycleStrip(o)
 		}
 		return
 	}
-	stitched, err := tensor.StitchRows(outs, los, sd.outH)
-	if err != nil {
+	if err := sd.stitchInto(f, outs, los); err != nil {
 		f.err = fmt.Errorf("runtime: stage [%d,%d) stitch: %w", sd.stage.From, sd.stage.To, err)
 		for _, o := range outs {
-			tensor.Recycle(o)
+			sd.recycleStrip(o)
 		}
 		return
 	}
 	for _, o := range outs {
-		tensor.Recycle(o) // copied into the stitched map
+		sd.recycleStrip(o) // copied into the stitched map
+	}
+}
+
+// stitchInto assembles gathered strips into the stage's output map and
+// installs it on the flight, recycling the flight's previous owned map.
+func (sd *stageDriver) stitchInto(f *flight, outs []stripData, los []int) error {
+	if sd.p.quant {
+		strips := make([]tensor.QTensor, len(outs))
+		for i, o := range outs {
+			strips[i] = o.q
+		}
+		stitched, err := tensor.StitchRowsQ(strips, los, sd.outH)
+		if err != nil {
+			return err
+		}
+		if f.owned {
+			tensor.RecycleQ(f.q)
+		}
+		f.q = stitched
+		f.owned = true
+		return nil
+	}
+	strips := make([]tensor.Tensor, len(outs))
+	for i, o := range outs {
+		strips[i] = o.f
+	}
+	stitched, err := tensor.StitchRows(strips, los, sd.outH)
+	if err != nil {
+		return err
 	}
 	if f.owned {
 		tensor.Recycle(f.t)
 	}
 	f.t = stitched
 	f.owned = true
+	return nil
 }
 
 // faultKind classifies a transient exec failure for the event log.
@@ -311,7 +383,7 @@ func (sd *stageDriver) pickLive() (int, *workerClient) {
 // retryPart re-executes one strip on healthy replicas, waiting out a redial
 // between attempts, until the retry budget is spent. It returns the strip,
 // its compute seconds and the executing device index.
-func (sd *stageDriver) retryPart(f *flight, part partition.Range) (tensor.Tensor, float64, int, error) {
+func (sd *stageDriver) retryPart(f *flight, part partition.Range) (stripData, float64, int, error) {
 	inR := sd.calc.InputRange(sd.stage.From, sd.stage.To, part)
 	backoff := sd.p.redialBackoff
 	lastErr := error(nil)
@@ -330,15 +402,13 @@ func (sd *stageDriver) retryPart(f *flight, part partition.Range) (tensor.Tensor
 			lastErr = fmt.Errorf("no live replica in stage [%d,%d)", sd.stage.From, sd.stage.To)
 			continue
 		}
-		tile := f.t.SliceRows(inR.Lo, inR.Hi)
-		c, err := wc.startExec(sd.execHeader(f, part, inR.Lo), tile)
-		tensor.Recycle(tile)
+		c, err := sd.sendStrip(wc, f, part, inR.Lo, inR.Hi)
 		if err != nil {
 			sd.noteFault(k, wc, FaultConnLost, err)
 			lastErr = err
 			continue
 		}
-		strip, comp, transient, err := c.waitExec(sd.timeout)
+		strip, comp, transient, err := sd.waitStrip(c)
 		if err == nil {
 			sd.p.faults.add(FaultEvent{
 				Stage: sd.index, Device: sd.slots[k].deviceIdx, Worker: sd.slots[k].workerID,
@@ -349,12 +419,12 @@ func (sd *stageDriver) retryPart(f *flight, part partition.Range) (tensor.Tensor
 		if !transient {
 			// Worker-reported (deterministic) error: retrying elsewhere
 			// would fail the same way.
-			return tensor.Tensor{}, 0, 0, err
+			return stripData{}, 0, 0, err
 		}
 		sd.noteFault(k, wc, faultKind(err), err)
 		lastErr = err
 	}
-	return tensor.Tensor{}, 0, 0, &FaultError{
+	return stripData{}, 0, 0, &FaultError{
 		Device: -1, Kind: FaultDown,
 		Err: fmt.Errorf("task %d rows %v: retry budget exhausted: %w", f.id, part, lastErr),
 	}
@@ -381,7 +451,7 @@ func (sd *stageDriver) redial(slot *workerSlot) {
 		wc, err := dialWorker(slot.addr)
 		if err == nil {
 			wc.conn.SetWriteTimeout(sd.timeout)
-			if err = wc.loadModel(sd.p.spec, sd.p.seed); err == nil {
+			if err = wc.loadModelQuant(sd.p.spec, sd.p.seed, sd.p.quant); err == nil {
 				sd.p.trackClient(wc)
 				slot.reconnected(wc)
 				sd.p.faults.add(FaultEvent{
@@ -445,6 +515,13 @@ type Pipeline struct {
 	seed   int64
 	spec   wire.ModelSpec
 	stages []*stageDriver
+
+	// quant selects int8 transport and execution; scale0 is the calibrated
+	// input-boundary scale used to quantize submitted inputs. Both sides
+	// derive calibration from (model, seed), so only the input scale is
+	// needed coordinator-side — result headers carry scales forward.
+	quant  bool
+	scale0 float32
 
 	// Fault-tolerance policy (defaulted from PipelineOptions).
 	retryBudget    int
@@ -544,6 +621,12 @@ type PipelineOptions struct {
 	// RedialBackoff is the initial reconnect backoff, doubled per attempt
 	// (default 100ms). It also paces retryPart's wait for a redial to land.
 	RedialBackoff time.Duration
+
+	// Quantized runs the whole pipeline in int8: inputs are quantized once
+	// at Submit, every stage boundary ships int8 tiles (4x smaller than
+	// float32), workers execute the quantized kernels, and the final output
+	// is dequantized into TaskResult.Output.
+	Quantized bool
 }
 
 // Deadline-derivation defaults: a hung worker is detected after
@@ -586,6 +669,7 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 	p := &Pipeline{
 		plan:           plan,
 		seed:           opts.Seed,
+		quant:          opts.Quantized,
 		retryBudget:    opts.RetryBudget,
 		redialAttempts: opts.RedialAttempts,
 		redialBackoff:  opts.RedialBackoff,
@@ -596,6 +680,13 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 		byDevice:       make(map[int]*workerClient),
 	}
 	p.spec = wire.SpecFromModel(plan.Model)
+	if p.quant {
+		scales, err := tensor.QuantScales(plan.Model, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: quantization calibration: %w", err)
+		}
+		p.scale0 = scales[0]
+	}
 	calc := partition.NewCalc(plan.Model)
 	fail := func(err error) (*Pipeline, error) {
 		for _, c := range p.clients {
@@ -645,7 +736,7 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 			if p.byDevice[di] == nil {
 				p.byDevice[di] = wc
 			}
-			if err := wc.loadModel(p.spec, opts.Seed); err != nil {
+			if err := wc.loadModelQuant(p.spec, opts.Seed, p.quant); err != nil {
 				return fail(err)
 			}
 			sd.slots[k] = &workerSlot{deviceIdx: di, addr: addr, workerID: wc.id, wc: wc}
@@ -669,6 +760,16 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 		defer p.wg.Done()
 		defer close(p.results)
 		for f := range last {
+			if p.quant {
+				if f.err == nil {
+					// Hand the caller float output regardless of transport
+					// precision; the int8 map served its last hop.
+					f.t = f.q.Dequantize()
+				}
+				if f.owned {
+					tensor.RecycleQ(f.q)
+				}
+			}
 			p.results <- TaskResult{
 				ID:        f.id,
 				Output:    f.t,
@@ -708,7 +809,16 @@ func (p *Pipeline) Submit(input tensor.Tensor) (int64, error) {
 	p.nextID++
 	id := p.nextID
 	p.mu.Unlock()
-	p.in <- &flight{id: id, t: input, submitted: time.Now()}
+	f := &flight{id: id, submitted: time.Now()}
+	if p.quant {
+		// Quantize once at the pipeline mouth; the input tensor itself is
+		// not retained, matching the float path's never-recycle contract.
+		f.q = tensor.QuantizeTensor(input, p.scale0)
+		f.owned = true
+	} else {
+		f.t = input
+	}
+	p.in <- f
 	return id, nil
 }
 

@@ -1,0 +1,144 @@
+package runtime
+
+import (
+	"testing"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/tensor"
+)
+
+// TestQuantPipelineMatchesLocalRunQ runs a multi-stage quantized pipeline
+// over TCP workers and checks every distributed output is bit-identical to
+// the local whole-map RunQ result — the int8 analogue of the float
+// distributed-equals-local contract (distributed requantization happens per
+// strip, but int32 accumulation commutes, so the stitched map must match
+// exactly).
+func TestQuantPipelineMatchesLocalRunQ(t *testing.T) {
+	plan := testPlan(t, 4)
+	if len(plan.Stages) < 2 {
+		t.Fatalf("want a multi-stage plan, got %d stages", len(plan.Stages))
+	}
+	lc := startCluster(t, 4, nil)
+	const seed = 77
+	p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: seed, Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := p.Close(); err != nil {
+			t.Errorf("pipeline close: %v", err)
+		}
+	}()
+
+	ref, err := tensor.NewExecutor(plan.Model, seed, tensor.WithQuantized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 5
+	inputs := make([]tensor.Tensor, tasks)
+	for i := range inputs {
+		inputs[i] = tensor.RandomInput(plan.Model.Input, int64(i))
+	}
+	go func() {
+		for _, in := range inputs {
+			if _, err := p.Submit(in); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+	}()
+	got := 0
+	for res := range p.Results() {
+		if res.Err != nil {
+			t.Fatalf("task %d: %v", res.ID, res.Err)
+		}
+		wantQ, err := ref.RunQ(inputs[res.ID-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := wantQ.Dequantize()
+		if !tensor.Equal(want, res.Output) {
+			t.Fatalf("task %d: distributed quant output differs by %g", res.ID, tensor.MaxAbsDiff(want, res.Output))
+		}
+		tensor.RecycleQ(wantQ)
+		tensor.Recycle(want)
+		got++
+		if got == tasks {
+			break
+		}
+	}
+}
+
+// TestQuantPipelineTop1AgreesWithFloat runs the same inputs through a float
+// and a quantized pipeline and requires the top-1 class to agree on at
+// least 90% of them — the end-to-end accuracy contract of the int8 path.
+func TestQuantPipelineTop1AgreesWithFloat(t *testing.T) {
+	// A wider toy model than testPlan's: 6-channel feature maps quantize
+	// too coarsely for a stable argmax, 16 channels are representative.
+	m := nn.ToyChain("rtq", 6, 2, 16, 64)
+	plan, err := core.PlanPipeline(m, cluster.Homogeneous(3, 600e6), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := startCluster(t, 3, nil)
+	const seed = 42
+
+	run := func(quant bool, inputs []tensor.Tensor) []int {
+		p, err := NewPipeline(plan, lc.Addrs, PipelineOptions{Seed: seed, Quantized: quant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for _, in := range inputs {
+				if _, err := p.Submit(in); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+			if err := p.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		var top1 []int
+		for res := range p.Results() {
+			if res.Err != nil {
+				t.Fatalf("task %d (quant=%v): %v", res.ID, quant, res.Err)
+			}
+			top1 = append(top1, argmaxF(res.Output.Data))
+		}
+		return top1
+	}
+
+	const tasks = 10
+	inputs := make([]tensor.Tensor, tasks)
+	for i := range inputs {
+		inputs[i] = tensor.RandomInput(plan.Model.Input, int64(500+i))
+	}
+	f := run(false, inputs)
+	q := run(true, inputs)
+	if len(f) != tasks || len(q) != tasks {
+		t.Fatalf("completed %d float / %d quant of %d", len(f), len(q), tasks)
+	}
+	agree := 0
+	for i := range f {
+		if f[i] == q[i] {
+			agree++
+		}
+	}
+	if agree < tasks*9/10 {
+		t.Fatalf("top-1 agreement %d/%d below 90%%", agree, tasks)
+	}
+	t.Logf("top-1 agreement %d/%d", agree, tasks)
+}
+
+func argmaxF(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -98,8 +98,9 @@ func (f Fault) armed() bool {
 }
 
 type execKey struct {
-	name string
-	seed int64
+	name  string
+	seed  int64
+	quant bool
 }
 
 // WorkerOption configures a Worker.
@@ -315,10 +316,26 @@ func (w *Worker) handleLoad(conn *wire.Conn, msg *wire.Message) error {
 	if err != nil {
 		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{Message: err.Error()}, nil)
 	}
+	var qexec *tensor.Executor
+	if hdr.Quant {
+		qexec, err = tensor.NewExecutor(m, hdr.Seed,
+			tensor.WithParallelism(w.parallelism), tensor.WithQuantized())
+		if err != nil {
+			return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{Message: err.Error()}, nil)
+		}
+		// Calibrate now, not on the first tile: scales are derived from
+		// (model, seed), so a calibration failure is a load failure.
+		if _, err := qexec.QuantScales(); err != nil {
+			return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{Message: err.Error()}, nil)
+		}
+	}
 	w.mu.Lock()
 	w.execs[execKey{name: m.Name, seed: hdr.Seed}] = exec
+	if qexec != nil {
+		w.execs[execKey{name: m.Name, seed: hdr.Seed, quant: true}] = qexec
+	}
 	w.mu.Unlock()
-	w.logf("worker %s: loaded %s (seed %d)", w.id, m.Name, hdr.Seed)
+	w.logf("worker %s: loaded %s (seed %d, quant %v)", w.id, m.Name, hdr.Seed, hdr.Quant)
 	return conn.SendRequest(wire.MsgPong, msg.ReqID, nil, nil)
 }
 
@@ -336,16 +353,26 @@ func (w *Worker) KindSeconds() map[string]float64 {
 	return total
 }
 
-func (w *Worker) executor(name string, seed int64) (*tensor.Executor, bool) {
+func (w *Worker) executor(name string, seed int64, quant bool) (*tensor.Executor, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	// A single loaded model is the common case; fall back to name lookup.
-	if e, ok := w.execs[execKey{name: name, seed: seed}]; ok {
+	if e, ok := w.execs[execKey{name: name, seed: seed, quant: quant}]; ok {
 		return e, true
 	}
-	if name == "" && len(w.execs) == 1 {
-		for _, e := range w.execs {
-			return e, true
+	if name == "" {
+		var match *tensor.Executor
+		for k, e := range w.execs {
+			if k.quant != quant {
+				continue
+			}
+			if match != nil {
+				return nil, false // ambiguous
+			}
+			match = e
+		}
+		if match != nil {
+			return match, true
 		}
 	}
 	return nil, false
@@ -382,12 +409,16 @@ func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) (err error) {
 			panic(fmt.Sprintf("injected panic on exec %d", n))
 		}
 	}
-	exec, ok := w.executor(hdr.ModelName, hdr.Seed)
+	quant := hdr.DType == wire.DTypeInt8
+	exec, ok := w.executor(hdr.ModelName, hdr.Seed, quant)
 	if !ok {
 		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{
 			TaskID:  hdr.TaskID,
-			Message: fmt.Sprintf("model %q (seed %d) not loaded", hdr.ModelName, hdr.Seed),
+			Message: fmt.Sprintf("model %q (seed %d, quant %v) not loaded", hdr.ModelName, hdr.Seed, quant),
 		}, nil)
+	}
+	if quant {
+		return w.handleExecQuant(conn, msg, &hdr, exec)
 	}
 	tile, err := wire.DecodeTensor(hdr.TileC, hdr.TileH, hdr.TileW, msg.Payload)
 	if err != nil {
@@ -412,17 +443,7 @@ func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) (err error) {
 	if err != nil {
 		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
 	}
-	elapsed := time.Since(start)
-	if w.emulatedSpeed > 0 {
-		// flops models the device's aggregate arithmetic, independent of
-		// how many cores executed the kernels; the sleep always tops the
-		// interval up to the same emulated budget.
-		want := time.Duration(flops / w.emulatedSpeed * float64(time.Second))
-		if want > elapsed {
-			time.Sleep(want - elapsed)
-			elapsed = want
-		}
-	}
+	elapsed := w.emulate(time.Since(start), flops)
 	// Zero-copy on little-endian hosts: the payload aliases out.Data, and
 	// SendExecResult consumes it synchronously before out is recycled.
 	payload, pooled := wire.TensorBytes(out)
@@ -438,5 +459,64 @@ func (w *Worker) handleExec(conn *wire.Conn, msg *wire.Message) (err error) {
 		wire.PutBuffer(payload)
 	}
 	tensor.Recycle(out)
+	return err
+}
+
+// emulate tops a measured compute interval up to the modelled time for the
+// given arithmetic work when speed emulation is on. flops models the
+// device's aggregate arithmetic, independent of how many cores executed the
+// kernels, so emulated capacity accounting is parallelism-independent.
+func (w *Worker) emulate(elapsed time.Duration, flops float64) time.Duration {
+	if w.emulatedSpeed <= 0 {
+		return elapsed
+	}
+	want := time.Duration(flops / w.emulatedSpeed * float64(time.Second))
+	if want > elapsed {
+		time.Sleep(want - elapsed)
+		elapsed = want
+	}
+	return elapsed
+}
+
+// handleExecQuant executes one int8 tile. Quantized execution is row-strip
+// only: grid mode would need column-overlap requantization the engine does
+// not define, so such requests are refused rather than computed wrongly.
+func (w *Worker) handleExecQuant(conn *wire.Conn, msg *wire.Message, hdr *wire.ExecHeader, exec *tensor.Executor) error {
+	if hdr.OutColHi > 0 {
+		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{
+			TaskID:  hdr.TaskID,
+			Message: "quantized execution does not support grid tiles",
+		}, nil)
+	}
+	tile, err := wire.DecodeQTensor(hdr.TileC, hdr.TileH, hdr.TileW, hdr.Scale, msg.Payload)
+	if err != nil {
+		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
+	}
+	start := time.Now()
+	rows := partition.Range{Lo: hdr.OutLo, Hi: hdr.OutHi}
+	out, err := exec.RunSegmentQ(hdr.From, hdr.To, tile, rows)
+	flops := float64(exec.RegionFLOPs(hdr.From, hdr.To, rows))
+	tensor.RecycleQ(tile)
+	if err != nil {
+		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
+	}
+	elapsed := w.emulate(time.Since(start), flops)
+	// The int8 payload aliases out.Data (consumed synchronously, like the
+	// float path) and is a quarter of the float tile's size.
+	payload, pooled := wire.QTensorBytes(out)
+	err = conn.SendExecResult(msg.ReqID, &wire.ExecResultHeader{
+		TaskID:         hdr.TaskID,
+		OutLo:          hdr.OutLo,
+		C:              out.C,
+		H:              out.H,
+		W:              out.W,
+		DType:          wire.DTypeInt8,
+		Scale:          out.Scale,
+		ComputeSeconds: elapsed.Seconds(),
+	}, payload)
+	if pooled {
+		wire.PutBuffer(payload)
+	}
+	tensor.RecycleQ(out)
 	return err
 }

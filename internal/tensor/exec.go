@@ -33,6 +33,18 @@ type Executor struct {
 	// loops; used by benchmarks and A/B property tests.
 	refKernels bool
 
+	// quant marks the executor as serving the int8 path: RunQ/RunSegmentQ
+	// are the entry points and activation scales are calibrated on first
+	// use (see quant_exec.go). The float path stays fully usable either
+	// way — calibration itself runs it.
+	quant bool
+
+	// Calibrated activation scales, one per layer boundary; derived once
+	// per executor under scOnce (see QuantScales).
+	scOnce sync.Once
+	scales []float32
+	scErr  error
+
 	// stats attributes kernel wall time by layer kind (see KindSeconds).
 	stats kindStats
 
@@ -41,9 +53,11 @@ type Executor struct {
 	// each entry generates its weights under its own sync.Once, so two
 	// workers warming different layers proceed concurrently, and after
 	// warm-up concurrent stage workers never contend.
-	mu   sync.RWMutex
-	conv map[string]*convEntry
-	fc   map[string]*fcEntry
+	mu    sync.RWMutex
+	conv  map[string]*convEntry
+	fc    map[string]*fcEntry
+	qconv map[string]*qconvEntry
+	qfc   map[string]*qfcEntry
 }
 
 type convEntry struct {
@@ -54,6 +68,16 @@ type convEntry struct {
 type fcEntry struct {
 	once sync.Once
 	w    *fcWeights
+}
+
+type qconvEntry struct {
+	once sync.Once
+	w    *qconvWeights
+}
+
+type qfcEntry struct {
+	once sync.Once
+	w    *qfcWeights
 }
 
 // kindStats accumulates kernel wall-clock seconds per layer kind. Counters
@@ -133,18 +157,28 @@ func WithReferenceKernels() ExecutorOption {
 	return func(e *Executor) { e.refKernels = true }
 }
 
+// WithQuantized marks the executor for int8 inference: callers drive it
+// through RunQ/RunSegmentQ and activation scales are calibrated lazily from
+// the deterministic calibration input. The option is a mode marker, not a
+// restriction — the float32 path remains available and bit-identical.
+func WithQuantized() ExecutorOption {
+	return func(e *Executor) { e.quant = true }
+}
+
 // NewExecutor builds an executor for the model with the given weight seed.
 func NewExecutor(m *nn.Model, seed int64, opts ...ExecutorOption) (*Executor, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	e := &Executor{
-		m:    m,
-		seed: seed,
-		calc: partition.NewCalc(m),
-		par:  defaultParallelism(),
-		conv: make(map[string]*convEntry),
-		fc:   make(map[string]*fcEntry),
+		m:     m,
+		seed:  seed,
+		calc:  partition.NewCalc(m),
+		par:   defaultParallelism(),
+		conv:  make(map[string]*convEntry),
+		fc:    make(map[string]*fcEntry),
+		qconv: make(map[string]*qconvEntry),
+		qfc:   make(map[string]*qfcEntry),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -269,8 +303,12 @@ func (e *Executor) runLayerOn(l *nn.Layer, key string, in Tensor, inLo int, inSh
 		e.stats.add(e.stats.convCounter(l, inShape.C), time.Since(start))
 		return res, nil
 	case nn.MaxPool, nn.AvgPool:
+		kernel := poolForward
+		if e.refKernels {
+			kernel = poolForwardRef
+		}
 		start := time.Now()
-		res := poolForward(in, inLo, inShape.H, l, out.Lo, out.Hi, e.par)
+		res := kernel(in, inLo, inShape.H, l, out.Lo, out.Hi, e.par)
 		e.stats.add(&e.stats.pool, time.Since(start))
 		return res, nil
 	case nn.FullyConnected:

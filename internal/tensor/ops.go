@@ -252,7 +252,13 @@ func convForwardDepthwise(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *conv
 				}
 				inRow := in.Data[(oc*in.H+ih)*in.W : (oc*in.H+ih+1)*in.W]
 				row := &wts.rows[oc*l.KH+kh]
-				convRow(acc, inRow, row, l.SW, l.PW, in.W, outW)
+				if l.SW == 1 && l.KW == 3 && len(row.w) == 3 {
+					// Dense stride-1 3-tap row (every MobileNet depthwise
+					// layer): fuse the taps into one accumulator pass.
+					convRow3(acc, inRow, row.w[0], row.w[1], row.w[2], l.PW, in.W, outW)
+				} else {
+					convRow(acc, inRow, row, l.SW, l.PW, in.W, outW)
+				}
 			}
 			finishChannel(acc, wts, oc, l.Act)
 		}
@@ -316,6 +322,57 @@ func convRow(acc, inRow []float32, row *kernelRow, sw, pw, inW, outW int) {
 		for ow := owLo; ow < owHi; ow++ {
 			acc[ow] += w * inRow[iw]
 			iw += sw
+		}
+	}
+}
+
+// convRow3 accumulates a dense 3-tap stride-1 kernel row in a single sweep:
+// the accumulator row is loaded and stored once instead of once per tap,
+// which is the entire cost of a depthwise kernel. Per element the three
+// multiply-adds are sequenced as separate statements in ascending kw — the
+// identical float operation order to convRow's three per-tap passes — so
+// results stay bit-identical to the reference. Callers must guarantee the
+// row is dense (no zero taps dropped by compact): a skipped tap in the
+// reference would make even adding a zero non-identical around signed
+// zeros.
+func convRow3(acc, inRow []float32, w0, w1, w2 float32, pw, inW, outW int) {
+	// Interior columns where all three taps are in range: tap kw reads
+	// inRow[ow-pw+kw], so ow >= pw and ow-pw+2 <= inW-1.
+	loI := pw
+	hiI := inW - 2 + pw
+	if loI < 0 {
+		loI = 0
+	}
+	if hiI > outW {
+		hiI = outW
+	}
+	for _, b := range [2][2]int{{0, min(loI, outW)}, {max(hiI, 0), outW}} {
+		for ow := b[0]; ow < b[1]; ow++ {
+			iw := ow - pw
+			v := acc[ow]
+			if iw >= 0 && iw < inW {
+				v += w0 * inRow[iw]
+			}
+			if iw+1 >= 0 && iw+1 < inW {
+				v += w1 * inRow[iw+1]
+			}
+			if iw+2 >= 0 && iw+2 < inW {
+				v += w2 * inRow[iw+2]
+			}
+			acc[ow] = v
+		}
+	}
+	if loI < hiI {
+		n := hiI - loI
+		s0 := inRow[loI-pw:][:n]
+		s1 := inRow[loI-pw+1:][:n]
+		s2 := inRow[loI-pw+2:][:n]
+		dst := acc[loI:][:n]
+		for i := range dst {
+			v := dst[i] + w0*s0[i]
+			v += w1 * s1[i]
+			v += w2 * s2[i]
+			dst[i] = v
 		}
 	}
 }
@@ -385,8 +442,110 @@ func convRowBlock4(accs *[ocBlockWidth][]float32, inRow, pk []float32, kw, sw, p
 // under the same global-row-offset convention as convForward. Padding cells
 // are excluded from both the max and the average (divisor counts valid cells
 // only), so tile-boundary behaviour matches whole-map behaviour exactly.
-// Like convForward, the (channel, row) space parallelises over the pool.
+//
+// The hot loops are restructured tap-major: instead of re-deriving the
+// window bounds and the (c*H+h)*W+w index for every cell, each (kh, kw) tap
+// sweeps its valid output-column span over a hoisted input row. Per output
+// element the taps still apply in ascending (kh, kw) order — the same order
+// as poolForwardRef's per-cell walk — so max ties resolve identically and
+// average sums accumulate in the same float order, keeping results
+// bit-identical to the reference at any tile or parallelism.
 func poolForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi, par int) Tensor {
+	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
+	outRows := outHi - outLo
+	out := Alloc(in.C, outRows, outW)
+	isMax := l.Kind == nn.MaxPool
+	grain := grainFor(l.KH * l.KW * outW)
+	parallelForGrain(in.C*outRows, par, grain, func(lo, hi int) {
+		var cnt []int32
+		if !isMax {
+			cnt = make([]int32, outW)
+		}
+		for t := lo; t < hi; t++ {
+			c := t / outRows
+			or := t % outRows
+			dst := out.Data[t*outW : (t+1)*outW]
+			ohGlobal := outLo + or
+			init := float32(0)
+			if isMax {
+				init = negInf
+			}
+			for i := range dst {
+				dst[i] = init
+			}
+			countH := int32(0)
+			for kh := 0; kh < l.KH; kh++ {
+				ihGlobal := ohGlobal*l.SH - l.PH + kh
+				if ihGlobal < 0 || ihGlobal >= inHGlobal {
+					continue
+				}
+				ih := ihGlobal - inLo
+				if ih < 0 || ih >= in.H {
+					panic(fmt.Sprintf("tensor: pool needs global row %d outside tile [%d,%d)", ihGlobal, inLo, inLo+in.H))
+				}
+				countH++
+				inRow := in.Data[(c*in.H+ih)*in.W : (c*in.H+ih+1)*in.W]
+				for kw := 0; kw < l.KW; kw++ {
+					iwOff := kw - l.PW
+					owLo := 0
+					if iwOff < 0 {
+						owLo = (-iwOff + l.SW - 1) / l.SW
+					}
+					owHi := outW
+					if maxOw := (in.W - 1 - iwOff) / l.SW; maxOw+1 < owHi {
+						owHi = maxOw + 1
+					}
+					iw := owLo*l.SW + iwOff
+					if isMax {
+						for ow := owLo; ow < owHi; ow++ {
+							if v := inRow[iw]; v > dst[ow] {
+								dst[ow] = v
+							}
+							iw += l.SW
+						}
+					} else {
+						for ow := owLo; ow < owHi; ow++ {
+							dst[ow] += inRow[iw]
+							iw += l.SW
+						}
+					}
+				}
+			}
+			if !isMax {
+				// The per-cell divisor factors into valid rows x valid
+				// columns; the column factor depends only on ow.
+				for ow := range cnt {
+					cnt[ow] = 0
+				}
+				for kw := 0; kw < l.KW; kw++ {
+					iwOff := kw - l.PW
+					owLo := 0
+					if iwOff < 0 {
+						owLo = (-iwOff + l.SW - 1) / l.SW
+					}
+					owHi := outW
+					if maxOw := (in.W - 1 - iwOff) / l.SW; maxOw+1 < owHi {
+						owHi = maxOw + 1
+					}
+					for ow := owLo; ow < owHi; ow++ {
+						cnt[ow]++
+					}
+				}
+				for ow, n := range cnt {
+					if total := countH * n; total > 0 {
+						dst[ow] /= float32(total)
+					}
+				}
+			}
+			applyActivation(dst, l.Act)
+		}
+	})
+	return out
+}
+
+// poolForwardRef is the original per-cell pool loop, retained as the
+// bit-identity reference for poolForward.
+func poolForwardRef(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi, par int) Tensor {
 	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
 	outRows := outHi - outLo
 	out := Alloc(in.C, outRows, outW)

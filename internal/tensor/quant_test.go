@@ -1,0 +1,447 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// randomQInput quantizes a deterministic random float map at its own
+// calibrated scale — the shape every quantized kernel input has in practice.
+func randomQInput(c, h, w int, seed int64) QTensor {
+	f := RandomInput(nn.Shape{C: c, H: h, W: w}, seed)
+	return QuantizeTensor(f, scaleFor(maxAbs(f.Data)))
+}
+
+// quantBlockedCases extends the float geometry matrix with wide pointwise
+// shapes so the SIMD tile path (>= 16 flattened columns, overlapped tail)
+// is exercised alongside its scalar fallback.
+func quantBlockedCases() []blockedCase {
+	cases := blockedCases()
+	cases = append(cases,
+		blockedCase{name: "pointwise-wide", inC: 9, h: 6, w: 35, l: nn.Layer{
+			Name: "pointwise-wide", Kind: nn.Conv,
+			KH: 1, KW: 1, SH: 1, SW: 1,
+			OutC: 11, Act: nn.ReLU, BatchNorm: true,
+		}},
+		blockedCase{name: "pointwise-narrow", inC: 5, h: 3, w: 5, l: nn.Layer{
+			Name: "pointwise-narrow", Kind: nn.Conv,
+			KH: 1, KW: 1, SH: 1, SW: 1,
+			OutC: 4, Act: nn.LeakyReLU, BatchNorm: false,
+		}},
+	)
+	return cases
+}
+
+// TestQuantBlockedMatchesReferenceBitExact mirrors the float32 contract for
+// the int8 engine: for every geometry, parallelism and tile window, the
+// blocked quantized kernels must match the naive per-element reference byte
+// for byte. Int32 accumulation is associative, so this holds for any
+// accumulation order as long as the requantize epilogue is shared — which
+// is exactly what the test pins down.
+func TestQuantBlockedMatchesReferenceBitExact(t *testing.T) {
+	for ci, tc := range quantBlockedCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			l := tc.l
+			groups := l.Groups
+			if groups < 1 {
+				groups = 1
+			}
+			cw := genConv(int64(200+ci), "qblk", &l, tc.inC)
+			qw := genQConv(cw, &l, tc.inC/groups, 0.03, 0.07)
+			in := randomQInput(tc.inC, tc.h, tc.w, int64(100+ci))
+			outH := (tc.h+2*l.PH-l.KH)/l.SH + 1
+			ref := qconvForwardRef(in, 0, tc.h, &l, qw, 0, outH, 1)
+			for _, par := range []int{1, 3, 8} {
+				got := qconvForward(in, 0, tc.h, &l, qw, 0, outH, par)
+				if !EqualQ(got, ref) {
+					t.Fatalf("par=%d: full blocked int8 output differs from reference", par)
+				}
+				rng := rand.New(rand.NewSource(int64(ci*10 + par)))
+				for trial := 0; trial < 8; trial++ {
+					lo := rng.Intn(outH)
+					hi := lo + 1 + rng.Intn(outH-lo)
+					inLo, inHi := convInputRows(&l, lo, hi, tc.h)
+					tile := in.SliceRows(inLo, inHi)
+					gotTile := qconvForward(tile, inLo, tc.h, &l, qw, lo, hi, par)
+					wantTile := ref.SliceRows(lo, hi)
+					if !EqualQ(gotTile, wantTile) {
+						t.Fatalf("par=%d tile [%d,%d): blocked int8 differs from reference", par, lo, hi)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQuantFCMatchesReferenceBitExact pins the unrolled int8 fc kernel to
+// the serial dot-product reference across ragged output counts.
+func TestQuantFCMatchesReferenceBitExact(t *testing.T) {
+	for _, outF := range []int{1, 3, 4, 10, 17} {
+		l := nn.Layer{Name: "qfc", Kind: nn.FullyConnected, OutF: outF, Act: nn.ReLU}
+		in := randomQInput(3, 5, 7, int64(outF))
+		fw := genFC(int64(outF), "qfc", &l, in.Elems())
+		qw := genQFC(fw, &l, in.Elems(), float32(in.Scale), 0.11)
+		ref := qfcForwardRef(in, &l, qw, 1)
+		for _, par := range []int{1, 2, 8} {
+			got := qfcForward(in, &l, qw, par)
+			if !EqualQ(got, ref) {
+				t.Fatalf("outF=%d par=%d: unrolled int8 fc differs from reference", outF, par)
+			}
+		}
+	}
+}
+
+// TestQuantPoolTileIdentity checks that quantized pooling over row tiles
+// reproduces the whole-map result at every parallelism — the tiled
+// execution contract the pipeline depends on.
+func TestQuantPoolTileIdentity(t *testing.T) {
+	pools := []nn.Layer{
+		{Name: "max2", Kind: nn.MaxPool, KH: 2, KW: 2, SH: 2, SW: 2},
+		{Name: "max3", Kind: nn.MaxPool, KH: 3, KW: 3, SH: 2, SW: 2, PH: 1, PW: 1, Act: nn.ReLU},
+		{Name: "avg2", Kind: nn.AvgPool, KH: 2, KW: 2, SH: 2, SW: 2},
+		{Name: "avg3", Kind: nn.AvgPool, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1},
+	}
+	for pi, l := range pools {
+		l := l
+		in := randomQInput(5, 13, 11, int64(40+pi))
+		outH := (in.H+2*l.PH-l.KH)/l.SH + 1
+		ref := qpoolForward(in, 0, in.H, &l, 0, outH, 1)
+		for _, par := range []int{1, 4} {
+			rng := rand.New(rand.NewSource(int64(pi)))
+			for trial := 0; trial < 6; trial++ {
+				lo := rng.Intn(outH)
+				hi := lo + 1 + rng.Intn(outH-lo)
+				inLo, inHi := convInputRows(&l, lo, hi, in.H)
+				tile := in.SliceRows(inLo, inHi)
+				got := qpoolForward(tile, inLo, in.H, &l, lo, hi, par)
+				want := ref.SliceRows(lo, hi)
+				if !EqualQ(got, want) {
+					t.Fatalf("%s par=%d tile [%d,%d): tiled pool differs from whole-map", l.Name, par, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantRoundTripErrorBound is the quantize→dequantize property test:
+// for per-channel scales derived from each channel's max-abs, every element
+// must round-trip within half a quantization step of its original value
+// (symmetric quantization with round-half-away never clips a value inside
+// the calibrated range).
+func TestQuantRoundTripErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		c, h, w := 1+rng.Intn(6), 1+rng.Intn(10), 1+rng.Intn(10)
+		f := New(c, h, w)
+		for i := range f.Data {
+			f.Data[i] = (rng.Float32()*2 - 1) * float32(math.Pow(10, float64(rng.Intn(5)-2)))
+		}
+		per := h * w
+		for ch := 0; ch < c; ch++ {
+			chData := f.Data[ch*per : (ch+1)*per]
+			scale := scaleFor(maxAbs(chData))
+			sub := Tensor{C: 1, H: h, W: w, Data: chData}
+			q := QuantizeTensor(sub, scale)
+			back := q.Dequantize()
+			bound := float64(scale) / 2 * (1 + 1e-5)
+			for i := range chData {
+				diff := math.Abs(float64(back.Data[i]) - float64(chData[i]))
+				if diff > bound {
+					t.Fatalf("trial %d ch %d elem %d: round-trip error %g exceeds scale/2 = %g (v=%g scale=%g)",
+						trial, ch, i, diff, bound, chData[i], scale)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantClampSaturates pins the requantization clamp and rounding
+// convention at the edges.
+func TestQuantClampSaturates(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want int8
+	}{
+		{0, 0}, {0.49, 0}, {0.5, 1}, {-0.5, -1}, {-0.49, 0},
+		{126.49, 126}, {126.5, 127}, {127.4, 127}, {1e9, 127},
+		{-127.5, -128}, {-128.9, -128}, {-1e9, -128},
+	}
+	for _, tc := range cases {
+		if got := quantClamp(tc.in); got != tc.want {
+			t.Fatalf("quantClamp(%g) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestQuantSegmentTileIdentity is the quantized tiled-execution contract at
+// the executor level: running a segment on stitched strips must reproduce
+// the whole-map RunQ bit for bit, at every strip partition and parallelism.
+func TestQuantSegmentTileIdentity(t *testing.T) {
+	m := nn.ToyChain("qtoy", 4, 2, 12, 32)
+	in := RandomInput(m.Input, 5)
+	full, err := func() (QTensor, error) {
+		e, err := NewExecutor(m, 42, WithQuantized(), WithParallelism(1))
+		if err != nil {
+			return QTensor{}, err
+		}
+		return e.RunQ(in)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales, err := QuantScales(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qin := QuantizeTensor(in, scales[0])
+	rng := rand.New(rand.NewSource(9))
+	for _, par := range []int{1, 3} {
+		e, err := NewExecutor(m, 42, WithQuantized(), WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 4; trial++ {
+			// Split the model at a random layer boundary and the output
+			// rows of each segment into random strips.
+			cut := 1 + rng.Intn(m.NumLayers()-1)
+			shapes := m.Shapes()
+			midH := shapes[cut].H
+
+			runSeg := func(from, to int, tin QTensor, h int) QTensor {
+				var strips []QTensor
+				var los []int
+				lo := 0
+				for lo < h {
+					hi := lo + 1 + rng.Intn(h-lo)
+					out := partition.Range{Lo: lo, Hi: hi}
+					need := e.InputRange(from, to, out)
+					tile := tin.SliceRows(need.Lo, need.Hi)
+					res, err := e.RunSegmentQ(from, to, tile, out)
+					if err != nil {
+						t.Fatal(err)
+					}
+					strips = append(strips, res)
+					los = append(los, lo)
+					lo = hi
+				}
+				st, err := StitchRowsQ(strips, los, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+
+			mid := runSeg(0, cut, qin, midH)
+			outT := runSeg(cut, m.NumLayers(), mid, shapes[m.NumLayers()].H)
+			if !EqualQ(outT, full) {
+				t.Fatalf("par=%d cut=%d: stitched quant strips differ from whole-map RunQ", par, cut)
+			}
+		}
+	}
+}
+
+// TestQuantScaleMismatchRejected: a tile quantized at the wrong boundary
+// scale must be refused, not silently misinterpreted.
+func TestQuantScaleMismatchRejected(t *testing.T) {
+	m := nn.ToyChain("qtoy", 3, 2, 8, 16)
+	e, err := NewExecutor(m, 1, WithQuantized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := RandomInput(m.Input, 2)
+	q := QuantizeTensor(in, 12345) // not the calibrated scale
+	if _, err := e.RunSegmentQ(0, m.NumLayers(), q, partition.Full(m.Output().H)); err == nil {
+		t.Fatal("RunSegmentQ accepted a tile with a non-calibrated scale")
+	}
+}
+
+// TestQuantCalibrationDeterministic: two executors with the same (model,
+// seed) must derive bit-identical boundary scales — the property that lets
+// distributed workers quantize without exchanging calibration state.
+func TestQuantCalibrationDeterministic(t *testing.T) {
+	m := nn.ToyChain("qtoy", 4, 2, 12, 32)
+	a, err := QuantScales(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := QuantScales(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != m.NumLayers()+1 {
+		t.Fatalf("got %d scales, want %d", len(a), m.NumLayers()+1)
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("scale %d differs between identical executors: %g vs %g", i, a[i], b[i])
+		}
+		if !(a[i] > 0) {
+			t.Fatalf("scale %d is %g, want positive", i, a[i])
+		}
+	}
+}
+
+// TestQuantTop1AgreementToy asserts end-to-end accuracy: over a batch of
+// inputs, int8 inference must pick the same top-1 class as float32 on the
+// toy model for the overwhelming majority of inputs, and the dequantized
+// logits must stay close.
+func TestQuantTop1AgreementToy(t *testing.T) {
+	m := nn.ToyChain("toy", 6, 2, 16, 64)
+	ef, err := NewExecutor(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := NewExecutor(m, 42, WithQuantized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 25
+	agree := 0
+	for i := 0; i < tasks; i++ {
+		in := RandomInput(m.Input, int64(1000+i))
+		want, err := ef.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := eq.RunQ(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := q.Dequantize()
+		if argmax(want.Data) == argmax(got.Data) {
+			agree++
+		}
+		Recycle(want)
+		Recycle(got)
+		RecycleQ(q)
+	}
+	if agree < tasks*9/10 {
+		t.Fatalf("top-1 agreement %d/%d below 90%%", agree, tasks)
+	}
+	t.Logf("top-1 agreement %d/%d", agree, tasks)
+}
+
+func argmax(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TestQpwTileMatchesScalar A/Bs the SIMD pointwise tile against a direct
+// scalar evaluation of its contract on random data, including negative
+// values and the full int8 range.
+func TestQpwTileMatchesScalar(t *testing.T) {
+	if !pointwiseSIMDAvailable(qpwTileCols) {
+		t.Skip("no SIMD pointwise tile on this host")
+	}
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 50; trial++ {
+		inC := 1 + rng.Intn(40)
+		chanStride := qpwTileCols + rng.Intn(100)
+		src := make([]int8, inC*chanStride)
+		for i := range src {
+			src[i] = int8(rng.Intn(256) - 128)
+		}
+		wgt := make([]int32, inC*ocBlockWidth)
+		for i := range wgt {
+			wgt[i] = int32(rng.Intn(256) - 128)
+		}
+		var got [ocBlockWidth * qpwTileCols]int32
+		qpwTile16(&got[0], &src[0], &wgt[0], inC, chanStride)
+		for b := 0; b < ocBlockWidth; b++ {
+			for j := 0; j < qpwTileCols; j++ {
+				var want int32
+				for g := 0; g < inC; g++ {
+					want += wgt[g*ocBlockWidth+b] * int32(src[g*chanStride+j])
+				}
+				if got[b*qpwTileCols+j] != want {
+					t.Fatalf("trial %d: tile[%d][%d] = %d, want %d", trial, b, j, got[b*qpwTileCols+j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolFastMatchesReferenceBitExact pins the restructured float pool
+// loops to the original per-cell reference across geometries, tiles and
+// parallelism — the satellite counterpart of the conv blocked-vs-ref
+// contract.
+func TestPoolFastMatchesReferenceBitExact(t *testing.T) {
+	pools := []nn.Layer{
+		{Name: "max2", Kind: nn.MaxPool, KH: 2, KW: 2, SH: 2, SW: 2},
+		{Name: "max3p1", Kind: nn.MaxPool, KH: 3, KW: 3, SH: 2, SW: 2, PH: 1, PW: 1, Act: nn.ReLU},
+		{Name: "avg2", Kind: nn.AvgPool, KH: 2, KW: 2, SH: 2, SW: 2},
+		{Name: "avg3p1", Kind: nn.AvgPool, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, Act: nn.LeakyReLU},
+		{Name: "max3-nopad-odd", Kind: nn.MaxPool, KH: 3, KW: 3, SH: 2, SW: 2},
+		{Name: "avg3s2p1-odd", Kind: nn.AvgPool, KH: 3, KW: 3, SH: 2, SW: 2, PH: 1, PW: 1},
+	}
+	for pi, l := range pools {
+		l := l
+		t.Run(l.Name, func(t *testing.T) {
+			in := RandomInput(nn.Shape{C: 4, H: 13, W: 11}, int64(60+pi))
+			outH := (in.H+2*l.PH-l.KH)/l.SH + 1
+			ref := poolForwardRef(in, 0, in.H, &l, 0, outH, 1)
+			for _, par := range []int{1, 3, 8} {
+				got := poolForward(in, 0, in.H, &l, 0, outH, par)
+				if !Equal(got, ref) {
+					t.Fatalf("par=%d: fast pool differs from reference (max diff %g)", par, MaxAbsDiff(got, ref))
+				}
+				rng := rand.New(rand.NewSource(int64(pi*10 + par)))
+				for trial := 0; trial < 6; trial++ {
+					lo := rng.Intn(outH)
+					hi := lo + 1 + rng.Intn(outH-lo)
+					inLo, inHi := convInputRows(&l, lo, hi, in.H)
+					tile := in.SliceRows(inLo, inHi)
+					gotTile := poolForward(tile, inLo, in.H, &l, lo, hi, par)
+					wantTile := poolForwardRef(tile, inLo, in.H, &l, lo, hi, 1)
+					if !Equal(gotTile, wantTile) {
+						t.Fatalf("par=%d tile [%d,%d): fast pool differs from reference", par, lo, hi)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDepthwiseFusedRowBitExact drives the fused 3-tap depthwise row
+// directly against convRow's per-tap sweeps across paddings and widths.
+func TestDepthwiseFusedRowBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		inW := 3 + rng.Intn(30)
+		pw := rng.Intn(3)
+		outW := inW + 2*pw - 3 + 1
+		if outW < 1 {
+			continue
+		}
+		inRow := make([]float32, inW)
+		for i := range inRow {
+			inRow[i] = rng.Float32()*2 - 1
+		}
+		w := [3]float32{rng.Float32() - 0.5, rng.Float32() - 0.5, rng.Float32() - 0.5}
+		row := kernelRow{kw: []int32{0, 1, 2}, w: w[:]}
+		want := make([]float32, outW)
+		got := make([]float32, outW)
+		for i := range want {
+			v := rng.Float32()
+			want[i] = v
+			got[i] = v
+		}
+		convRow(want, inRow, &row, 1, pw, inW, outW)
+		convRow3(got, inRow, w[0], w[1], w[2], pw, inW, outW)
+		for i := range want {
+			if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+				t.Fatalf("trial %d (inW=%d pw=%d): col %d fused %g != ref %g", trial, inW, pw, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+//go:build amd64
+
+package tensor
+
+// probeAVX2 reports whether the CPU and OS support AVX2 (see simd_amd64.s).
+func probeAVX2() bool
+
+// hasAVX2 gates the vectorized int8 pointwise tile. The scalar kernels are
+// the behavioural contract; the AVX2 tile computes the identical int32
+// accumulators (wrap-around multiply/add), so enabling it never changes a
+// single output bit — the property tests run both against the reference.
+var hasAVX2 = probeAVX2()
+
+// qpwTile16 computes a 4-channel x 16-column pointwise accumulator tile
+// (see simd_amd64.s for the exact contract).
+//
+//go:noescape
+func qpwTile16(acc *int32, src *int8, wgt *int32, inC, chanStride int)
+
+// pointwiseSIMDAvailable reports whether the vector pointwise path can run
+// for a strip of n flattened output columns.
+func pointwiseSIMDAvailable(n int) bool { return hasAVX2 && n >= qpwTileCols }
+
+// PointwiseSIMD reports whether the host runs the vectorized int8 pointwise
+// tile. Benchmark artefacts record it: without SIMD the int8 path cannot
+// beat float32 FMA and measured speedups are not comparable across hosts.
+func PointwiseSIMD() bool { return hasAVX2 }

@@ -1,0 +1,97 @@
+// AVX2 inner tile for the int8 pointwise kernel. Semantics are exactly
+// Go's: VPMULLD is the low 32 bits of the product and VPADDD wraps, so the
+// accumulated int32 values match the scalar reference bit for bit in every
+// case, including (impossible with int8 operands) overflow.
+
+#include "textflag.h"
+
+// func probeAVX2() bool
+//
+// AVX2 requires CPUID.7.0:EBX[5] plus OS support for YMM state
+// (CPUID.1:ECX[27] OSXSAVE and XCR0[2:1] == 11).
+TEXT ·probeAVX2(SB), NOSPLIT, $0-1
+	MOVB $0, ret+0(FP)
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JL   done
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<27), CX // OSXSAVE
+	JZ   done
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX // XMM and YMM state enabled
+	CMPL AX, $6
+	JNE  done
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX // AVX2
+	JZ   done
+	MOVB $1, ret+0(FP)
+done:
+	RET
+
+// func qpwTile16(acc *int32, src *int8, wgt *int32, inC, chanStride int)
+//
+// Computes, for b in [0,4) and j in [0,16):
+//
+//	acc[b*16+j] = sum over g in [0,inC) of wgt[g*4+b] * src[g*chanStride+j]
+//
+// i.e. a 4-output-channel x 16-column pointwise tile whose 64 int32
+// accumulators live in eight YMM registers across the whole input-channel
+// reduction. The caller guarantees inC >= 1 and 16 readable bytes at every
+// src[g*chanStride].
+TEXT ·qpwTile16(SB), NOSPLIT, $0-40
+	MOVQ acc+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ wgt+16(FP), DX
+	MOVQ inC+24(FP), CX
+	MOVQ chanStride+32(FP), BX
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+loop:
+	VPMOVSXBD (SI), Y8        // columns 0..7 of this input channel
+	VPMOVSXBD 8(SI), Y9       // columns 8..15
+	VPBROADCASTD (DX), Y10    // channel b=0 weight
+	VPMULLD Y8, Y10, Y11
+	VPADDD  Y11, Y0, Y0
+	VPMULLD Y9, Y10, Y11
+	VPADDD  Y11, Y1, Y1
+	VPBROADCASTD 4(DX), Y10   // b=1
+	VPMULLD Y8, Y10, Y11
+	VPADDD  Y11, Y2, Y2
+	VPMULLD Y9, Y10, Y11
+	VPADDD  Y11, Y3, Y3
+	VPBROADCASTD 8(DX), Y10   // b=2
+	VPMULLD Y8, Y10, Y11
+	VPADDD  Y11, Y4, Y4
+	VPMULLD Y9, Y10, Y11
+	VPADDD  Y11, Y5, Y5
+	VPBROADCASTD 12(DX), Y10  // b=3
+	VPMULLD Y8, Y10, Y11
+	VPADDD  Y11, Y6, Y6
+	VPMULLD Y9, Y10, Y11
+	VPADDD  Y11, Y7, Y7
+	ADDQ BX, SI
+	ADDQ $16, DX
+	DECQ CX
+	JNZ  loop
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y2, 64(DI)
+	VMOVDQU Y3, 96(DI)
+	VMOVDQU Y4, 128(DI)
+	VMOVDQU Y5, 160(DI)
+	VMOVDQU Y6, 192(DI)
+	VMOVDQU Y7, 224(DI)
+	VZEROUPPER
+	RET

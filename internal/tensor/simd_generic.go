@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always take the portable scalar kernels.
+
+func pointwiseSIMDAvailable(n int) bool { return false }
+
+// PointwiseSIMD reports whether the host runs the vectorized int8 pointwise
+// tile; never on non-amd64 builds.
+func PointwiseSIMD() bool { return false }
+
+func qpwTile16(acc *int32, src *int8, wgt *int32, inC, chanStride int) {
+	panic("tensor: qpwTile16 without SIMD support")
+}

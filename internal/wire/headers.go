@@ -16,15 +16,27 @@ type HelloHeader struct {
 
 // ProtocolVersion guards against mixed deployments. Version 2 added the
 // request id to the frame prefix (request multiplexing) and binary headers
-// on the exec hot path.
-const ProtocolVersion = 2
+// on the exec hot path. Version 3 added the payload dtype and quantization
+// scale to both exec headers so tiles can travel as int8.
+const ProtocolVersion = 3
+
+// Payload element types for exec frames. Float32 is the zero value so a
+// v2-era header (no dtype field) decodes as the float path.
+const (
+	DTypeFloat32 = 0
+	DTypeInt8    = 1
+)
 
 // LoadModelHeader ships a model and weight seed. The payload is empty; the
 // model travels inside the header as JSON (weights are derived from the
-// seed, so no parameter blob is needed — see the tensor package).
+// seed, so no parameter blob is needed — see the tensor package). Quant
+// asks the worker to additionally build the int8 executor for this model:
+// calibration is derived from (model, seed), so coordinator and workers
+// agree on every boundary scale without exchanging calibration state.
 type LoadModelHeader struct {
 	Model ModelSpec `json:"model"`
 	Seed  int64     `json:"seed"`
+	Quant bool      `json:"quant,omitempty"`
 }
 
 // ModelSpec is the wire form of an nn.Model.
@@ -76,22 +88,27 @@ type ExecHeader struct {
 	OutColHi int
 	InColLo  int
 
+	// DType selects the payload element type (DTypeFloat32 or DTypeInt8);
+	// Scale is the tile's quantization scale when DType is DTypeInt8.
+	DType int
+	Scale float32
+
 	// Model reference.
 	ModelName string
 	Seed      int64
 }
 
 // execHeaderFixed is the binary exec header's fixed part: TaskID and Seed
-// as int64, then 11 int32 geometry fields. The model name occupies the
-// remaining header bytes.
-const execHeaderFixed = 8 + 8 + 11*4
+// as int64, then 12 int32 fields (11 geometry + dtype) and the float32
+// quantization scale. The model name occupies the remaining header bytes.
+const execHeaderFixed = 8 + 8 + 12*4 + 4
 
 // appendBinary encodes h in the fixed little-endian layout:
 //
 //	TaskID int64 | Seed int64 |
 //	From, To, OutLo, OutHi, InLo, TileC, TileH, TileW,
-//	OutColLo, OutColHi, InColLo (int32 each) |
-//	ModelName (remaining header bytes)
+//	OutColLo, OutColHi, InColLo, DType (int32 each) |
+//	Scale float32 | ModelName (remaining header bytes)
 func (h *ExecHeader) appendBinary(buf []byte) []byte {
 	var fixed [execHeaderFixed]byte
 	binary.LittleEndian.PutUint64(fixed[0:], uint64(h.TaskID))
@@ -99,10 +116,11 @@ func (h *ExecHeader) appendBinary(buf []byte) []byte {
 	for i, v := range [...]int{
 		h.From, h.To, h.OutLo, h.OutHi, h.InLo,
 		h.TileC, h.TileH, h.TileW,
-		h.OutColLo, h.OutColHi, h.InColLo,
+		h.OutColLo, h.OutColHi, h.InColLo, h.DType,
 	} {
 		binary.LittleEndian.PutUint32(fixed[16+4*i:], uint32(int32(v)))
 	}
+	binary.LittleEndian.PutUint32(fixed[64:], math.Float32bits(h.Scale))
 	buf = append(buf, fixed[:]...)
 	return append(buf, h.ModelName...)
 }
@@ -113,13 +131,14 @@ func (h *ExecHeader) decodeBinary(b []byte) error {
 	}
 	h.TaskID = int64(binary.LittleEndian.Uint64(b[0:]))
 	h.Seed = int64(binary.LittleEndian.Uint64(b[8:]))
-	geo := [11]int{}
+	geo := [12]int{}
 	for i := range geo {
 		geo[i] = int(int32(binary.LittleEndian.Uint32(b[16+4*i:])))
 	}
 	h.From, h.To, h.OutLo, h.OutHi, h.InLo = geo[0], geo[1], geo[2], geo[3], geo[4]
 	h.TileC, h.TileH, h.TileW = geo[5], geo[6], geo[7]
-	h.OutColLo, h.OutColHi, h.InColLo = geo[8], geo[9], geo[10]
+	h.OutColLo, h.OutColHi, h.InColLo, h.DType = geo[8], geo[9], geo[10], geo[11]
+	h.Scale = math.Float32frombits(binary.LittleEndian.Uint32(b[64:]))
 	h.ModelName = string(b[execHeaderFixed:])
 	return nil
 }
@@ -141,18 +160,25 @@ type ExecResultHeader struct {
 	C      int
 	H      int
 	W      int
+	// DType is the payload element type; Scale is the tile's quantization
+	// scale when DType is DTypeInt8. Result headers carry the scale forward
+	// so the coordinator never re-derives calibration mid-pipeline.
+	DType int
+	Scale float32
 	// ComputeSeconds is the worker-side pure compute time, reported for
 	// utilization accounting.
 	ComputeSeconds float64
 }
 
 // execResultHeaderLen is the binary exec-result header size: TaskID int64,
-// four int32 geometry fields, ComputeSeconds float64.
-const execResultHeaderLen = 8 + 4*4 + 8
+// five int32 fields (geometry + dtype), the float32 scale, ComputeSeconds
+// float64.
+const execResultHeaderLen = 8 + 5*4 + 4 + 8
 
 // appendBinary encodes h as:
 //
-//	TaskID int64 | OutLo, C, H, W (int32 each) | ComputeSeconds float64
+//	TaskID int64 | OutLo, C, H, W, DType (int32 each) | Scale float32 |
+//	ComputeSeconds float64
 func (h *ExecResultHeader) appendBinary(buf []byte) []byte {
 	var fixed [execResultHeaderLen]byte
 	binary.LittleEndian.PutUint64(fixed[0:], uint64(h.TaskID))
@@ -160,7 +186,9 @@ func (h *ExecResultHeader) appendBinary(buf []byte) []byte {
 	binary.LittleEndian.PutUint32(fixed[12:], uint32(int32(h.C)))
 	binary.LittleEndian.PutUint32(fixed[16:], uint32(int32(h.H)))
 	binary.LittleEndian.PutUint32(fixed[20:], uint32(int32(h.W)))
-	binary.LittleEndian.PutUint64(fixed[24:], math.Float64bits(h.ComputeSeconds))
+	binary.LittleEndian.PutUint32(fixed[24:], uint32(int32(h.DType)))
+	binary.LittleEndian.PutUint32(fixed[28:], math.Float32bits(h.Scale))
+	binary.LittleEndian.PutUint64(fixed[32:], math.Float64bits(h.ComputeSeconds))
 	return append(buf, fixed[:]...)
 }
 
@@ -173,7 +201,9 @@ func (h *ExecResultHeader) decodeBinary(b []byte) error {
 	h.C = int(int32(binary.LittleEndian.Uint32(b[12:])))
 	h.H = int(int32(binary.LittleEndian.Uint32(b[16:])))
 	h.W = int(int32(binary.LittleEndian.Uint32(b[20:])))
-	h.ComputeSeconds = math.Float64frombits(binary.LittleEndian.Uint64(b[24:]))
+	h.DType = int(int32(binary.LittleEndian.Uint32(b[24:])))
+	h.Scale = math.Float32frombits(binary.LittleEndian.Uint32(b[28:]))
+	h.ComputeSeconds = math.Float64frombits(binary.LittleEndian.Uint64(b[32:]))
 	return nil
 }
 

@@ -422,3 +422,73 @@ func decodeTensorInto(dst []float32, payload []byte) {
 		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
 	}
 }
+
+// int8Bytes reinterprets an int8 slice as its raw bytes without copying.
+// Single-byte elements have no endianness, so unlike float32Bytes this is
+// valid on every host; the wire representation is the two's-complement byte.
+func int8Bytes(d []int8) []byte {
+	if len(d) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&d[0])), len(d))
+}
+
+// EncodeQTensor serializes an int8 tensor's data into a pooled buffer —
+// one byte per element, a quarter of the float32 payload for the same
+// extent. The scale travels in the exec headers, not the payload.
+func EncodeQTensor(t tensor.QTensor) []byte {
+	buf := GetBuffer(len(t.Data))
+	copy(buf, int8Bytes(t.Data))
+	return buf
+}
+
+// QTensorBytes returns t's data as wire bytes. The slice aliases t.Data —
+// zero copy on every host; the tensor must stay live and unmodified until
+// the bytes have been consumed (e.g. until Send returns). pooled is always
+// false and is returned only to match the TensorBytes call shape.
+func QTensorBytes(t tensor.QTensor) (b []byte, pooled bool) {
+	return int8Bytes(t.Data), false
+}
+
+// DecodeQTensor reconstructs an int8 tensor of the given extent and scale
+// from a payload with a single bulk copy. The tensor is arena-backed;
+// callers done with it may tensor.RecycleQ it.
+func DecodeQTensor(c, h, w int, scale float32, payload []byte) (tensor.QTensor, error) {
+	if c <= 0 || h <= 0 || w <= 0 {
+		return tensor.QTensor{}, fmt.Errorf("wire: invalid tensor extent %dx%dx%d", c, h, w)
+	}
+	n := c * h * w
+	if len(payload) != n {
+		return tensor.QTensor{}, fmt.Errorf("wire: payload %d bytes, want %d for int8 %dx%dx%d", len(payload), n, c, h, w)
+	}
+	t := tensor.AllocQ(c, h, w, scale)
+	copy(int8Bytes(t.Data), payload)
+	return t, nil
+}
+
+// EncodeQTensorPortable is the per-element reference encoder the aliasing
+// fast path is property-tested against.
+func EncodeQTensorPortable(t tensor.QTensor) []byte {
+	buf := GetBuffer(len(t.Data))
+	for i, v := range t.Data {
+		buf[i] = byte(v)
+	}
+	return buf
+}
+
+// DecodeQTensorPortable is the per-element reference decoder matching
+// EncodeQTensorPortable.
+func DecodeQTensorPortable(c, h, w int, scale float32, payload []byte) (tensor.QTensor, error) {
+	if c <= 0 || h <= 0 || w <= 0 {
+		return tensor.QTensor{}, fmt.Errorf("wire: invalid tensor extent %dx%dx%d", c, h, w)
+	}
+	n := c * h * w
+	if len(payload) != n {
+		return tensor.QTensor{}, fmt.Errorf("wire: payload %d bytes, want %d for int8 %dx%dx%d", len(payload), n, c, h, w)
+	}
+	t := tensor.AllocQ(c, h, w, scale)
+	for i := range t.Data {
+		t.Data[i] = int8(payload[i])
+	}
+	return t, nil
+}

@@ -226,6 +226,7 @@ func TestExecHeaderBinaryRoundTrip(t *testing.T) {
 		{},
 		{TaskID: -5, From: 1, To: 2, OutLo: 3, OutHi: 4, InLo: 5, TileC: 6, TileH: 7, TileW: 8, ModelName: "vgg16", Seed: -9},
 		{TaskID: math.MaxInt64, OutColLo: 10, OutColHi: 20, InColLo: 5, ModelName: strings.Repeat("n", 300), Seed: math.MinInt64},
+		{TaskID: 8, TileC: 16, TileH: 4, TileW: 4, DType: DTypeInt8, Scale: 0.0078125, ModelName: "q"},
 	}
 	for i, want := range headers {
 		buf := want.appendBinary(nil)
@@ -248,6 +249,7 @@ func TestExecResultHeaderBinaryRoundTrip(t *testing.T) {
 		{},
 		{TaskID: 77, OutLo: -1, C: 3, H: 4, W: 5, ComputeSeconds: 0.125},
 		{TaskID: -1, OutLo: 1 << 30, C: 1, H: 1, W: 1, ComputeSeconds: math.Inf(1)},
+		{TaskID: 5, OutLo: 2, C: 8, H: 3, W: 9, DType: DTypeInt8, Scale: 0.031, ComputeSeconds: 1.5},
 	}
 	for i, want := range headers {
 		buf := want.appendBinary(nil)
@@ -306,6 +308,7 @@ func TestFrameRoundTripProperty(t *testing.T) {
 				OutLo: -rng.Intn(10), OutHi: rng.Intn(1 << 20), InLo: rng.Intn(100),
 				TileC: rng.Intn(512), TileH: rng.Intn(512), TileW: rng.Intn(512),
 				OutColLo: rng.Intn(64), OutColHi: rng.Intn(64), InColLo: rng.Intn(64),
+				DType: rng.Intn(2), Scale: rng.Float32(),
 				ModelName: strings.Repeat("x", rng.Intn(40)), Seed: rng.Int63(),
 			}
 		case 1:
@@ -313,6 +316,7 @@ func TestFrameRoundTripProperty(t *testing.T) {
 			s.result = &ExecResultHeader{
 				TaskID: rng.Int63(), OutLo: rng.Intn(1 << 16),
 				C: rng.Intn(1 << 10), H: rng.Intn(1 << 10), W: rng.Intn(1 << 10),
+				DType: rng.Intn(2), Scale: rng.Float32(),
 				ComputeSeconds: rng.Float64(),
 			}
 		default:
