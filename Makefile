@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot race-quant chaos bench bench-json bench-kernel bench-compare bench-quant check
+.PHONY: all build vet test race race-hot race-quant chaos bench bench-json bench-kernel bench-compare bench-quant bench-quant-smoke cross check
 
 all: check
 
@@ -55,7 +55,21 @@ bench-kernel:
 # Full int8-vs-float32 sweep (per-kind kernels, whole-model forwards with
 # top-1 agreement, stage-boundary payload sizes), written as JSON.
 bench-quant:
-	$(GO) run ./cmd/picobench -quantjson BENCH_PR6.json
+	$(GO) run ./cmd/picobench -quantjson BENCH_PR7.json
+
+# One-iteration pass over the quant sweep: catches kernel dispatch and
+# epilogue regressions on every kind without a full timing run.
+bench-quant-smoke:
+	$(GO) test -run NONE -bench QuantKernelKinds -benchtime=1x .
+
+# Cross-compile gate for the per-architecture asm surface: the NEON (arm64)
+# kernels must assemble and the pure-Go fallback must build on an arch with
+# no asm at all. Neither binary runs here — bit-identity on arm64 is
+# enforced by the shared scalar contract and the property/fuzz suite.
+cross:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=linux GOARCH=arm64 $(GO) vet ./...
+	GOOS=linux GOARCH=riscv64 $(GO) build ./...
 
 # Re-run the kernel sweep and fail if any recorded kernel benchmark
 # regressed >10% against the committed BENCH_PR4.json baseline. Kept out of
@@ -63,4 +77,4 @@ bench-quant:
 bench-compare:
 	$(GO) run ./cmd/picobench -kerncompare BENCH_PR4.json
 
-check: build vet test race race-quant chaos bench bench-json
+check: build vet cross test race race-quant chaos bench bench-quant-smoke bench-json

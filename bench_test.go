@@ -551,6 +551,72 @@ func BenchmarkKernelKinds(b *testing.B) {
 	}
 }
 
+// BenchmarkQuantKernelKinds measures every layer-kind kernel float32-blocked
+// vs int8-vectorized at par=1 — the quick interactive view of the
+// BENCH_PR7.json sweep:
+//
+//	go test -bench 'QuantKernelKinds' -benchtime=10x .
+func BenchmarkQuantKernelKinds(b *testing.B) {
+	cases := []struct {
+		name string
+		in   nn.Shape
+		l    nn.Layer
+	}{
+		{"conv3x3", nn.Shape{C: 64, H: 28, W: 28},
+			nn.Layer{Name: "c", Kind: nn.Conv, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, OutC: 64, Act: nn.ReLU}},
+		{"pointwise", nn.Shape{C: 128, H: 28, W: 28},
+			nn.Layer{Name: "c", Kind: nn.Conv, KH: 1, KW: 1, SH: 1, SW: 1, OutC: 128, Act: nn.ReLU, BatchNorm: true}},
+		{"depthwise", nn.Shape{C: 128, H: 28, W: 28},
+			nn.Layer{Name: "c", Kind: nn.Conv, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, OutC: 128, Groups: 128, Act: nn.ReLU, BatchNorm: true}},
+		{"pool", nn.Shape{C: 64, H: 28, W: 28},
+			nn.Layer{Name: "p", Kind: nn.MaxPool, KH: 2, KW: 2, SH: 2, SW: 2}},
+		{"fc", nn.Shape{C: 256, H: 4, W: 4},
+			nn.Layer{Name: "f", Kind: nn.FullyConnected, OutF: 512, Act: nn.ReLU}},
+	}
+	for _, tc := range cases {
+		m := &nn.Model{Name: "bq-" + tc.name, Input: tc.in, Layers: []nn.Layer{tc.l}}
+		in := tensor.RandomInput(m.Input, 1)
+		fexec, err := tensor.NewExecutor(m, 1, tensor.WithParallelism(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		qexec, err := tensor.NewExecutor(m, 1, tensor.WithParallelism(1), tensor.WithQuantized())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name+"/float", func(b *testing.B) {
+			if out, err := fexec.Run(in); err != nil {
+				b.Fatal(err)
+			} else {
+				tensor.Recycle(out)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := fexec.Run(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tensor.Recycle(out)
+			}
+		})
+		b.Run(tc.name+"/int8", func(b *testing.B) {
+			if out, err := qexec.RunQ(in); err != nil {
+				b.Fatal(err)
+			} else {
+				tensor.RecycleQ(out)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := qexec.RunQ(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tensor.RecycleQ(out)
+			}
+		})
+	}
+}
+
 // BenchmarkRunSegmentAlloc tracks steady-state allocations of the segment
 // hot path: with the arena recycling outputs, allocs/op should be near zero
 // after warm-up.

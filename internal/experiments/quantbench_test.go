@@ -13,15 +13,19 @@ func TestQuantBenchShape(t *testing.T) {
 	}
 	kern, fwd, wire := tables[0], tables[1], tables[2]
 
-	wantKinds := []string{"conv3x3", "conv3x3s2", "pointwise", "depthwise", "pool", "fc"}
+	wantKinds := []string{"conv3x3", "conv3x3s2", "conv1x7", "pointwise", "depthwise", "pool", "gap", "fc"}
 	seen := map[string]bool{}
 	for _, row := range kern.Rows {
 		seen[row[0]] = true
-		if v := parseCell(t, row[3]); v <= 0 {
-			t.Fatalf("%s: non-positive float time %q", row[0], row[3])
-		}
+		// Columns: kind shape par MMACs "MB moved" "float ms" "int8 ms".
 		if v := parseCell(t, row[4]); v <= 0 {
-			t.Fatalf("%s: non-positive int8 time %q", row[0], row[4])
+			t.Fatalf("%s: non-positive bytes moved %q", row[0], row[4])
+		}
+		if v := parseCell(t, row[5]); v <= 0 {
+			t.Fatalf("%s: non-positive float time %q", row[0], row[5])
+		}
+		if v := parseCell(t, row[6]); v <= 0 {
+			t.Fatalf("%s: non-positive int8 time %q", row[0], row[6])
 		}
 	}
 	for _, k := range wantKinds {

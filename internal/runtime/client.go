@@ -391,6 +391,17 @@ func (wc *workerClient) exec(hdr wire.ExecHeader, tile tensor.Tensor) (tensor.Te
 	return out, seconds, err
 }
 
+// execQ is the synchronous request/response form of startExecQ + waitExecQ,
+// without a deadline (used by the grid executor and tests).
+func (wc *workerClient) execQ(hdr wire.ExecHeader, tile tensor.QTensor) (tensor.QTensor, float64, error) {
+	c, err := wc.startExecQ(hdr, tile)
+	if err != nil {
+		return tensor.QTensor{}, 0, err
+	}
+	out, seconds, _, err := c.waitExecQ(0)
+	return out, seconds, err
+}
+
 // stats fetches the worker's cumulative per-layer-kind compute seconds.
 func (wc *workerClient) stats() (map[string]float64, error) {
 	msg, err := wc.roundTrip(wire.MsgStats, nil, nil)

@@ -21,11 +21,24 @@ type GridExecutor struct {
 	tiles   []partition.Rect
 	calc    *partition.Calc
 	seed    int64
+	quant   bool
 	clients []*workerClient
 }
 
 // NewGridExecutor connects to one worker per tile and loads the model.
 func NewGridExecutor(m *nn.Model, from, to int, tiles []partition.Rect, addrs []string, seed int64) (*GridExecutor, error) {
+	return newGridExecutor(m, from, to, tiles, addrs, seed, false)
+}
+
+// NewGridExecutorQuant is NewGridExecutor for int8 plans: the workers
+// additionally build and calibrate the quantized executor, and tiles are
+// shipped/returned as raw int8 bytes (a quarter of the float wire size).
+// The stitched result is byte-identical to a local whole-map RunQ.
+func NewGridExecutorQuant(m *nn.Model, from, to int, tiles []partition.Rect, addrs []string, seed int64) (*GridExecutor, error) {
+	return newGridExecutor(m, from, to, tiles, addrs, seed, true)
+}
+
+func newGridExecutor(m *nn.Model, from, to int, tiles []partition.Rect, addrs []string, seed int64, quant bool) (*GridExecutor, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,6 +57,10 @@ func NewGridExecutor(m *nn.Model, from, to int, tiles []partition.Rect, addrs []
 		tiles: tiles,
 		calc:  partition.NewCalc(m),
 		seed:  seed,
+		quant: quant,
+	}
+	if err := ge.validateTiles(); err != nil {
+		return nil, err
 	}
 	spec := wire.SpecFromModel(m)
 	for _, addr := range addrs {
@@ -53,7 +70,7 @@ func NewGridExecutor(m *nn.Model, from, to int, tiles []partition.Rect, addrs []
 			return nil, err
 		}
 		ge.clients = append(ge.clients, wc)
-		if err := wc.loadModel(spec, seed); err != nil {
+		if err := wc.loadModelQuant(spec, seed, quant); err != nil {
 			ge.Close()
 			return nil, err
 		}
@@ -61,9 +78,36 @@ func NewGridExecutor(m *nn.Model, from, to int, tiles []partition.Rect, addrs []
 	return ge, nil
 }
 
+// validateTiles fails grid construction — rather than a mid-inference worker
+// error — when the tile set cannot execute: empty tiles (typically from
+// over-partitioning a small output map), or more than one tile over a
+// segment containing a layer that consumes the whole feature map (fully
+// connected, global average pool). Such a segment cannot be 2D-partitioned —
+// every tile would back-propagate to the full input — so the caller must
+// split the segment at that layer or run it as a single full tile.
+func (ge *GridExecutor) validateTiles() error {
+	for k, tile := range ge.tiles {
+		if tile.Empty() {
+			return fmt.Errorf("runtime: empty tile %d", k)
+		}
+	}
+	if len(ge.tiles) > 1 {
+		for i := ge.from; i < ge.to; i++ {
+			if ge.model.Layers[i].NeedsFullInput() {
+				return fmt.Errorf("runtime: layer %d (%s) needs the full input map and cannot be grid-partitioned across %d tiles; split the segment before it",
+					i, ge.model.Layers[i].Name, len(ge.tiles))
+			}
+		}
+	}
+	return nil
+}
+
 // Infer executes the segment on one input feature map (the full map at
 // boundary from) and returns the stitched output.
 func (ge *GridExecutor) Infer(taskID int64, input tensor.Tensor) (tensor.Tensor, error) {
+	if ge.quant {
+		return tensor.Tensor{}, fmt.Errorf("runtime: quantized grid executor serves InferQ, not Infer")
+	}
 	type result struct {
 		t   tensor.Tensor
 		err error
@@ -109,6 +153,60 @@ func (ge *GridExecutor) Infer(taskID int64, input tensor.Tensor) (tensor.Tensor,
 	if err == nil {
 		for _, o := range outs {
 			tensor.Recycle(o) // copied into the stitched map
+		}
+	}
+	return stitched, err
+}
+
+// InferQ executes the segment in int8 on one quantized input map (the full
+// map at boundary from, at that boundary's calibrated scale) and returns the
+// stitched int8 output — byte-identical to a local whole-map RunQ of the
+// same segment.
+func (ge *GridExecutor) InferQ(taskID int64, input tensor.QTensor) (tensor.QTensor, error) {
+	if !ge.quant {
+		return tensor.QTensor{}, fmt.Errorf("runtime: grid executor was built without quantization; use NewGridExecutorQuant")
+	}
+	type result struct {
+		t   tensor.QTensor
+		err error
+	}
+	results := make([]result, len(ge.tiles))
+	var wg sync.WaitGroup
+	for k, tile := range ge.tiles {
+		need := ge.calc.SegmentRects(ge.from, ge.to, tile)[0]
+		sub := input.SliceRect(need)
+		wg.Add(1)
+		go func(k int, wc *workerClient, sub tensor.QTensor, need, tile partition.Rect) {
+			defer wg.Done()
+			out, _, err := wc.execQ(wire.ExecHeader{
+				TaskID: taskID,
+				From:   ge.from, To: ge.to,
+				OutLo: tile.Rows.Lo, OutHi: tile.Rows.Hi,
+				InLo:     need.Rows.Lo,
+				OutColLo: tile.Cols.Lo, OutColHi: tile.Cols.Hi,
+				InColLo:   need.Cols.Lo,
+				ModelName: ge.model.Name,
+				Seed:      ge.seed,
+			}, sub)
+			tensor.RecycleQ(sub) // fully serialized into the request
+			results[k] = result{t: out, err: err}
+		}(k, ge.clients[k], sub, need, tile)
+	}
+	wg.Wait()
+	outs := make([]tensor.QTensor, 0, len(ge.tiles))
+	rects := make([]partition.Rect, 0, len(ge.tiles))
+	for k := range results {
+		if results[k].err != nil {
+			return tensor.QTensor{}, results[k].err
+		}
+		outs = append(outs, results[k].t)
+		rects = append(rects, ge.tiles[k])
+	}
+	outShape := ge.model.OutShape(ge.to - 1)
+	stitched, err := tensor.StitchGridQ(outs, rects, outShape.H, outShape.W)
+	if err == nil {
+		for _, o := range outs {
+			tensor.RecycleQ(o) // copied into the stitched map
 		}
 	}
 	return stitched, err

@@ -1,0 +1,99 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"pico/internal/nn"
+	"pico/internal/partition"
+	"pico/internal/tensor"
+)
+
+// TestQuantGridExecutorMatchesRunQ is the distributed quantized 2D-partition
+// contract: a grid of int8 tiles executed on TCP workers and stitched must
+// be byte-identical to the local whole-map RunQ — the strips and the grid
+// share the same accumulators and requantize epilogue.
+func TestQuantGridExecutorMatchesRunQ(t *testing.T) {
+	m := nn.ToyChain("qgrid-rt", 5, 2, 8, 33)
+	lc := startCluster(t, 4, nil)
+	out := m.Output()
+	tiles := partition.GridPartition(out.H, out.W, 2, 2)
+	addrs := []string{lc.Addrs[0], lc.Addrs[1], lc.Addrs[2], lc.Addrs[3]}
+	const seed = 8
+	ge, err := NewGridExecutorQuant(m, 0, m.NumLayers(), tiles, addrs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ge.Close()
+	ref, err := tensor.NewExecutor(m, seed, tensor.WithQuantized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales, err := tensor.QuantScales(m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := int64(1); task <= 3; task++ {
+		in := tensor.RandomInput(m.Input, task)
+		want, err := ref.RunQ(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ge.InferQ(task, tensor.QuantizeTensor(in, scales[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.EqualQ(want, got) {
+			t.Fatalf("task %d: distributed quant grid differs from local RunQ", task)
+		}
+	}
+	// A quantized executor must not silently serve float tiles.
+	if _, err := ge.Infer(99, tensor.RandomInput(m.Input, 99)); err == nil {
+		t.Fatal("quantized grid executor accepted a float Infer")
+	}
+}
+
+// TestGridExecutorRejectsFullInputLayers: a segment containing a layer that
+// consumes the whole feature map cannot be split across tiles — both the
+// float and the quantized constructor must say so at plan time, not
+// mid-inference.
+func TestGridExecutorRejectsFullInputLayers(t *testing.T) {
+	base := nn.ToyChain("qgrid-fc", 2, 0, 4, 16)
+	m := &nn.Model{
+		Name:   "qgrid-fc",
+		Input:  base.Input,
+		Layers: append(append([]nn.Layer{}, base.Layers...), nn.Layer{Name: "gap", Kind: nn.GlobalAvgPool, Act: nn.NoAct}),
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lc := startCluster(t, 2, nil)
+	mid := m.Shapes()[2]
+	tiles := partition.GridPartition(mid.H, mid.W, 2, 1)
+	addrs := []string{lc.Addrs[0], lc.Addrs[1]}
+	for name, build := range map[string]func() (*GridExecutor, error){
+		"float": func() (*GridExecutor, error) {
+			return NewGridExecutor(m, 0, m.NumLayers(), tiles, addrs, 1)
+		},
+		"quant": func() (*GridExecutor, error) {
+			return NewGridExecutorQuant(m, 0, m.NumLayers(), tiles, addrs, 1)
+		},
+	} {
+		ge, err := build()
+		if err == nil {
+			ge.Close()
+			t.Fatalf("%s: grid over a GlobalAvgPool segment accepted", name)
+		}
+		if !strings.Contains(err.Error(), "full input map") {
+			t.Fatalf("%s: wrong rejection: %v", name, err)
+		}
+	}
+	// The same segment as a single full tile is fine.
+	outShape := m.Output()
+	full := []partition.Rect{partition.FullRect(outShape.H, outShape.W)}
+	ge, err := NewGridExecutorQuant(m, 0, m.NumLayers(), full, addrs[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge.Close()
+}

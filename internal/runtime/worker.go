@@ -478,24 +478,30 @@ func (w *Worker) emulate(elapsed time.Duration, flops float64) time.Duration {
 	return elapsed
 }
 
-// handleExecQuant executes one int8 tile. Quantized execution is row-strip
-// only: grid mode would need column-overlap requantization the engine does
-// not define, so such requests are refused rather than computed wrongly.
+// handleExecQuant executes one int8 tile — a row strip or, when the header
+// carries a column range, a DeepThings-style 2D grid rect. Both paths share
+// the whole-map kernels' accumulators and requantize epilogue, so results
+// are byte-identical to a local RunQ regardless of the partition shape.
 func (w *Worker) handleExecQuant(conn *wire.Conn, msg *wire.Message, hdr *wire.ExecHeader, exec *tensor.Executor) error {
-	if hdr.OutColHi > 0 {
-		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{
-			TaskID:  hdr.TaskID,
-			Message: "quantized execution does not support grid tiles",
-		}, nil)
-	}
 	tile, err := wire.DecodeQTensor(hdr.TileC, hdr.TileH, hdr.TileW, hdr.Scale, msg.Payload)
 	if err != nil {
 		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)
 	}
 	start := time.Now()
-	rows := partition.Range{Lo: hdr.OutLo, Hi: hdr.OutHi}
-	out, err := exec.RunSegmentQ(hdr.From, hdr.To, tile, rows)
-	flops := float64(exec.RegionFLOPs(hdr.From, hdr.To, rows))
+	var out tensor.QTensor
+	var flops float64
+	if hdr.OutColHi > 0 {
+		rect := partition.Rect{
+			Rows: partition.Range{Lo: hdr.OutLo, Hi: hdr.OutHi},
+			Cols: partition.Range{Lo: hdr.OutColLo, Hi: hdr.OutColHi},
+		}
+		out, err = exec.RunSegmentRectQ(hdr.From, hdr.To, tile, rect)
+		flops = float64(exec.RectFLOPs(hdr.From, hdr.To, rect))
+	} else {
+		rows := partition.Range{Lo: hdr.OutLo, Hi: hdr.OutHi}
+		out, err = exec.RunSegmentQ(hdr.From, hdr.To, tile, rows)
+		flops = float64(exec.RegionFLOPs(hdr.From, hdr.To, rows))
+	}
 	tensor.RecycleQ(tile)
 	if err != nil {
 		return conn.SendRequest(wire.MsgError, msg.ReqID, wire.ErrorHeader{TaskID: hdr.TaskID, Message: err.Error()}, nil)

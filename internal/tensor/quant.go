@@ -71,12 +71,21 @@ func (q *QTensor) Dequantize() Tensor {
 
 // QuantizeTensor quantizes a float tensor at the given scale: q =
 // clamp(round(v / scale)) with round-half-away-from-zero. The result is
-// arena-backed.
+// arena-backed. The vector path performs quantClamp's exact IEEE sequence
+// lane-wise, so the output is bit-identical to the scalar loop for every
+// finite input.
 func QuantizeTensor(t Tensor, scale float32) QTensor {
 	out := AllocQ(t.C, t.H, t.W, scale)
 	inv := 1 / scale
-	for i, v := range t.Data {
-		out.Data[i] = quantClamp(v * inv)
+	n := len(t.Data)
+	i := 0
+	if simdQuant && n >= 8 {
+		m := n &^ 7
+		qquantizeRow8(&out.Data[0], &t.Data[0], inv, m)
+		i = m
+	}
+	for ; i < n; i++ {
+		out.Data[i] = quantClamp(t.Data[i] * inv)
 	}
 	return out
 }
@@ -226,6 +235,12 @@ type qocBlock struct {
 	// inner loop wants 32-bit weight lanes (the SIMD pointwise tile
 	// broadcasts them directly instead of sign-extending per use).
 	packed32 []int32
+	// packedPair packs input-channel pairs for the VPMADDWD pointwise
+	// tile: dword [p*4+b] holds channel 2p's weight for lane b in its low
+	// int16 and channel 2p+1's in its high int16. Only built for 1x1
+	// ungrouped convolutions; an odd trailing channel is handled by the
+	// dispatch tail, not padded here.
+	packedPair []int32
 }
 
 // genQConv derives the int8 form of already-generated float weights. icg is
@@ -286,6 +301,17 @@ func (qw *qconvWeights) pack(l *nn.Layer, icg int) {
 			blk.packed32 = make([]int32, len(blk.packed))
 			for i, v := range blk.packed {
 				blk.packed32[i] = int32(v)
+			}
+			if groups == 1 && l.KH == 1 && l.KW == 1 && icg >= 2 {
+				blk.packedPair = make([]int32, (icg/2)*ocBlockWidth)
+				for p := 0; p < icg/2; p++ {
+					for b := 0; b < ocBlockWidth; b++ {
+						we := blk.packed32[(2*p)*ocBlockWidth+b]
+						wo := blk.packed32[(2*p+1)*ocBlockWidth+b]
+						blk.packedPair[p*ocBlockWidth+b] =
+							int32(uint32(uint16(int16(we))) | uint32(wo)<<16)
+					}
+				}
 			}
 			qw.blocks = append(qw.blocks, blk)
 		}
@@ -349,8 +375,34 @@ func scaleFor(maxabs float32) float32 {
 // produce are bit-identical by associativity, and funnelling the only float
 // math through one code path keeps the final int8 outputs bit-identical
 // too. The activation runs in the sOut-scaled domain, where ReLU and
-// LeakyReLU commute with the positive rescale.
+// LeakyReLU commute with the positive rescale. The vector epilogue performs
+// the identical IEEE operation sequence (separate multiply and add — never
+// fused — plus quantClamp's clamp-then-round-half-away), so it is
+// bit-identical to requantRowRef on every lane; the property suite asserts
+// it.
 func requantRow(dst []int8, acc []int32, scale, bias float32, act nn.Activation) {
+	n := len(acc)
+	i := 0
+	if simdQuant && n >= 8 {
+		code := 0
+		switch act {
+		case nn.ReLU:
+			code = 1
+		case nn.LeakyReLU:
+			code = 2
+		}
+		m := n &^ 7
+		qrequantRow8(&dst[0], &acc[0], scale, bias, code, m)
+		i = m
+	}
+	for ; i < n; i++ {
+		dst[i] = requant1(acc[i], scale, bias, act)
+	}
+}
+
+// requantRowRef is the scalar reference epilogue the vector form is
+// property-tested against.
+func requantRowRef(dst []int8, acc []int32, scale, bias float32, act nn.Activation) {
 	switch act {
 	case nn.ReLU:
 		for i, a := range acc {

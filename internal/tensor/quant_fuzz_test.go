@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"pico/internal/nn"
+)
+
+// FuzzQKernelTile drives every int8 vector tile wrapper against an inline
+// scalar reference over fuzzer-chosen sizes, strides and full-range int8
+// data. The parameter tuple matches FuzzConvGeometry so the two targets
+// share crasher corpora (a conv-geometry edge case is usually also a
+// kernel-bounds edge case). Run with
+// `go test -fuzz=FuzzQKernelTile ./internal/tensor` to explore beyond the
+// seeds.
+func FuzzQKernelTile(f *testing.F) {
+	// Seeds straddle each wrapper's vector/scalar split (8-, 14- and
+	// 16-column thresholds) plus pure-tail sizes.
+	f.Add(uint8(3), uint8(3), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint8(5), uint8(9), uint8(1))
+	f.Add(uint8(16), uint8(0), uint8(1), uint8(2), uint8(0), uint8(0), uint8(1), uint8(7), uint8(10), uint8(2))
+	f.Add(uint8(15), uint8(7), uint8(2), uint8(1), uint8(3), uint8(1), uint8(6), uint8(6), uint8(6), uint8(0))
+	f.Add(uint8(64), uint8(31), uint8(1), uint8(1), uint8(2), uint8(3), uint8(2), uint8(8), uint8(8), uint8(1))
+	f.Add(uint8(7), uint8(1), uint8(2), uint8(2), uint8(3), uint8(0), uint8(1), uint8(4), uint8(8), uint8(2))
+	f.Fuzz(func(t *testing.T, p0, p1, p2, p3, p4, p5, p6, p7, p8, p9 uint8) {
+		n := 1 + int(p0)%96
+		pad := int(p1) % 9
+		stride := n + pad
+		rng := rand.New(rand.NewSource(int64(p2)<<40 | int64(p3)<<32 | int64(p4)<<24 |
+			int64(p5)<<16 | int64(p6)<<8 | int64(p7)))
+		randI8 := func(k int) []int8 {
+			s := make([]int8, k)
+			for i := range s {
+				s[i] = int8(rng.Intn(256) - 128)
+			}
+			return s
+		}
+		randI32 := func(k, lim int32) []int32 {
+			s := make([]int32, k)
+			for i := range s {
+				s[i] = rng.Int31n(2*lim+1) - lim
+			}
+			return s
+		}
+
+		// macRows4, both strides.
+		for _, sw := range []int{1, 2} {
+			src := randI8((n-1)*sw + 1)
+			w := randI32(4, 127)
+			got := randI32(int32(4*stride), 1<<24)
+			want := append([]int32(nil), got...)
+			macRows4(got, stride, src, w, sw, n)
+			for r := 0; r < 4; r++ {
+				for i := 0; i < n; i++ {
+					want[r*stride+i] += w[r] * int32(src[i*sw])
+				}
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("macRows4 sw=%d n=%d stride=%d: acc[%d]=%d want %d", sw, n, stride, i, got[i], want[i])
+				}
+			}
+		}
+
+		// mac3Rows4: fused dense 3-tap, tap-major 12-weight row.
+		{
+			src := randI8(n + 2)
+			w := randI32(12, 127)
+			got := randI32(int32(4*stride), 1<<24)
+			want := append([]int32(nil), got...)
+			mac3Rows4(got, stride, src, w, n)
+			for r := 0; r < 4; r++ {
+				for i := 0; i < n; i++ {
+					want[r*stride+i] += w[r]*int32(src[i]) + w[4+r]*int32(src[i+1]) + w[8+r]*int32(src[i+2])
+				}
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("mac3Rows4 n=%d stride=%d: acc[%d]=%d want %d", n, stride, i, got[i], want[i])
+				}
+			}
+		}
+
+		// dw3Row: fused depthwise 3-tap.
+		{
+			src := randI8(n + 2)
+			var w [4]int32
+			copy(w[:], randI32(4, 127))
+			got := randI32(int32(n), 1<<24)
+			want := append([]int32(nil), got...)
+			dw3Row(got, src, &w, n)
+			for i := 0; i < n; i++ {
+				want[i] += w[0]*int32(src[i]) + w[1]*int32(src[i+1]) + w[2]*int32(src[i+2])
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dw3Row n=%d: acc[%d]=%d want %d", n, i, got[i], want[i])
+				}
+			}
+		}
+
+		// maxPairRow: 2x2 stride-2 max-pool row pair.
+		{
+			a, b := randI8(2*n), randI8(2*n)
+			got := make([]int8, n)
+			maxPairRow(got, a, b, n)
+			for i := 0; i < n; i++ {
+				want := a[2*i]
+				for _, v := range []int8{a[2*i+1], b[2*i], b[2*i+1]} {
+					if v > want {
+						want = v
+					}
+				}
+				if got[i] != want {
+					t.Fatalf("maxPairRow n=%d: dst[%d]=%d want %d", n, i, got[i], want)
+				}
+			}
+		}
+
+		// dotI8 in wrapping int32.
+		{
+			a, b := randI8(n), randI8(n)
+			var want int32
+			for i := range a {
+				want += int32(a[i]) * int32(b[i])
+			}
+			if got := dotI8(a, b); got != want {
+				t.Fatalf("dotI8 n=%d: %d want %d", n, got, want)
+			}
+		}
+
+		// requantRow against the scalar reference for every activation,
+		// including accumulators that clamp at both rails.
+		{
+			acc := randI32(int32(n), 1<<28)
+			scale := float32(p8)/719 + 1e-6
+			bias := float32(int(p9)-128) / 3
+			for _, act := range []nn.Activation{nn.NoAct, nn.ReLU, nn.LeakyReLU} {
+				got := make([]int8, n)
+				want := make([]int8, n)
+				requantRow(got, acc, scale, bias, act)
+				requantRowRef(want, acc, scale, bias, act)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("requantRow act=%v scale=%g bias=%g: dst[%d]=%d want %d (acc %d)",
+							act, scale, bias, i, got[i], want[i], acc[i])
+					}
+				}
+			}
+		}
+
+		// QuantizeTensor (vector row quantizer) against scalar quantClamp.
+		{
+			ft := New(1, 1, n)
+			for i := range ft.Data {
+				ft.Data[i] = (rng.Float32() - 0.5) * 300
+			}
+			scale := float32(p7)/97 + 1e-3
+			q := QuantizeTensor(ft, scale)
+			inv := 1 / scale
+			for i, v := range ft.Data {
+				if want := quantClamp(v * inv); q.Data[i] != want {
+					t.Fatalf("QuantizeTensor scale=%g: [%d]=%d want %d (src %g)", scale, i, q.Data[i], want, v)
+				}
+			}
+		}
+	})
+}

@@ -100,10 +100,6 @@ func qconvForwardBlocked(in QTensor, inLo, inHGlobal int, l *nn.Layer, qw *qconv
 	grain := grainFor(ocBlockWidth * icg * l.KH * l.KW * outW)
 	parallelForGrain(len(qw.blocks)*outRows, par, grain, func(lo, hi int) {
 		accBuf := make([]int32, ocBlockWidth*outW)
-		var accs [ocBlockWidth][]int32
-		for b := range accs {
-			accs[b] = accBuf[b*outW : (b+1)*outW]
-		}
 		for u := lo; u < hi; u++ {
 			blk := &qw.blocks[u/outRows]
 			or := u % outRows
@@ -123,59 +119,92 @@ func qconvForwardBlocked(in QTensor, inLo, inHGlobal int, l *nn.Layer, qw *qconv
 						panic(fmt.Sprintf("tensor: qconv needs global row %d outside tile [%d,%d)", ihGlobal, inLo, inLo+in.H))
 					}
 					inRow := in.Data[(ic*in.H+ih)*in.W : (ic*in.H+ih+1)*in.W]
-					pk := blk.packed[(g*l.KH+kh)*l.KW*ocBlockWidth:]
-					qconvRowBlock4(&accs, inRow, pk, l.KW, l.SW, l.PW, in.W, outW)
+					pk32 := blk.packed32[(g*l.KH+kh)*l.KW*ocBlockWidth:]
+					qconvRowBlk(accBuf, outW, inRow, pk32, l.KW, l.SW, l.PW, 0, 0, in.W, outW)
 				}
 			}
 			for b := 0; b < blk.width; b++ {
 				oc := blk.oc0 + b
 				dst := out.Data[(oc*outRows+or)*outW : (oc*outRows+or+1)*outW]
-				requantRow(dst, accs[b], qw.effScale[oc], qw.effBias[oc], l.Act)
+				requantRow(dst, accBuf[b*outW:(b+1)*outW], qw.effScale[oc], qw.effBias[oc], l.Act)
 			}
 		}
 	})
 	return out
 }
 
-// qconvRowBlock4 accumulates one packed int8 kernel row into four int32
-// accumulator rows in a single sweep over the input row.
-func qconvRowBlock4(accs *[ocBlockWidth][]int32, inRow []int8, pk []int8, kw, sw, pw, inW, outW int) {
-	a0, a1, a2, a3 := accs[0], accs[1], accs[2], accs[3]
-	for x := 0; x < kw; x++ {
-		iwOff := x - pw
-		owLo := 0
-		if iwOff < 0 {
-			owLo = (-iwOff + sw - 1) / sw
+// qconvRowBlk accumulates one packed int8 kernel row into four int32
+// accumulator rows (accBuf at stride accStride) in a single sweep over the
+// input row. Column geometry is expressed in GLOBAL coordinates so the same
+// primitive serves whole-width strips (outColLo = inColLo = 0, inWGlobal =
+// len(inRow)) and 2D grid tiles, whose tap bounds clamp against the full
+// feature map while indexing the local tile rows. Dense stride-1 and
+// stride-2 spans run through the vector tiles (see quant_simd.go).
+func qconvRowBlk(accBuf []int32, accStride int, inRow []int8, pk32 []int32, kw, sw, pw, outColLo, inColLo, inWGlobal, outCols int) {
+	if kw == 3 && sw == 1 && simdMac3 {
+		// Dense interior where all three taps land in-bounds: run the fused
+		// VPMADDWD tap-pair kernel there and sweep only the edge columns
+		// tap-by-tap. Wrapping int32 addition makes the tap regrouping
+		// bit-identical to the sequential tap sweep.
+		olo := pw - outColLo
+		if olo < 0 {
+			olo = 0
 		}
-		owHi := outW
-		if maxOw := (inW - 1 - iwOff) / sw; maxOw+1 < owHi {
-			owHi = maxOw + 1
+		ohi := inWGlobal - 2 + pw - outColLo
+		if ohi > outCols {
+			ohi = outCols
 		}
-		if owLo >= owHi {
-			continue
-		}
-		w0 := int32(pk[x*ocBlockWidth])
-		w1 := int32(pk[x*ocBlockWidth+1])
-		w2 := int32(pk[x*ocBlockWidth+2])
-		w3 := int32(pk[x*ocBlockWidth+3])
-		if sw == 1 {
-			n := owHi - owLo
-			src := inRow[owLo+iwOff:][:n]
-			d0 := a0[owLo:][:n]
-			d1 := a1[owLo:][:n]
-			d2 := a2[owLo:][:n]
-			d3 := a3[owLo:][:n]
-			for i, v := range src {
-				vi := int32(v)
-				d0[i] += w0 * vi
-				d1[i] += w1 * vi
-				d2[i] += w2 * vi
-				d3[i] += w3 * vi
+		if olo < ohi && ohi-olo >= 16 {
+			qconvRowBlkTaps(accBuf, accStride, inRow, pk32, kw, sw, pw, outColLo, inColLo, inWGlobal, 0, olo)
+			n := ohi - olo
+			iwFirst := outColLo + olo - pw - inColLo
+			if iwFirst < 0 || iwFirst+n+1 >= len(inRow) {
+				panic(fmt.Sprintf("tensor: qconv fused taps need cols [%d,%d] outside local row [0,%d)", iwFirst, iwFirst+n+1, len(inRow)))
 			}
+			mac3Rows4(accBuf[olo:], accStride, inRow[iwFirst:], pk32, n)
+			qconvRowBlkTaps(accBuf, accStride, inRow, pk32, kw, sw, pw, outColLo, inColLo, inWGlobal, ohi, outCols)
+			return
+		}
+	}
+	qconvRowBlkTaps(accBuf, accStride, inRow, pk32, kw, sw, pw, outColLo, inColLo, inWGlobal, 0, outCols)
+}
+
+// qconvRowBlkTaps sweeps taps one at a time over output columns [oclA,oclB)
+// of the row block; it is the edge/general form behind qconvRowBlk.
+func qconvRowBlkTaps(accBuf []int32, accStride int, inRow []int8, pk32 []int32, kw, sw, pw, outColLo, inColLo, inWGlobal, oclA, oclB int) {
+	for x := 0; x < kw; x++ {
+		// Global input column touched by tap x of the first output column.
+		base := outColLo*sw - pw + x
+		oclLo := oclA
+		if base < 0 {
+			if lo := (-base + sw - 1) / sw; lo > oclLo {
+				oclLo = lo
+			}
+		}
+		oclHi := oclB
+		if maxO := (inWGlobal - 1 - base) / sw; maxO+1 < oclHi {
+			oclHi = maxO + 1
+		}
+		if oclLo >= oclHi {
 			continue
 		}
-		iw := owLo*sw + iwOff
-		for ow := owLo; ow < owHi; ow++ {
+		n := oclHi - oclLo
+		iwFirst := base + oclLo*sw - inColLo
+		if iwFirst < 0 || iwFirst+(n-1)*sw >= len(inRow) {
+			panic(fmt.Sprintf("tensor: qconv tap needs cols [%d,%d] outside local row [0,%d)", iwFirst, iwFirst+(n-1)*sw, len(inRow)))
+		}
+		w := pk32[x*ocBlockWidth : x*ocBlockWidth+ocBlockWidth]
+		if sw <= 2 {
+			macRows4(accBuf[oclLo:], accStride, inRow[iwFirst:], w, sw, n)
+			continue
+		}
+		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
+		a0 := accBuf
+		a1 := accBuf[accStride:]
+		a2 := accBuf[2*accStride:]
+		a3 := accBuf[3*accStride:]
+		iw := iwFirst
+		for ow := oclLo; ow < oclHi; ow++ {
 			vi := int32(inRow[iw])
 			a0[ow] += w0 * vi
 			a1[ow] += w1 * vi
@@ -354,14 +383,11 @@ func qconvForwardPointwiseSIMD(in QTensor, inLo, inHGlobal int, l *nn.Layer, qw 
 				if x0+qpwTileCols > n {
 					x0 = n - qpwTileCols // overlapped tail, recomputed bit-identically
 				}
-				qpwTile16(&tile[0], &in.Data[base+x0], &blk.packed32[0], in.C, chanStride)
+				qpwTileDispatch(&tile, in.Data[base+x0:], blk, in.C, chanStride)
 				for b := 0; b < blk.width; b++ {
 					oc := blk.oc0 + b
-					es, eb := qw.effScale[oc], qw.effBias[oc]
 					dst := dsts[b][x0 : x0+qpwTileCols]
-					for j, a := range tile[b*qpwTileCols : (b+1)*qpwTileCols] {
-						dst[j] = requant1(a, es, eb, l.Act)
-					}
+					requantRow(dst, tile[b*qpwTileCols:(b+1)*qpwTileCols], qw.effScale[oc], qw.effBias[oc], l.Act)
 				}
 				if x0+qpwTileCols >= n {
 					break
@@ -442,13 +468,8 @@ func qconvRowDW(acc []int32, inRow []int8, wrow []int8, sw, pw, inW, outW int) {
 		}
 		if loI < hiI {
 			n := hiI - loI
-			s0 := inRow[loI-pw:][:n]
-			s1 := inRow[loI-pw+1:][:n]
-			s2 := inRow[loI-pw+2:][:n]
-			dst := acc[loI:][:n]
-			for i := range dst {
-				dst[i] += w0*int32(s0[i]) + w1*int32(s1[i]) + w2*int32(s2[i])
-			}
+			w4 := [4]int32{w0, w1, w2, 0}
+			dw3Row(acc[loI:][:n], inRow[loI-pw:], &w4, n)
 		}
 		return
 	}
@@ -475,8 +496,133 @@ func qconvRowDW(acc []int32, inRow []int8, wrow []int8, sw, pw, inW, outW int) {
 // int8 values exactly, average pooling sums valid cells into int32 and
 // requantizes the float mean. The output inherits the input scale (a pooled
 // value never leaves the input's range), which is why calibration assigns
-// pool boundaries the pass-through scale.
+// pool boundaries the pass-through scale. The kernel is tap-major (one
+// hoisted-bounds sweep per kernel tap, like the float poolForward), with a
+// vector row-pair reduction for the ubiquitous unpadded 2x2 stride-2 max;
+// max is associative/commutative and the valid-cell count of an avg window
+// separates into rowCount*colCount, so both orders are bit-identical to the
+// per-cell reference qpoolForwardRef.
 func qpoolForward(in QTensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi, par int) QTensor {
+	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
+	outRows := outHi - outLo
+	out := AllocQ(in.C, outRows, outW, in.Scale)
+	isMax := l.Kind == nn.MaxPool
+	grain := grainFor(l.KH * l.KW * outW)
+	fast := isMax && l.KH == 2 && l.KW == 2 && l.SH == 2 && l.SW == 2 && l.PH == 0 && l.PW == 0
+	parallelForGrain(in.C*outRows, par, grain, func(lo, hi int) {
+		var acc []int32
+		var cntW []int32
+		if !fast {
+			acc = make([]int32, outW)
+			if !isMax {
+				cntW = make([]int32, outW)
+			}
+		}
+		for t := lo; t < hi; t++ {
+			c := t / outRows
+			or := t % outRows
+			dst := out.Data[t*outW : (t+1)*outW]
+			ohGlobal := outLo + or
+			if fast {
+				ihA := ohGlobal*2 - inLo
+				if ihA < 0 || ihA+1 >= in.H {
+					panic(fmt.Sprintf("tensor: qpool needs global rows %d,%d outside tile [%d,%d)", ohGlobal*2, ohGlobal*2+1, inLo, inLo+in.H))
+				}
+				rowA := in.Data[(c*in.H+ihA)*in.W : (c*in.H+ihA+1)*in.W]
+				rowB := in.Data[(c*in.H+ihA+1)*in.W : (c*in.H+ihA+2)*in.W]
+				maxPairRow(dst, rowA, rowB, outW)
+				applyActivationQ(dst, l.Act)
+				continue
+			}
+			if isMax {
+				for i := range acc {
+					acc[i] = -128
+				}
+			} else {
+				for i := range acc {
+					acc[i] = 0
+				}
+			}
+			countH := int32(0)
+			for kh := 0; kh < l.KH; kh++ {
+				ihGlobal := ohGlobal*l.SH - l.PH + kh
+				if ihGlobal < 0 || ihGlobal >= inHGlobal {
+					continue
+				}
+				ih := ihGlobal - inLo
+				if ih < 0 || ih >= in.H {
+					panic(fmt.Sprintf("tensor: qpool needs global row %d outside tile [%d,%d)", ihGlobal, inLo, inLo+in.H))
+				}
+				countH++
+				inRow := in.Data[(c*in.H+ih)*in.W : (c*in.H+ih+1)*in.W]
+				for kw := 0; kw < l.KW; kw++ {
+					iwOff := kw - l.PW
+					owLo := 0
+					if iwOff < 0 {
+						owLo = (-iwOff + l.SW - 1) / l.SW
+					}
+					owHi := outW
+					if maxOw := (in.W - 1 - iwOff) / l.SW; maxOw+1 < owHi {
+						owHi = maxOw + 1
+					}
+					iw := owLo*l.SW + iwOff
+					if isMax {
+						for ow := owLo; ow < owHi; ow++ {
+							if v := int32(inRow[iw]); v > acc[ow] {
+								acc[ow] = v
+							}
+							iw += l.SW
+						}
+					} else {
+						for ow := owLo; ow < owHi; ow++ {
+							acc[ow] += int32(inRow[iw])
+							iw += l.SW
+						}
+					}
+				}
+			}
+			if isMax {
+				for ow, v := range acc {
+					dst[ow] = int8(v)
+				}
+			} else {
+				// Column validity is row-independent, so each window's
+				// valid-cell count is countH * (valid columns at ow).
+				for i := range cntW {
+					cntW[i] = 0
+				}
+				for kw := 0; kw < l.KW; kw++ {
+					iwOff := kw - l.PW
+					owLo := 0
+					if iwOff < 0 {
+						owLo = (-iwOff + l.SW - 1) / l.SW
+					}
+					owHi := outW
+					if maxOw := (in.W - 1 - iwOff) / l.SW; maxOw+1 < owHi {
+						owHi = maxOw + 1
+					}
+					for ow := owLo; ow < owHi; ow++ {
+						cntW[ow]++
+					}
+				}
+				for ow, sum := range acc {
+					if count := countH * cntW[ow]; count > 0 {
+						dst[ow] = quantClamp(float32(sum) / float32(count))
+					} else {
+						dst[ow] = 0
+					}
+				}
+			}
+			applyActivationQ(dst, l.Act)
+		}
+	})
+	return out
+}
+
+// qpoolForwardRef is the naive per-cell reference for qpoolForward: every
+// output walks its full window with bounds checks. The tap-major kernel is
+// property-tested bit-identical to it.
+func qpoolForwardRef(in QTensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi, par int) QTensor {
 	outW := (in.W+2*l.PW-l.KW)/l.SW + 1
 	outRows := outHi - outLo
 	out := AllocQ(in.C, outRows, outW, in.Scale)
@@ -537,10 +683,7 @@ func qgapForward(in QTensor, l *nn.Layer, par int) QTensor {
 	per := in.H * in.W
 	parallelForGrain(in.C, par, grainFor(per), func(lo, hi int) {
 		for c := lo; c < hi; c++ {
-			var acc int32
-			for _, v := range in.Data[c*per : (c+1)*per] {
-				acc += int32(v)
-			}
+			acc := sumI8(in.Data[c*per : (c+1)*per])
 			out.Data[c] = quantClamp(float32(acc) / float32(per))
 		}
 	})
@@ -548,28 +691,16 @@ func qgapForward(in QTensor, l *nn.Layer, par int) QTensor {
 	return out
 }
 
-// qfcForward computes a quantized fully connected layer. Four independent
-// int32 partial sums break the add latency chain; integer associativity
-// makes their final combination bit-identical to the serial reference.
+// qfcForward computes a quantized fully connected layer through the vector
+// int8 dot kernel (scalar hosts fall back to a serial dot); integer
+// associativity makes any lane split bit-identical to the serial reference.
 func qfcForward(in QTensor, l *nn.Layer, qw *qfcWeights, par int) QTensor {
 	out := AllocQ(l.OutF, 1, 1, 1)
 	n := in.Elems()
 	parallelForGrain(l.OutF, par, grainFor(n), func(lo, hi int) {
 		for o := lo; o < hi; o++ {
-			row := qw.wq[o*n:][:n]
-			src := in.Data[:n]
-			var s0, s1, s2, s3 int32
-			i := 0
-			for ; i+4 <= n; i += 4 {
-				s0 += int32(row[i]) * int32(src[i])
-				s1 += int32(row[i+1]) * int32(src[i+1])
-				s2 += int32(row[i+2]) * int32(src[i+2])
-				s3 += int32(row[i+3]) * int32(src[i+3])
-			}
-			for ; i < n; i++ {
-				s0 += int32(row[i]) * int32(src[i])
-			}
-			out.Data[o] = requant1(s0+s1+s2+s3, qw.effScale[o], qw.effBias[o], l.Act)
+			acc := dotI8(qw.wq[o*n:][:n], in.Data[:n])
+			out.Data[o] = requant1(acc, qw.effScale[o], qw.effBias[o], l.Act)
 		}
 	})
 	return out

@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"testing"
+
+	"pico/internal/nn"
+	"pico/internal/partition"
+)
+
+// runGridPartitionedQ executes segment [from, to) in int8 as a tile grid and
+// stitches — what a quantized DeepThings-style grid leader does.
+func runGridPartitionedQ(t *testing.T, e *Executor, from, to int, full QTensor, tiles []partition.Rect) QTensor {
+	t.Helper()
+	calc := partition.NewCalc(e.Model())
+	outShape := e.Model().OutShape(to - 1)
+	var outs []QTensor
+	var rects []partition.Rect
+	for _, tile := range tiles {
+		if tile.Empty() {
+			continue
+		}
+		need := calc.SegmentRects(from, to, tile)[0]
+		in := full.SliceRect(need)
+		out, err := e.RunSegmentRectQ(from, to, in, tile)
+		if err != nil {
+			t.Fatalf("RunSegmentRectQ(%v): %v", tile, err)
+		}
+		outs = append(outs, out)
+		rects = append(rects, tile)
+	}
+	stitched, err := StitchGridQ(outs, rects, outShape.H, outShape.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stitched
+}
+
+// TestQuantGridExecutionMatchesRunQ is the quantized 2D-partition contract:
+// a grid of rect tiles stitched back together must reproduce the whole-map
+// RunQ byte for byte — same int32 accumulators, same requantize epilogue —
+// at several grid shapes and parallelism levels.
+func TestQuantGridExecutionMatchesRunQ(t *testing.T) {
+	m := nn.ToyChain("qgrid", 5, 2, 8, 31)
+	in := RandomInput(m.Input, 3)
+	whole, err := func() (QTensor, error) {
+		e, err := NewExecutor(m, 7, WithQuantized(), WithParallelism(1))
+		if err != nil {
+			return QTensor{}, err
+		}
+		return e.RunQ(in)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales, err := QuantScales(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qin := QuantizeTensor(in, scales[0])
+	out := m.Output()
+	for _, par := range []int{1, 3} {
+		e, err := NewExecutor(m, 7, WithQuantized(), WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, grid := range [][2]int{{2, 2}, {3, 2}, {1, 4}, {4, 1}} {
+			tiles := partition.GridPartition(out.H, out.W, grid[0], grid[1])
+			got := runGridPartitionedQ(t, e, 0, m.NumLayers(), qin, tiles)
+			if !EqualQ(whole, got) {
+				t.Fatalf("par=%d %dx%d grid differs from whole-map RunQ", par, grid[0], grid[1])
+			}
+		}
+	}
+}
+
+// TestQuantGridMidSegment: grid tiles over an interior segment must match a
+// single whole-width rect run of the same segment, so quantized pipelines
+// can switch to 2D partitioning at any fusion boundary.
+func TestQuantGridMidSegment(t *testing.T) {
+	m := nn.ToyChain("qgridmid", 6, 2, 8, 33)
+	e, err := NewExecutor(m, 11, WithQuantized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := RandomInput(m.Input, 6)
+	scales, err := QuantScales(m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := 2, 5
+	shapes := m.Shapes()
+	qmid := func() QTensor {
+		// Derive the segment input by running the prefix in int8.
+		qin := QuantizeTensor(in, scales[0])
+		res, err := e.RunSegmentQ(0, from, qin, partition.Full(shapes[from].H))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	outShape := shapes[to]
+	fullRect := partition.FullRect(outShape.H, outShape.W)
+	calc := partition.NewCalc(m)
+	need := calc.SegmentRects(from, to, fullRect)[0]
+	whole, err := e.RunSegmentRectQ(from, to, qmid.SliceRect(need), fullRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runGridPartitionedQ(t, e, from, to, qmid, partition.GridPartition(outShape.H, outShape.W, 2, 2))
+	if !EqualQ(whole, got) {
+		t.Fatal("quant grid tiles over interior segment differ from whole-width rect run")
+	}
+}
+
+func TestStitchGridQErrors(t *testing.T) {
+	a := AllocQ(1, 2, 2, 0.5)
+	r := partition.Rect{Rows: partition.Range{Lo: 0, Hi: 2}, Cols: partition.Range{Lo: 0, Hi: 2}}
+	if _, err := StitchGridQ(nil, nil, 2, 2); err == nil {
+		t.Fatal("accepted empty tile set")
+	}
+	if _, err := StitchGridQ([]QTensor{a}, []partition.Rect{r}, 4, 4); err == nil {
+		t.Fatal("accepted incomplete coverage")
+	}
+	if _, err := StitchGridQ([]QTensor{a, a}, []partition.Rect{r, r}, 2, 2); err == nil {
+		t.Fatal("accepted overlapping tiles")
+	}
+	if _, err := StitchGridQ([]QTensor{AllocQ(1, 3, 3, 0.5)}, []partition.Rect{r}, 2, 2); err == nil {
+		t.Fatal("accepted tile/rect extent mismatch")
+	}
+	b := AllocQ(1, 2, 1, 0.5)
+	c := AllocQ(1, 2, 1, 0.25) // different scale
+	half := partition.Rect{Rows: partition.Range{Lo: 0, Hi: 2}, Cols: partition.Range{Lo: 0, Hi: 1}}
+	half2 := partition.Rect{Rows: partition.Range{Lo: 0, Hi: 2}, Cols: partition.Range{Lo: 1, Hi: 2}}
+	if _, err := StitchGridQ([]QTensor{b, c}, []partition.Rect{half, half2}, 2, 2); err == nil {
+		t.Fatal("accepted tiles with mismatched scales")
+	}
+}
+
+func TestRunSegmentRectQValidation(t *testing.T) {
+	m := nn.ToyChain("qgridval", 3, 2, 8, 16)
+	e, err := NewExecutor(m, 1, WithQuantized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales, err := QuantScales(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := QuantizeTensor(RandomInput(m.Input, 2), scales[0])
+	out := m.Output()
+	full := partition.FullRect(out.H, out.W)
+	if _, err := e.RunSegmentRectQ(2, 1, in, full); err == nil {
+		t.Fatal("accepted inverted segment")
+	}
+	if _, err := e.RunSegmentRectQ(0, 1, in, partition.Rect{}); err == nil {
+		t.Fatal("accepted empty output rect")
+	}
+	small := QuantizeTensor(RandomInput(nn.Shape{C: m.Input.C, H: 4, W: 4}, 2), scales[0])
+	if _, err := e.RunSegmentRectQ(0, m.NumLayers(), small, full); err == nil {
+		t.Fatal("accepted undersized tile")
+	}
+	wrongScale := QuantizeTensor(RandomInput(m.Input, 2), 12345)
+	if _, err := e.RunSegmentRectQ(0, m.NumLayers(), wrongScale, full); err == nil {
+		t.Fatal("accepted tile with non-calibrated scale")
+	}
+}

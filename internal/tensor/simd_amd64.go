@@ -17,6 +17,102 @@ var hasAVX2 = probeAVX2()
 //go:noescape
 func qpwTile16(acc *int32, src *int8, wgt *int32, inC, chanStride int)
 
+// qpwTilePair16 is the channel-paired VPMADDWD form of qpwTile16; it
+// consumes input channels two at a time (see simd_amd64.s).
+//
+//go:noescape
+func qpwTilePair16(acc *int32, src *int8, wpair *int32, pairs, chanStride int)
+
+// qmacRows4 accumulates acc[r*accStride+i] += wgt[r]*src[i] for four rows
+// (see simd_amd64.s).
+//
+//go:noescape
+func qmacRows4(acc *int32, accStride int, src *int8, wgt *int32, n int)
+
+// qmacRows4S2 is the stride-2 form: acc[r*accStride+i] += wgt[r]*src[2*i]
+// (see simd_amd64.s).
+//
+//go:noescape
+func qmacRows4S2(acc *int32, accStride int, src *int8, wgt *int32, n int)
+
+// qmac3Rows4 is the fused dense stride-1 3-tap form of qmacRows4 for
+// 3-wide kernel rows (see simd_amd64.s).
+//
+//go:noescape
+func qmac3Rows4(acc *int32, accStride int, src *int8, wgt *int32, n int)
+
+// simdMac3Available reports whether the fused 3-tap conv row kernel runs
+// on this host.
+func simdMac3Available() bool { return hasAVX2 }
+
+// qdw3Row fuses the three depthwise taps of one stride-1 row sweep
+// (see simd_amd64.s).
+//
+//go:noescape
+func qdw3Row(acc *int32, src *int8, wgt *int32, n int)
+
+// qmaxPair8 reduces a 2x2 stride-2 max-pool row pair (see simd_amd64.s).
+//
+//go:noescape
+func qmaxPair8(dst *int8, a, b *int8, n int)
+
+// qdotKernel is the int8 dot product over n elements (see simd_amd64.s).
+//
+//go:noescape
+func qdotKernel(a, b *int8, n int) int32
+
+// qrequantRow8 is the vector requantize+activation epilogue
+// (see simd_amd64.s).
+//
+//go:noescape
+func qrequantRow8(dst *int8, acc *int32, scale, bias float32, act, n int)
+
+// qquantizeRow8 is the vector float32 -> int8 input quantizer
+// (see simd_amd64.s).
+//
+//go:noescape
+func qquantizeRow8(dst *int8, src *float32, inv float32, n int)
+
+// simdQuantAvailable reports whether the vectorized int8 kernel surface
+// (conv row blocks, depthwise taps, pool, fc dot) runs on this host.
+func simdQuantAvailable() bool { return hasAVX2 }
+
+// simdName identifies the active vector ISA in benchmark artefacts.
+func simdName() string {
+	if hasAVX2 {
+		return "avx2"
+	}
+	return ""
+}
+
+// qpwTileDispatch computes one 4-channel x 16-column pointwise tile using
+// the best kernel for this architecture. On amd64 that is the VPMADDWD
+// channel-pair tile: it covers the even channel count and the Go tail
+// folds in an odd trailing channel — wrap-around int32 addition makes the
+// split bit-identical to the scalar channel sweep.
+func qpwTileDispatch(tile *[ocBlockWidth * qpwTileCols]int32, src []int8, blk *qocBlock, inC, chanStride int) {
+	pairs := inC >> 1
+	if pairs > 0 {
+		qpwTilePair16(&tile[0], &src[0], &blk.packedPair[0], pairs, chanStride)
+	} else {
+		for i := range tile {
+			tile[i] = 0
+		}
+	}
+	if inC&1 == 1 {
+		g := inC - 1
+		s := src[g*chanStride:]
+		w := blk.packed32[g*ocBlockWidth : g*ocBlockWidth+ocBlockWidth]
+		for b := 0; b < ocBlockWidth; b++ {
+			wb := w[b]
+			d := tile[b*qpwTileCols : (b+1)*qpwTileCols]
+			for j := range d {
+				d[j] += wb * int32(s[j])
+			}
+		}
+	}
+}
+
 // pointwiseSIMDAvailable reports whether the vector pointwise path can run
 // for a strip of n flattened output columns.
 func pointwiseSIMDAvailable(n int) bool { return hasAVX2 && n >= qpwTileCols }

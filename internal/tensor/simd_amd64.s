@@ -95,3 +95,507 @@ loop:
 	VMOVDQU Y7, 224(DI)
 	VZEROUPPER
 	RET
+
+// Byte-lane shuffle masks for the stride-2 and pool kernels: compact the
+// even (resp. odd) bytes of a 16-byte lane into the low 8 bytes, 0x80
+// zero-fills the rest.
+DATA evenb<>+0(SB)/8, $0x0e0c0a0806040200
+DATA evenb<>+8(SB)/8, $0x8080808080808080
+GLOBL evenb<>(SB), RODATA, $16
+
+DATA oddb<>+0(SB)/8, $0x0f0d0b0907050301
+DATA oddb<>+8(SB)/8, $0x8080808080808080
+GLOBL oddb<>(SB), RODATA, $16
+
+// func qmacRows4(acc *int32, accStride int, src *int8, wgt *int32, n int)
+//
+// acc[r*accStride+i] += wgt[r] * src[i] for r in [0,4), i in [0,n).
+// n must be a positive multiple of 8; the caller guarantees n readable
+// bytes at src and 3*accStride+n int32s at acc. VPMULLD/VPADDD wrap
+// exactly like Go int32 arithmetic, so the accumulators are bit-identical
+// to the scalar sweep.
+TEXT ·qmacRows4(SB), NOSPLIT, $0-40
+	MOVQ acc+0(FP), DI
+	MOVQ accStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ wgt+24(FP), DX
+	MOVQ n+32(FP), CX
+	LEAQ (DI)(R8*4), R9
+	LEAQ (R9)(R8*4), R10
+	LEAQ (R10)(R8*4), R11
+	VPBROADCASTD (DX), Y12
+	VPBROADCASTD 4(DX), Y13
+	VPBROADCASTD 8(DX), Y14
+	VPBROADCASTD 12(DX), Y15
+	XORQ BX, BX
+mac4loop:
+	VPMOVSXBD (SI), Y8
+	VPMULLD Y8, Y12, Y9
+	VPADDD (DI)(BX*1), Y9, Y9
+	VMOVDQU Y9, (DI)(BX*1)
+	VPMULLD Y8, Y13, Y9
+	VPADDD (R9)(BX*1), Y9, Y9
+	VMOVDQU Y9, (R9)(BX*1)
+	VPMULLD Y8, Y14, Y9
+	VPADDD (R10)(BX*1), Y9, Y9
+	VMOVDQU Y9, (R10)(BX*1)
+	VPMULLD Y8, Y15, Y9
+	VPADDD (R11)(BX*1), Y9, Y9
+	VMOVDQU Y9, (R11)(BX*1)
+	ADDQ $8, SI
+	ADDQ $32, BX
+	SUBQ $8, CX
+	JNZ  mac4loop
+	VZEROUPPER
+	RET
+
+// func qmacRows4S2(acc *int32, accStride int, src *int8, wgt *int32, n int)
+//
+// Stride-2 form of qmacRows4: acc[r*accStride+i] += wgt[r] * src[2*i].
+// Each 8-column step loads 16 source bytes and compacts the even lanes
+// with VPSHUFB before the sign-extending widen, so the caller must
+// guarantee 2*n readable bytes at src. n must be a positive multiple of 8.
+TEXT ·qmacRows4S2(SB), NOSPLIT, $0-40
+	MOVQ acc+0(FP), DI
+	MOVQ accStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ wgt+24(FP), DX
+	MOVQ n+32(FP), CX
+	LEAQ (DI)(R8*4), R9
+	LEAQ (R9)(R8*4), R10
+	LEAQ (R10)(R8*4), R11
+	VPBROADCASTD (DX), Y12
+	VPBROADCASTD 4(DX), Y13
+	VPBROADCASTD 8(DX), Y14
+	VPBROADCASTD 12(DX), Y15
+	VMOVDQU evenb<>(SB), X7
+	XORQ BX, BX
+mac4s2loop:
+	VMOVDQU (SI), X8
+	VPSHUFB X7, X8, X8
+	VPMOVSXBD X8, Y8
+	VPMULLD Y8, Y12, Y9
+	VPADDD (DI)(BX*1), Y9, Y9
+	VMOVDQU Y9, (DI)(BX*1)
+	VPMULLD Y8, Y13, Y9
+	VPADDD (R9)(BX*1), Y9, Y9
+	VMOVDQU Y9, (R9)(BX*1)
+	VPMULLD Y8, Y14, Y9
+	VPADDD (R10)(BX*1), Y9, Y9
+	VMOVDQU Y9, (R10)(BX*1)
+	VPMULLD Y8, Y15, Y9
+	VPADDD (R11)(BX*1), Y9, Y9
+	VMOVDQU Y9, (R11)(BX*1)
+	ADDQ $16, SI
+	ADDQ $32, BX
+	SUBQ $8, CX
+	JNZ  mac4s2loop
+	VZEROUPPER
+	RET
+
+// func qdw3Row(acc *int32, src *int8, wgt *int32, n int)
+//
+// Fused 3-tap depthwise row: acc[i] += w0*src[i] + w1*src[i+1] + w2*src[i+2].
+// n must be a positive multiple of 8 with n+8 readable bytes at src (the
+// last step's tap-2 load reads src[n-6..n+1] plus 6 ignored lanes); wgt
+// points at 4 int32s (the fourth is ignored padding).
+TEXT ·qdw3Row(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ wgt+16(FP), DX
+	MOVQ n+24(FP), CX
+	VPBROADCASTD (DX), Y13
+	VPBROADCASTD 4(DX), Y14
+	VPBROADCASTD 8(DX), Y15
+dw3loop:
+	VPMOVSXBD (SI), Y8
+	VPMOVSXBD 1(SI), Y9
+	VPMOVSXBD 2(SI), Y10
+	VPMULLD Y8, Y13, Y8
+	VPMULLD Y9, Y14, Y9
+	VPMULLD Y10, Y15, Y10
+	VPADDD Y9, Y8, Y8
+	VPADDD Y10, Y8, Y8
+	VPADDD (DI), Y8, Y8
+	VMOVDQU Y8, (DI)
+	ADDQ $8, SI
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JNZ  dw3loop
+	VZEROUPPER
+	RET
+
+// func qmaxPair8(dst *int8, a *int8, b *int8, n int)
+//
+// 2x2 stride-2 max-pool row pair: dst[i] = max(a[2i], a[2i+1], b[2i],
+// b[2i+1]). n must be a positive multiple of 8 with 2*n readable bytes at
+// a and b.
+TEXT ·qmaxPair8(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	VMOVDQU evenb<>(SB), X6
+	VMOVDQU oddb<>(SB), X7
+maxloop:
+	VMOVDQU (SI), X8
+	VMOVDQU (DX), X9
+	VPMAXSB X9, X8, X8
+	VPSHUFB X6, X8, X9
+	VPSHUFB X7, X8, X10
+	VPMAXSB X10, X9, X9
+	MOVQ X9, (DI)
+	ADDQ $16, SI
+	ADDQ $16, DX
+	ADDQ $8, DI
+	SUBQ $8, CX
+	JNZ  maxloop
+	VZEROUPPER
+	RET
+
+// func qdotKernel(a *int8, b *int8, n int) int32
+//
+// Int8 dot product: sum over i in [0,n) of a[i]*b[i], accumulated int32.
+// n must be a positive multiple of 16. VPMADDWD pairs int16 products whose
+// magnitude is at most 128*128, so the pairwise sums are exact; the final
+// reduction wrap-adds the 8 lanes, bit-identical to any scalar order.
+TEXT ·qdotKernel(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DX
+	MOVQ n+16(FP), CX
+	VPXOR Y0, Y0, Y0
+dotloop:
+	VPMOVSXBW (SI), Y8
+	VPMOVSXBW (DX), Y9
+	VPMADDWD Y9, Y8, Y8
+	VPADDD Y8, Y0, Y0
+	ADDQ $16, SI
+	ADDQ $16, DX
+	SUBQ $16, CX
+	JNZ  dotloop
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD X1, X0, X0
+	VPSHUFD $0x4E, X0, X1
+	VPADDD X1, X0, X0
+	VPSHUFD $0xB1, X0, X1
+	VPADDD X1, X0, X0
+	MOVQ X0, AX
+	MOVL AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func qpwTilePair16(acc *int32, src *int8, wpair *int32, pairs, chanStride int)
+//
+// Channel-paired upgrade of qpwTile16: each step consumes TWO input
+// channels through VPMADDWD, halving the multiply-port pressure that makes
+// VPMULLD the pointwise bottleneck. For b in [0,4), j in [0,16):
+//
+//	acc[b*16+j] = sum over p in [0,pairs) of
+//	    wlo(wpair[p*4+b])*src[2p*chanStride+j] +
+//	    whi(wpair[p*4+b])*src[(2p+1)*chanStride+j]
+//
+// where each wpair dword packs the even channel's weight in its low int16
+// and the odd channel's in its high int16. The int16 products are at most
+// 128*128 in magnitude so each VPMADDWD pair-sum is exact; accumulation
+// then wraps like Go int32. An odd trailing channel is the caller's
+// problem (see qpwTileDispatch). The caller guarantees pairs >= 1 and 16
+// readable bytes at every src[g*chanStride].
+//
+// VPUNPCK[LH]WD interleave within 128-bit lanes, so the running
+// accumulators hold columns [0..3|8..11] and [4..7|12..15]; the two
+// VPERM2I128 per output channel restore contiguous column order before the
+// store.
+TEXT ·qpwTilePair16(SB), NOSPLIT, $0-40
+	MOVQ acc+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ wpair+16(FP), DX
+	MOVQ pairs+24(FP), CX
+	MOVQ chanStride+32(FP), BX
+	LEAQ (SI)(BX*1), R8
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+pairloop:
+	VPMOVSXBW (SI), Y8        // even channel, 16 columns as int16
+	VPMOVSXBW (R8), Y9        // odd channel
+	VPUNPCKLWD Y9, Y8, Y10    // (even,odd) int16 pairs, columns 0..3 | 8..11
+	VPUNPCKHWD Y9, Y8, Y11    // columns 4..7 | 12..15
+	VPBROADCASTD (DX), Y12    // b=0 packed weight pair
+	VPMADDWD Y10, Y12, Y13
+	VPADDD Y13, Y0, Y0
+	VPMADDWD Y11, Y12, Y13
+	VPADDD Y13, Y1, Y1
+	VPBROADCASTD 4(DX), Y12   // b=1
+	VPMADDWD Y10, Y12, Y13
+	VPADDD Y13, Y2, Y2
+	VPMADDWD Y11, Y12, Y13
+	VPADDD Y13, Y3, Y3
+	VPBROADCASTD 8(DX), Y12   // b=2
+	VPMADDWD Y10, Y12, Y13
+	VPADDD Y13, Y4, Y4
+	VPMADDWD Y11, Y12, Y13
+	VPADDD Y13, Y5, Y5
+	VPBROADCASTD 12(DX), Y12  // b=3
+	VPMADDWD Y10, Y12, Y13
+	VPADDD Y13, Y6, Y6
+	VPMADDWD Y11, Y12, Y13
+	VPADDD Y13, Y7, Y7
+	LEAQ (SI)(BX*2), SI
+	LEAQ (R8)(BX*2), R8
+	ADDQ $16, DX
+	DECQ CX
+	JNZ  pairloop
+	VPERM2I128 $0x20, Y1, Y0, Y8
+	VPERM2I128 $0x31, Y1, Y0, Y9
+	VMOVDQU Y8, (DI)
+	VMOVDQU Y9, 32(DI)
+	VPERM2I128 $0x20, Y3, Y2, Y8
+	VPERM2I128 $0x31, Y3, Y2, Y9
+	VMOVDQU Y8, 64(DI)
+	VMOVDQU Y9, 96(DI)
+	VPERM2I128 $0x20, Y5, Y4, Y8
+	VPERM2I128 $0x31, Y5, Y4, Y9
+	VMOVDQU Y8, 128(DI)
+	VMOVDQU Y9, 160(DI)
+	VPERM2I128 $0x20, Y7, Y6, Y8
+	VPERM2I128 $0x31, Y7, Y6, Y9
+	VMOVDQU Y8, 192(DI)
+	VMOVDQU Y9, 224(DI)
+	VZEROUPPER
+	RET
+
+// Float constants for the requantize/quantize epilogues.
+DATA qf127<>+0(SB)/4, $0x42fe0000 // 127.0
+GLOBL qf127<>(SB), RODATA, $4
+DATA qfn128<>+0(SB)/4, $0xc3000000 // -128.0
+GLOBL qfn128<>(SB), RODATA, $4
+DATA qfhalf<>+0(SB)/4, $0x3f000000 // 0.5
+GLOBL qfhalf<>(SB), RODATA, $4
+DATA qfsign<>+0(SB)/4, $0x80000000 // float32 sign bit
+GLOBL qfsign<>(SB), RODATA, $4
+DATA qftenth<>+0(SB)/4, $0x3dcccccd // float32(0.1)
+GLOBL qftenth<>(SB), RODATA, $4
+
+// qround8 narrows the 8 float32 lanes of Y8 to 8 int8 at (DI) with Go's
+// quantClamp semantics: clamp to [-128,127] first, then round half away
+// from zero via v + copysign(0.5, v) and truncate toward zero. The clamp
+// guarantees the saturating packs never alter a value. Clobbers Y8/Y9/X9.
+// Expects Y3 = 127.0, Y4 = -128.0, Y5 = 0.5, Y6 = sign mask.
+#define qround8 \
+	VMINPS Y3, Y8, Y8 \
+	VMAXPS Y4, Y8, Y8 \
+	VANDPS Y6, Y8, Y9 \
+	VORPS  Y5, Y9, Y9 \
+	VADDPS Y9, Y8, Y8 \
+	VCVTTPS2DQ Y8, Y8 \
+	VEXTRACTI128 $1, Y8, X9 \
+	VPACKSSDW X9, X8, X8 \
+	VPACKSSWB X8, X8, X8 \
+	MOVQ X8, (DI)
+
+// func qrequantRow8(dst *int8, acc *int32, scale, bias float32, act, n int)
+//
+// Vector form of the requantize epilogue: dst[i] =
+// quantClamp(act(float32(acc[i])*scale + bias)). act is 0 for none, 1 for
+// ReLU (max(v,0)), 2 for LeakyReLU (0.1*v for v<0). The float operations
+// are exactly Go's: separate VMULPS/VADDPS (never FMA — Go rounds twice),
+// IEEE min/max for the clamp, and the same half-away-from-zero rounding as
+// quantClamp. n must be a positive multiple of 8.
+TEXT ·qrequantRow8(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ acc+8(FP), SI
+	VBROADCASTSS scale+16(FP), Y0
+	VBROADCASTSS bias+20(FP), Y1
+	MOVQ act+24(FP), AX
+	MOVQ n+32(FP), CX
+	VBROADCASTSS qf127<>(SB), Y3
+	VBROADCASTSS qfn128<>(SB), Y4
+	VBROADCASTSS qfhalf<>(SB), Y5
+	VBROADCASTSS qfsign<>(SB), Y6
+	CMPQ AX, $1
+	JEQ  reluloop
+	CMPQ AX, $2
+	JEQ  leakyloop
+noneloop:
+	VCVTDQ2PS (SI), Y8
+	VMULPS Y0, Y8, Y8
+	VADDPS Y1, Y8, Y8
+	qround8
+	ADDQ $32, SI
+	ADDQ $8, DI
+	SUBQ $8, CX
+	JNZ  noneloop
+	VZEROUPPER
+	RET
+reluloop:
+	VCVTDQ2PS (SI), Y8
+	VMULPS Y0, Y8, Y8
+	VADDPS Y1, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VMAXPS Y9, Y8, Y8
+	qround8
+	ADDQ $32, SI
+	ADDQ $8, DI
+	SUBQ $8, CX
+	JNZ  reluloop
+	VZEROUPPER
+	RET
+leakyloop:
+	VBROADCASTSS qftenth<>(SB), Y2
+	VXORPS Y10, Y10, Y10
+leaky1:
+	VCVTDQ2PS (SI), Y8
+	VMULPS Y0, Y8, Y8
+	VADDPS Y1, Y8, Y8
+	VMULPS Y2, Y8, Y9       // 0.1*v, float32-rounded exactly like Go
+	VCMPPS $1, Y10, Y8, Y11 // v < 0 (LT_OS)
+	VBLENDVPS Y11, Y9, Y8, Y8
+	qround8
+	ADDQ $32, SI
+	ADDQ $8, DI
+	SUBQ $8, CX
+	JNZ  leaky1
+	VZEROUPPER
+	RET
+
+// func qquantizeRow8(dst *int8, src *float32, inv float32, n int)
+//
+// Vector input quantization: dst[i] = quantClamp(src[i]*inv), sharing
+// qround8's exact clamp/round semantics. n must be a positive multiple of
+// 8.
+TEXT ·qquantizeRow8(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	VBROADCASTSS inv+16(FP), Y0
+	MOVQ n+24(FP), CX
+	VBROADCASTSS qf127<>(SB), Y3
+	VBROADCASTSS qfn128<>(SB), Y4
+	VBROADCASTSS qfhalf<>(SB), Y5
+	VBROADCASTSS qfsign<>(SB), Y6
+quantloop:
+	VMOVUPS (SI), Y8
+	VMULPS Y0, Y8, Y8
+	qround8
+	ADDQ $32, SI
+	ADDQ $8, DI
+	SUBQ $8, CX
+	JNZ  quantloop
+	VZEROUPPER
+	RET
+
+DATA qmask16<>+0(SB)/4, $0x0000ffff
+GLOBL qmask16<>(SB), RODATA, $4
+
+// func qmac3Rows4(acc *int32, accStride int, src *int8, wgt *int32, n int)
+//
+// Fused dense stride-1 3-tap form of qmacRows4 for 3-wide kernel rows:
+//
+//	acc[r*accStride+i] += wgt[r]*src[i] + wgt[4+r]*src[i+1] + wgt[8+r]*src[i+2]
+//
+// (wgt in the packed tap-major layout pk32[x*4+b]). Taps 0 and 1 run as
+// int16 pairs through VPMADDWD — products are at most 128*128 so the pair
+// sums are exact — and tap 2 through VPMULLD; the combination wrap-adds
+// like Go int32, and each accumulator row is loaded and stored once per
+// 16 columns instead of once per tap. n must be a positive multiple of 16
+// with n+2 readable bytes at src.
+TEXT ·qmac3Rows4(SB), NOSPLIT, $0-40
+	MOVQ acc+0(FP), DI
+	MOVQ accStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ wgt+24(FP), DX
+	MOVQ n+32(FP), CX
+	LEAQ (DI)(R8*4), R9
+	LEAQ (R9)(R8*4), R10
+	LEAQ (R10)(R8*4), R11
+	VPBROADCASTD qmask16<>(SB), Y11
+	VPBROADCASTD (DX), Y8
+	VPBROADCASTD 16(DX), Y9
+	VPAND  Y11, Y8, Y8
+	VPSLLD $16, Y9, Y9
+	VPOR   Y9, Y8, Y12
+	VPBROADCASTD 4(DX), Y8
+	VPBROADCASTD 20(DX), Y9
+	VPAND  Y11, Y8, Y8
+	VPSLLD $16, Y9, Y9
+	VPOR   Y9, Y8, Y13
+	VPBROADCASTD 8(DX), Y8
+	VPBROADCASTD 24(DX), Y9
+	VPAND  Y11, Y8, Y8
+	VPSLLD $16, Y9, Y9
+	VPOR   Y9, Y8, Y14
+	VPBROADCASTD 12(DX), Y8
+	VPBROADCASTD 28(DX), Y9
+	VPAND  Y11, Y8, Y8
+	VPSLLD $16, Y9, Y9
+	VPOR   Y9, Y8, Y15
+	XORQ BX, BX
+mac3loop:
+	VPMOVSXBW (SI), Y0    // columns i..i+15 as int16
+	VPMOVSXBW 1(SI), Y1   // columns i+1..i+16
+	VPUNPCKLWD Y1, Y0, Y2 // (tap0,tap1) pairs, columns 0..3 | 8..11
+	VPUNPCKHWD Y1, Y0, Y3 // columns 4..7 | 12..15
+	VPMOVSXBD 2(SI), Y4   // tap 2, columns 0..7 as int32
+	VPMOVSXBD 10(SI), Y5  // tap 2, columns 8..15
+	VPMADDWD Y2, Y12, Y6
+	VPMADDWD Y3, Y12, Y7
+	VPERM2I128 $0x20, Y7, Y6, Y10
+	VPERM2I128 $0x31, Y7, Y6, Y11
+	VPBROADCASTD 32(DX), Y6
+	VPMULLD Y4, Y6, Y7
+	VPADDD Y7, Y10, Y10
+	VPMULLD Y5, Y6, Y7
+	VPADDD Y7, Y11, Y11
+	VPADDD (DI)(BX*1), Y10, Y10
+	VMOVDQU Y10, (DI)(BX*1)
+	VPADDD 32(DI)(BX*1), Y11, Y11
+	VMOVDQU Y11, 32(DI)(BX*1)
+	VPMADDWD Y2, Y13, Y6
+	VPMADDWD Y3, Y13, Y7
+	VPERM2I128 $0x20, Y7, Y6, Y10
+	VPERM2I128 $0x31, Y7, Y6, Y11
+	VPBROADCASTD 36(DX), Y6
+	VPMULLD Y4, Y6, Y7
+	VPADDD Y7, Y10, Y10
+	VPMULLD Y5, Y6, Y7
+	VPADDD Y7, Y11, Y11
+	VPADDD (R9)(BX*1), Y10, Y10
+	VMOVDQU Y10, (R9)(BX*1)
+	VPADDD 32(R9)(BX*1), Y11, Y11
+	VMOVDQU Y11, 32(R9)(BX*1)
+	VPMADDWD Y2, Y14, Y6
+	VPMADDWD Y3, Y14, Y7
+	VPERM2I128 $0x20, Y7, Y6, Y10
+	VPERM2I128 $0x31, Y7, Y6, Y11
+	VPBROADCASTD 40(DX), Y6
+	VPMULLD Y4, Y6, Y7
+	VPADDD Y7, Y10, Y10
+	VPMULLD Y5, Y6, Y7
+	VPADDD Y7, Y11, Y11
+	VPADDD (R10)(BX*1), Y10, Y10
+	VMOVDQU Y10, (R10)(BX*1)
+	VPADDD 32(R10)(BX*1), Y11, Y11
+	VMOVDQU Y11, 32(R10)(BX*1)
+	VPMADDWD Y2, Y15, Y6
+	VPMADDWD Y3, Y15, Y7
+	VPERM2I128 $0x20, Y7, Y6, Y10
+	VPERM2I128 $0x31, Y7, Y6, Y11
+	VPBROADCASTD 44(DX), Y6
+	VPMULLD Y4, Y6, Y7
+	VPADDD Y7, Y10, Y10
+	VPMULLD Y5, Y6, Y7
+	VPADDD Y7, Y11, Y11
+	VPADDD (R11)(BX*1), Y10, Y10
+	VMOVDQU Y10, (R11)(BX*1)
+	VPADDD 32(R11)(BX*1), Y11, Y11
+	VMOVDQU Y11, 32(R11)(BX*1)
+	ADDQ $16, SI
+	ADDQ $64, BX
+	SUBQ $16, CX
+	JNZ  mac3loop
+	VZEROUPPER
+	RET

@@ -1,0 +1,119 @@
+//go:build arm64
+
+package tensor
+
+import (
+	"encoding/binary"
+	"os"
+)
+
+// hasNEON gates the vectorized int8 kernel surface on arm64. The scalar
+// kernels remain the behavioural contract; the NEON tiles compute identical
+// int32 accumulators (SMLAL widening multiply-accumulate wraps exactly like
+// Go int32 for int8-range operands) and the requantize epilogue replicates
+// Go's float32 op sequence instruction for instruction, so enabling them
+// never changes a single output bit.
+var hasNEON = probeNEON()
+
+// probeNEON reports whether the kernel advertises Advanced SIMD support.
+// ASIMD is architecturally mandatory for the ARMv8-A application profile
+// Go targets, so the auxv read is a belt-and-braces check that defaults to
+// true when /proc is unavailable (non-Linux, sandboxes).
+func probeNEON() bool {
+	data, err := os.ReadFile("/proc/self/auxv")
+	if err != nil {
+		return true
+	}
+	const atHWCAP, hwcapASIMD = 16, 1 << 1
+	for i := 0; i+16 <= len(data); i += 16 {
+		if binary.LittleEndian.Uint64(data[i:]) == atHWCAP {
+			return binary.LittleEndian.Uint64(data[i+8:])&hwcapASIMD != 0
+		}
+	}
+	return true
+}
+
+// qpwTile16 computes a 4-channel x 16-column pointwise accumulator tile
+// (see simd_arm64.s for the exact contract).
+//
+//go:noescape
+func qpwTile16(acc *int32, src *int8, wgt *int32, inC, chanStride int)
+
+// qmacRows4 accumulates acc[r*accStride+i] += wgt[r]*src[i] for four rows
+// (see simd_arm64.s).
+//
+//go:noescape
+func qmacRows4(acc *int32, accStride int, src *int8, wgt *int32, n int)
+
+// qmacRows4S2 is the stride-2 form: acc[r*accStride+i] += wgt[r]*src[2*i]
+// (see simd_arm64.s).
+//
+//go:noescape
+func qmacRows4S2(acc *int32, accStride int, src *int8, wgt *int32, n int)
+
+// qdw3Row fuses the three depthwise taps of one stride-1 row sweep
+// (see simd_arm64.s).
+//
+//go:noescape
+func qdw3Row(acc *int32, src *int8, wgt *int32, n int)
+
+// qmaxPair8 reduces a 2x2 stride-2 max-pool row pair (see simd_arm64.s).
+//
+//go:noescape
+func qmaxPair8(dst *int8, a, b *int8, n int)
+
+// qdotKernel is the int8 dot product over n elements (see simd_arm64.s).
+//
+//go:noescape
+func qdotKernel(a, b *int8, n int) int32
+
+// qrequantRow8 is the vector requantize+activation epilogue
+// (see simd_arm64.s).
+//
+//go:noescape
+func qrequantRow8(dst *int8, acc *int32, scale, bias float32, act, n int)
+
+// qquantizeRow8 is the vector float32 -> int8 input quantizer
+// (see simd_arm64.s).
+//
+//go:noescape
+func qquantizeRow8(dst *int8, src *float32, inv float32, n int)
+
+// simdQuantAvailable reports whether the vectorized int8 kernel surface
+// (conv row blocks, depthwise taps, pool, fc dot) runs on this host.
+func simdQuantAvailable() bool { return hasNEON }
+
+// simdMac3Available reports whether the fused 3-tap conv row kernel runs on
+// this host. The fusion exists to dodge amd64's slow VPMULLD by pairing
+// taps through VPMADDWD; NEON's SMLAL path has no such bottleneck, so
+// arm64 keeps the straightforward per-tap qmacRows4 sweep.
+func simdMac3Available() bool { return false }
+
+func qmac3Rows4(acc *int32, accStride int, src *int8, wgt *int32, n int) {
+	panic("tensor: qmac3Rows4 is not implemented on arm64")
+}
+
+// simdName identifies the active vector ISA in benchmark artefacts.
+func simdName() string {
+	if hasNEON {
+		return "neon"
+	}
+	return ""
+}
+
+// qpwTileDispatch computes one 4-channel x 16-column pointwise tile using
+// the best kernel for this architecture. On arm64 that is the plain SMLAL
+// tile over the tap-major packed32 layout — the widening multiply already
+// halves the work the amd64 channel-pair trick exists to save.
+func qpwTileDispatch(tile *[ocBlockWidth * qpwTileCols]int32, src []int8, blk *qocBlock, inC, chanStride int) {
+	qpwTile16(&tile[0], &src[0], &blk.packed32[0], inC, chanStride)
+}
+
+// pointwiseSIMDAvailable reports whether the vector pointwise path can run
+// for a strip of n flattened output columns.
+func pointwiseSIMDAvailable(n int) bool { return hasNEON && n >= qpwTileCols }
+
+// PointwiseSIMD reports whether the host runs the vectorized int8 pointwise
+// tile. Benchmark artefacts record it: without SIMD the int8 path cannot
+// beat float32 FMA and measured speedups are not comparable across hosts.
+func PointwiseSIMD() bool { return hasNEON }

@@ -1,15 +1,58 @@
-//go:build !amd64
+//go:build !amd64 && !arm64
 
 package tensor
 
-// Non-amd64 builds always take the portable scalar kernels.
+// Architectures without a vector port always take the portable scalar
+// kernels; the gates below keep every call site compiled and unreachable.
 
 func pointwiseSIMDAvailable(n int) bool { return false }
 
 // PointwiseSIMD reports whether the host runs the vectorized int8 pointwise
-// tile; never on non-amd64 builds.
+// tile; never on scalar-only builds.
 func PointwiseSIMD() bool { return false }
+
+func simdQuantAvailable() bool { return false }
+
+func simdName() string { return "" }
 
 func qpwTile16(acc *int32, src *int8, wgt *int32, inC, chanStride int) {
 	panic("tensor: qpwTile16 without SIMD support")
+}
+
+func qpwTileDispatch(tile *[ocBlockWidth * qpwTileCols]int32, src []int8, blk *qocBlock, inC, chanStride int) {
+	panic("tensor: qpwTileDispatch without SIMD support")
+}
+
+func qmacRows4(acc *int32, accStride int, src *int8, wgt *int32, n int) {
+	panic("tensor: qmacRows4 without SIMD support")
+}
+
+func qmacRows4S2(acc *int32, accStride int, src *int8, wgt *int32, n int) {
+	panic("tensor: qmacRows4S2 without SIMD support")
+}
+
+func simdMac3Available() bool { return false }
+
+func qmac3Rows4(acc *int32, accStride int, src *int8, wgt *int32, n int) {
+	panic("tensor: qmac3Rows4 without SIMD support")
+}
+
+func qdw3Row(acc *int32, src *int8, wgt *int32, n int) {
+	panic("tensor: qdw3Row without SIMD support")
+}
+
+func qmaxPair8(dst *int8, a, b *int8, n int) {
+	panic("tensor: qmaxPair8 without SIMD support")
+}
+
+func qdotKernel(a, b *int8, n int) int32 {
+	panic("tensor: qdotKernel without SIMD support")
+}
+
+func qrequantRow8(dst *int8, acc *int32, scale, bias float32, act, n int) {
+	panic("tensor: qrequantRow8 without SIMD support")
+}
+
+func qquantizeRow8(dst *int8, src *float32, inv float32, n int) {
+	panic("tensor: qquantizeRow8 without SIMD support")
 }

@@ -255,6 +255,9 @@ var (
 	// NewGridExecutor distributes a fused segment as a DeepThings-style
 	// 2D tile grid over TCP workers.
 	NewGridExecutor = runtime.NewGridExecutor
+	// NewGridExecutorQuant is the int8 grid distributor: quarter-size
+	// tile payloads, results byte-identical to a local whole-map RunQ.
+	NewGridExecutorQuant = runtime.NewGridExecutorQuant
 )
 
 // FullFeatureMap returns the Range covering all rows of height h.
