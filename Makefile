@@ -2,7 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot race-quant chaos bench bench-json bench-kernel bench-compare bench-quant bench-quant-smoke cross check
+# Benchmark artifact paths, overridable so CI or a comparison run can write
+# elsewhere without clobbering the committed baselines:
+#   make bench-kernel BENCH_KERNEL_OUT=/tmp/kern.json
+BENCH_WIRE_OUT ?= BENCH_PR2.json
+BENCH_KERNEL_OUT ?= BENCH_PR4.json
+BENCH_KERNEL_BASE ?= BENCH_PR4.json
+BENCH_QUANT_OUT ?= BENCH_PR7.json
+
+.PHONY: all build vet test race race-hot race-quant chaos bench bench-json bench-kernel bench-compare bench-quant bench-quant-smoke serve-smoke cross check
 
 all: check
 
@@ -45,22 +53,28 @@ bench:
 # Full wire-layer benchmark sweep (codec MB/s, pipeline tasks/sec across
 # overlap settings), written as machine-readable JSON.
 bench-json:
-	$(GO) run ./cmd/picobench -benchjson BENCH_PR2.json
+	$(GO) run ./cmd/picobench -benchjson $(BENCH_WIRE_OUT)
 
 # Full compute-engine sweep (per-layer-kind kernels + whole-model forward
 # passes, reference vs cache-blocked), written as machine-readable JSON.
 bench-kernel:
-	$(GO) run ./cmd/picobench -kernjson BENCH_PR4.json
+	$(GO) run ./cmd/picobench -kernjson $(BENCH_KERNEL_OUT)
 
 # Full int8-vs-float32 sweep (per-kind kernels, whole-model forwards with
 # top-1 agreement, stage-boundary payload sizes), written as JSON.
 bench-quant:
-	$(GO) run ./cmd/picobench -quantjson BENCH_PR7.json
+	$(GO) run ./cmd/picobench -quantjson $(BENCH_QUANT_OUT)
 
 # One-iteration pass over the quant sweep: catches kernel dispatch and
 # epilogue regressions on every kind without a full timing run.
 bench-quant-smoke:
 	$(GO) test -run NONE -bench QuantKernelKinds -benchtime=1x .
+
+# Serving-gateway smoke under the race detector: the full binary path
+# (loopback workers, HTTP, micro-batcher, drain) plus the end-to-end
+# byte-identity contract between /infer and a local run.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'PicoserveSmoke|GatewayInferMatchesLocalRun$$' ./cmd/picoserve ./internal/serve
 
 # Cross-compile gate for the per-architecture asm surface: the NEON (arm64)
 # kernels must assemble and the pure-Go fallback must build on an arch with
@@ -75,6 +89,6 @@ cross:
 # regressed >10% against the committed BENCH_PR4.json baseline. Kept out of
 # `check`: wall-clock comparisons are too noisy for an unconditional gate.
 bench-compare:
-	$(GO) run ./cmd/picobench -kerncompare BENCH_PR4.json
+	$(GO) run ./cmd/picobench -kerncompare $(BENCH_KERNEL_BASE)
 
-check: build vet cross test race race-quant chaos bench bench-quant-smoke bench-json
+check: build vet cross test race race-quant chaos bench bench-quant-smoke bench-json serve-smoke

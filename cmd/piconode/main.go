@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pico/internal/runtime"
 )
@@ -36,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *runtime.Worker) 
 		parallel = fs.Int("parallel", 0, "CPU cores per kernel (0 = all cores, 1 = serial); results are bit-identical at any setting")
 		queue    = fs.Int("queue", 2, "per-connection exec queue depth (1 = no receive/compute overlap)")
 		quiet    = fs.Bool("quiet", false, "suppress per-request logging")
+		grace    = fs.Duration("grace", 15*time.Second, "graceful shutdown budget: how long to let in-flight connections finish before severing them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,24 +59,38 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- *runtime.Worker) 
 		return 1
 	}
 	fmt.Fprintf(stdout, "piconode %s listening on %s\n", w.ID(), w.Addr())
+
+	// Install the signal handler before announcing readiness so a test (or
+	// supervisor) that signals immediately is never lost to the default
+	// process-killing disposition.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
 	if ready != nil {
 		ready <- w
 	}
 
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- w.Serve() }()
 	select {
 	case sig := <-sigs:
-		fmt.Fprintf(stdout, "piconode: %v, shutting down\n", sig)
-		if err := w.Close(); err != nil {
-			fmt.Fprintf(stderr, "piconode: close: %v\n", err)
+		// Graceful drain: stop accepting, let in-flight coordinator
+		// connections finish their tiles within the grace budget, then
+		// sever whatever lingers. A second signal aborts immediately.
+		fmt.Fprintf(stdout, "piconode: %v, draining in-flight work (grace %v, signal again to abort)\n", sig, *grace)
+		go func() {
+			<-sigs
+			fmt.Fprintln(stdout, "piconode: second signal, aborting")
+			w.Abort()
+		}()
+		if err := w.Shutdown(*grace); err != nil {
+			fmt.Fprintf(stderr, "piconode: shutdown: %v\n", err)
 		}
 		if err := <-done; err != nil {
 			fmt.Fprintf(stderr, "piconode: %v\n", err)
 			return 1
 		}
+		fmt.Fprintln(stdout, "piconode: drained")
 	case err := <-done:
 		if err != nil {
 			fmt.Fprintf(stderr, "piconode: %v\n", err)

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -62,6 +64,50 @@ func TestServeAndShutdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "listening on") {
 		t.Fatalf("stdout: %s", out.String())
+	}
+}
+
+// TestSignalGracefulDrain delivers a real SIGTERM and expects the daemon to
+// drain: announce the grace budget, sever the lingering connection once it
+// expires, and exit 0. The handler is installed before ready fires, so the
+// signal can never hit the default process-killing disposition.
+func TestSignalGracefulDrain(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	ready := make(chan *runtime.Worker, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-id", "drain-node", "-quiet", "-grace", "200ms"}, &out, &errBuf, ready)
+	}()
+	var w *runtime.Worker
+	select {
+	case w = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never became ready")
+	}
+	// Hold a connection open across the drain; the grace budget must expire
+	// and sever it rather than hang the daemon forever.
+	conn, err := net.Dial("tcp", w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewConn(conn)
+	defer wc.Close()
+	if msg, err := wc.Recv(); err != nil || msg.Type != wire.MsgHello {
+		t.Fatalf("hello: %v %v", msg, err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rc := <-done:
+		if rc != 0 {
+			t.Fatalf("rc = %d, stderr: %s", rc, errBuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if s := out.String(); !strings.Contains(s, "draining in-flight work") || !strings.Contains(s, "drained") {
+		t.Fatalf("stdout: %s", s)
 	}
 }
 

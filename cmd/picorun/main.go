@@ -248,8 +248,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintln(stdout)
-	printFaults(stdout, p, failed)
-	printKindSeconds(stdout, stderr, p)
+	health := p.Health()
+	printFaults(stdout, health, failed)
+	printKindSeconds(stdout, health)
 	if failed > 0 {
 		fmt.Fprintf(stderr, "picorun: %d of %d tasks failed\n", failed, *tasks)
 		return 1
@@ -259,35 +260,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // printFaults reports the pipeline's fault journal — timeouts, redials,
 // devices gone down, stage re-balances — so a degraded run explains itself.
-func printFaults(stdout io.Writer, p *runtime.Pipeline, failed int) {
-	events, dropped := p.FaultEvents()
-	if len(events) == 0 && failed == 0 {
+func printFaults(stdout io.Writer, h runtime.Health, failed int) {
+	if len(h.FaultEvents) == 0 && failed == 0 {
 		return
 	}
-	fmt.Fprintf(stdout, "fault events (%d", len(events))
-	if dropped > 0 {
-		fmt.Fprintf(stdout, ", %d more dropped", dropped)
+	fmt.Fprintf(stdout, "fault events (%d", len(h.FaultEvents))
+	if h.FaultsDropped > 0 {
+		fmt.Fprintf(stdout, ", %d more dropped", h.FaultsDropped)
 	}
 	fmt.Fprintln(stdout, "):")
-	for _, ev := range events {
+	for _, ev := range h.FaultEvents {
 		fmt.Fprintf(stdout, "  %s\n", ev.String())
 	}
-	if down := p.DownDevices(); len(down) > 0 {
-		fmt.Fprintf(stdout, "devices down: %v\n", down)
+	if len(h.DownDevices) > 0 {
+		fmt.Fprintf(stdout, "devices down: %v\n", h.DownDevices)
 	}
 }
 
 // printKindSeconds renders the workers' per-layer-kind compute attribution:
 // where the real kernel time went, summed over devices, largest share first.
-func printKindSeconds(stdout, stderr io.Writer, p *runtime.Pipeline) {
-	byDevice, err := p.WorkerKindSeconds()
-	if err != nil {
-		fmt.Fprintf(stderr, "picorun: worker stats: %v\n", err)
-		return
-	}
+// The snapshot's KindSeconds is best-effort; nil means the stats round trip
+// failed and there is simply nothing to print.
+func printKindSeconds(stdout io.Writer, h runtime.Health) {
 	totals := map[string]float64{}
 	var sum float64
-	for _, ks := range byDevice {
+	for _, ks := range h.KindSeconds {
 		for kind, sec := range ks {
 			totals[kind] += sec
 			sum += sec

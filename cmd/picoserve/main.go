@@ -1,0 +1,224 @@
+// Command picoserve is the serving gateway: a long-lived HTTP front door
+// that plans pipelines over the worker cluster, pools them per
+// (model, plan, quant) session, micro-batches concurrent requests, and
+// sheds load when the M/D/1 admission predicate says the latency bound
+// would be breached.
+//
+//	picoserve -addr :8080 -workers 127.0.0.1:9101,127.0.0.1:9102 -models toy
+//	picoserve -addr :8080 -local 3 -models toy,vgg16      # in-process workers
+//
+// Inference is a POST of the raw little-endian float32 CHW input:
+//
+//	curl -sS --data-binary @input.f32 \
+//	  'http://localhost:8080/infer?model=toy&plan=pico' -o output.f32
+//
+// GET /healthz reports per-session pipeline health, GET /stats the gateway
+// counters. SIGINT/SIGTERM drains gracefully: in-flight requests finish,
+// pipelines flush, workers disconnect.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/nn"
+	"pico/internal/runtime"
+	"pico/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run starts the gateway; when ready is non-nil the gateway is sent on it
+// once listening, so tests can drive and drain it programmatically.
+func run(args []string, stdout, stderr io.Writer, ready chan<- *serve.Gateway) int {
+	fs := flag.NewFlagSet("picoserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		workersFlag  = fs.String("workers", "", "comma-separated worker addresses")
+		speedsFlag   = fs.String("speeds", "", "comma-separated effective MAC/s per worker (optional)")
+		local        = fs.Int("local", 0, "start N in-process loopback workers instead of dialing -workers")
+		modelsFlag   = fs.String("models", "toy", "comma-separated models to serve: toy | fig13toy | vgg16 | yolov2 | resnet34 | inceptionv3 | mobilenetv1")
+		seed         = fs.Int64("seed", 1, "weight seed shared with the workers")
+		maxQueue     = fs.Int("max-queue", 64, "bound on admitted-but-unanswered requests")
+		latencyBound = fs.Float64("latency-bound", 30, "admission ceiling on the predicted wait, seconds")
+		batchWindow  = fs.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window")
+		maxBatch     = fs.Int("max-batch", 16, "micro-batch size cap")
+		beta         = fs.Float64("beta", 0.5, "EWMA weight of the freshest arrival-rate measurement")
+		estWindow    = fs.Float64("estimator-window", 10, "arrival-rate measurement window, seconds")
+		drain        = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight work")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	models := make(map[string]*nn.Model)
+	for _, name := range strings.Split(*modelsFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, err := modelByName(name)
+		if err != nil {
+			fmt.Fprintf(stderr, "picoserve: %v\n", err)
+			return 2
+		}
+		models[name] = m
+	}
+	if len(models) == 0 {
+		fmt.Fprintln(stderr, "picoserve: -models is required")
+		return 2
+	}
+
+	var speeds []float64
+	if *speedsFlag != "" {
+		for _, p := range strings.Split(*speedsFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(stderr, "picoserve: bad speed %q\n", p)
+				return 2
+			}
+			speeds = append(speeds, v)
+		}
+	}
+
+	var (
+		addrs map[int]string
+		n     int
+	)
+	if *local > 0 {
+		if *workersFlag != "" {
+			fmt.Fprintln(stderr, "picoserve: -local and -workers are mutually exclusive")
+			return 2
+		}
+		n = *local
+		lc, err := runtime.StartLocalCluster(n, speeds)
+		if err != nil {
+			fmt.Fprintf(stderr, "picoserve: local cluster: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := lc.Close(); err != nil {
+				fmt.Fprintf(stderr, "picoserve: local cluster close: %v\n", err)
+			}
+		}()
+		addrs = lc.Addrs
+	} else {
+		if *workersFlag == "" {
+			fmt.Fprintln(stderr, "picoserve: -workers or -local is required")
+			return 2
+		}
+		list := strings.Split(*workersFlag, ",")
+		n = len(list)
+		addrs = make(map[int]string, n)
+		for i, a := range list {
+			addrs[i] = strings.TrimSpace(a)
+		}
+	}
+	if speeds != nil && len(speeds) != n {
+		fmt.Fprintf(stderr, "picoserve: %d speeds for %d workers\n", len(speeds), n)
+		return 2
+	}
+
+	cl := cluster.Homogeneous(n, 600e6)
+	for i, v := range speeds {
+		cl.Devices[i].Capacity = v
+		cl.Devices[i].Alpha = 1
+	}
+
+	g, err := serve.New(serve.Config{
+		Cluster:       cl,
+		Addrs:         addrs,
+		Models:        models,
+		Seed:          *seed,
+		MaxQueue:      *maxQueue,
+		LatencyBound:  *latencyBound,
+		Beta:          *beta,
+		WindowSeconds: *estWindow,
+		BatchWindow:   *batchWindow,
+		MaxBatch:      *maxBatch,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "picoserve: %v\n", err)
+		return 1
+	}
+	bound, err := g.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "picoserve: %v\n", err)
+		return 1
+	}
+	names := make([]string, 0, len(models))
+	for name := range models {
+		names = append(names, name)
+	}
+	fmt.Fprintf(stdout, "picoserve listening on %s, serving %s over %d workers\n",
+		bound, strings.Join(names, ","), n)
+	if ready != nil {
+		ready <- g
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	done := make(chan error, 1)
+	go func() { done <- g.Serve() }()
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "picoserve: %v, draining (budget %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := g.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stderr, "picoserve: drain: %v\n", err)
+		}
+		if serr := <-done; serr != nil {
+			fmt.Fprintf(stderr, "picoserve: %v\n", serr)
+			return 1
+		}
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return 1
+		}
+	case err := <-done:
+		// Serve returned on its own: an error, or a programmatic Shutdown
+		// (tests) which already drained the session pool.
+		if err != nil {
+			fmt.Fprintf(stderr, "picoserve: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintln(stdout, "picoserve: drained")
+	return 0
+}
+
+func modelByName(name string) (*nn.Model, error) {
+	switch name {
+	case "toy":
+		return nn.ToyChain("toy", 8, 3, 16, 64), nil
+	case "fig13toy":
+		return nn.Fig13Toy(), nil
+	case "vgg16":
+		return nn.VGG16(), nil
+	case "yolov2":
+		return nn.YOLOv2(), nil
+	case "resnet34":
+		return nn.ResNet34(), nil
+	case "inceptionv3":
+		return nn.InceptionV3(), nil
+	case "mobilenetv1":
+		return nn.MobileNetV1(), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+}

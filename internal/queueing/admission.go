@@ -1,0 +1,67 @@
+package queueing
+
+import "math"
+
+// Admission is the serving gateway's load-shedding predicate. It reuses the
+// paper's M/D/1 machinery (§IV-C) for a different decision: instead of
+// choosing between schemes, it decides whether one more request may join a
+// bounded intake queue without breaching a latency bound, given the live
+// EWMA arrival-rate estimate and the serving pipeline's period.
+type Admission struct {
+	// Period is the serving scheme's bottleneck period p — the service
+	// time of the M/D/1 server the intake drains into.
+	Period float64
+	// Bound is the ceiling on the predicted wait (seconds); a request
+	// whose prediction exceeds it is shed.
+	Bound float64
+	// MaxQueue caps the intake backlog regardless of the prediction
+	// (0 = no hard cap). The queue stays bounded even when the estimator
+	// lags a burst.
+	MaxQueue int
+}
+
+// Decision is one admission verdict with its reasoning, so a shed response
+// can carry an honest Retry-After.
+type Decision struct {
+	// Admit reports whether the request may enter the intake queue.
+	Admit bool
+	// PredictedWait is the estimated delay (seconds) a request admitted
+	// now would see: the current backlog draining at one task per period,
+	// plus the steady-state M/D/1 queueing delay at the estimated rate.
+	// +Inf when the arrival rate exceeds the stability bound 1/p.
+	PredictedWait float64
+	// RetryAfter suggests how long a shed client should back off
+	// (seconds). Always finite and at least one period — nothing can
+	// change before the bottleneck completes a task.
+	RetryAfter float64
+}
+
+// Decide evaluates one arrival: rate is the EWMA arrival estimate λ
+// (tasks/second) and queued is the current intake backlog (admitted
+// requests not yet answered).
+func (a Admission) Decide(rate float64, queued int) Decision {
+	if queued < 0 {
+		queued = 0
+	}
+	wait := float64(queued)*a.Period + MD1Wait(rate, a.Period)
+	d := Decision{PredictedWait: wait}
+	capped := a.MaxQueue > 0 && queued >= a.MaxQueue
+	if !capped && wait <= a.Bound {
+		d.Admit = true
+		return d
+	}
+	// Back off until the predicted excess has had time to drain. Past the
+	// stability bound (ρ ≥ 1) the M/D/1 term is +Inf and no finite wait
+	// clears it — draining the whole measured backlog is the only honest
+	// finite estimate; the same holds when the hard queue cap shed the
+	// request.
+	retry := wait - a.Bound
+	if capped || math.IsInf(retry, 1) {
+		retry = float64(queued+1) * a.Period
+	}
+	if retry < a.Period {
+		retry = a.Period
+	}
+	d.RetryAfter = retry
+	return d
+}

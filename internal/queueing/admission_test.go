@@ -1,0 +1,88 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdmissionAdmitsIdle(t *testing.T) {
+	a := Admission{Period: 0.1, Bound: 1, MaxQueue: 8}
+	d := a.Decide(0, 0)
+	if !d.Admit {
+		t.Fatalf("idle gateway shed a request: %+v", d)
+	}
+	if d.PredictedWait != 0 {
+		t.Fatalf("predicted wait %v at zero rate and empty queue", d.PredictedWait)
+	}
+}
+
+func TestAdmissionPredictedWait(t *testing.T) {
+	a := Admission{Period: 0.2, Bound: 100, MaxQueue: 100}
+	rate := 2.0 // ρ = 0.4
+	d := a.Decide(rate, 3)
+	want := 3*0.2 + MD1Wait(rate, 0.2)
+	if math.Abs(d.PredictedWait-want) > 1e-12 {
+		t.Fatalf("predicted wait %v, want backlog + MD1Wait = %v", d.PredictedWait, want)
+	}
+}
+
+func TestAdmissionShedsPastStabilityBound(t *testing.T) {
+	a := Admission{Period: 0.5, Bound: 10, MaxQueue: 100}
+	d := a.Decide(2.5, 0) // ρ = 1.25: unstable, MD1Wait = +Inf
+	if d.Admit {
+		t.Fatal("admitted past the M/D/1 stability bound")
+	}
+	if !math.IsInf(d.PredictedWait, 1) {
+		t.Fatalf("predicted wait %v, want +Inf", d.PredictedWait)
+	}
+	if math.IsInf(d.RetryAfter, 1) || d.RetryAfter < a.Period {
+		t.Fatalf("RetryAfter %v, want finite and >= period", d.RetryAfter)
+	}
+}
+
+func TestAdmissionHardQueueCap(t *testing.T) {
+	a := Admission{Period: 0.01, Bound: 1000, MaxQueue: 4}
+	if d := a.Decide(0, 3); !d.Admit {
+		t.Fatalf("shed below the queue cap: %+v", d)
+	}
+	d := a.Decide(0, 4)
+	if d.Admit {
+		t.Fatal("admitted at the queue cap despite a huge bound")
+	}
+	if d.RetryAfter < a.Period {
+		t.Fatalf("RetryAfter %v below one period", d.RetryAfter)
+	}
+}
+
+func TestAdmissionMonotone(t *testing.T) {
+	// Raising the backlog or the rate never flips shed -> admit.
+	a := Admission{Period: 0.1, Bound: 2, MaxQueue: 64}
+	rates := []float64{0, 1, 3, 6, 9, 9.9, 11, 20}
+	for _, rate := range rates {
+		shed := false
+		for queued := 0; queued <= 70; queued++ {
+			d := a.Decide(rate, queued)
+			if shed && d.Admit {
+				t.Fatalf("rate %v: queued %d admitted after a smaller backlog shed", rate, queued)
+			}
+			shed = shed || !d.Admit
+		}
+	}
+	for queued := 0; queued <= 70; queued += 7 {
+		shed := false
+		for _, rate := range rates {
+			d := a.Decide(rate, queued)
+			if shed && d.Admit {
+				t.Fatalf("queued %d: rate %v admitted after a smaller rate shed", queued, rate)
+			}
+			shed = shed || !d.Admit
+		}
+	}
+}
+
+func TestAdmissionNegativeQueueClamped(t *testing.T) {
+	a := Admission{Period: 0.1, Bound: 1, MaxQueue: 8}
+	if d := a.Decide(0, -3); !d.Admit || d.PredictedWait != 0 {
+		t.Fatalf("negative backlog not clamped: %+v", d)
+	}
+}

@@ -499,3 +499,116 @@ func TestWorkerServesMultipleCoordinators(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAdaptiveConcurrentSubmitDuringSwitch hammers Submit from many
+// goroutines while the scripted estimator forces repeated scheme switches
+// underneath them: every submit must execute exactly once (no loss, no
+// duplication), every output must match the reference, and the per-scheme
+// ledger must account for every task. Run it under -race: it is the
+// concurrency contract for the submitMu drain-and-switch path.
+func TestAdaptiveConcurrentSubmitDuringSwitch(t *testing.T) {
+	cands, lc, m := adaptiveFixture(t)
+	const (
+		submitters = 8
+		perG       = 6
+		total      = submitters * perG
+	)
+	// Alternate light/heavy blocks so the chooser flips schemes many times
+	// across the run, interleaving switches with concurrent submits.
+	rates := make([]float64, total)
+	for i := range rates {
+		if (i/4)%2 == 1 {
+			rates[i] = 10
+		}
+	}
+	est := &fakeEstimator{rates: rates}
+	a, err := NewAdaptive(cands, lc.Addrs, est, rateChooser(1), PipelineOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every submitter sends the same input so any lost, duplicated or
+	// cross-wired result is detectable against one reference output.
+	in := tensor.RandomInput(m.Input, 42)
+	ref, err := tensor.NewExecutor(m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		ids      map[int64]int
+		mismatch int
+		errs     []error
+	}
+	collected := make(chan outcome, 1)
+	go func() {
+		o := outcome{ids: make(map[int64]int)}
+		for res := range a.Results() {
+			if res.Err != nil {
+				o.errs = append(o.errs, res.Err)
+				continue
+			}
+			o.ids[res.ID]++
+			if !tensor.Equal(want, res.Output) {
+				o.mismatch++
+			}
+		}
+		collected <- o
+	}()
+
+	var wg sync.WaitGroup
+	submitErrs := make(chan error, total)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := a.Submit(in); err != nil {
+					submitErrs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(submitErrs)
+	for err := range submitErrs {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o := <-collected
+	for _, err := range o.errs {
+		t.Errorf("task failed: %v", err)
+	}
+	if o.mismatch > 0 {
+		t.Errorf("%d results differ from the reference output", o.mismatch)
+	}
+	if len(o.ids) != total {
+		t.Fatalf("%d distinct results for %d submits", len(o.ids), total)
+	}
+	for id, n := range o.ids {
+		if n != 1 {
+			t.Fatalf("task %d delivered %d times", id, n)
+		}
+	}
+	tasksByScheme := a.SchemeTasks()
+	sum := 0
+	for _, n := range tasksByScheme {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("scheme ledger %v sums to %d, want %d", tasksByScheme, sum, total)
+	}
+	for _, c := range cands {
+		if tasksByScheme[c.Name] == 0 {
+			t.Fatalf("scheme %q never ran: %v", c.Name, tasksByScheme)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"net"
 	"strconv"
 	"strings"
 	"sync"
@@ -570,5 +571,79 @@ func TestPipelineStageWindows(t *testing.T) {
 				t.Fatalf("got %d results, want %d", next-1, tasks)
 			}
 		})
+	}
+}
+
+// TestWorkerShutdownSeversLingeringConns pins the graceful-drain bound: a
+// coordinator that connects and then never hangs up must not keep Shutdown
+// waiting past its grace budget — the lingering connection is severed and
+// the serve loop returns.
+func TestWorkerShutdownSeversLingeringConns(t *testing.T) {
+	w, err := NewWorker("shutdown-test", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- w.Serve() }()
+
+	conn, err := net.Dial("tcp", w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewConn(conn)
+	defer wc.Close()
+	if msg, err := wc.Recv(); err != nil || msg.Type != wire.MsgHello {
+		t.Fatalf("hello: %v %v", msg, err)
+	}
+
+	start := time.Now()
+	if err := w.Shutdown(100 * time.Millisecond); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("shutdown took %v despite a 100ms grace", waited)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve loop never returned after Shutdown")
+	}
+	// The lingering connection was severed server-side.
+	if _, err := wc.Recv(); err == nil {
+		t.Fatal("lingering connection still alive after Shutdown")
+	}
+}
+
+// TestWorkerShutdownWaitsForPoliteConns is the complementary case: when the
+// peer hangs up within the grace budget, Shutdown returns without severing.
+func TestWorkerShutdownWaitsForPoliteConns(t *testing.T) {
+	w, err := NewWorker("shutdown-polite", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- w.Serve() }()
+
+	conn, err := net.Dial("tcp", w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewConn(conn)
+	if msg, err := wc.Recv(); err != nil || msg.Type != wire.MsgHello {
+		t.Fatalf("hello: %v %v", msg, err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		_ = wc.Send(wire.MsgShutdown, nil, nil)
+		_ = wc.Close()
+	}()
+	if err := w.Shutdown(30 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
 	}
 }

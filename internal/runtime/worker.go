@@ -213,6 +213,40 @@ func (w *Worker) Close() error {
 	return err
 }
 
+// Shutdown drains the worker gracefully: it stops accepting new
+// connections, then waits up to grace for the live connections to finish
+// their queued execs and disconnect on their own. Connections still open
+// after grace — idle coordinators that never hang up, peers wedged
+// mid-stream — are severed so the daemon terminates within a bound instead
+// of waiting forever; a non-positive grace severs immediately. Serve
+// returns nil after Shutdown completes.
+func (w *Worker) Shutdown(grace time.Duration) error {
+	err := w.Close()
+	if grace > 0 {
+		idle := make(chan struct{})
+		go func() {
+			w.wg.Wait()
+			close(idle)
+		}()
+		select {
+		case <-idle:
+			return err
+		case <-time.After(grace):
+		}
+	}
+	w.mu.Lock()
+	conns := make([]*wire.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	w.wg.Wait()
+	return err
+}
+
 // Abort simulates a crash: the listener and every live connection are
 // severed immediately, so coordinators see in-flight requests fail. Used by
 // failure-injection tests and chaos tooling.

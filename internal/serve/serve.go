@@ -1,0 +1,448 @@
+// Package serve is the production serving gateway ("picoserve"): a
+// long-lived HTTP front door that owns pooled runtime pipelines and serves
+// inference as a service, absorbing sustained multi-client traffic where
+// picorun runs one batch and exits.
+//
+// A request travels admission → session pool → micro-batcher → pipeline:
+//
+//	POST /infer ─► admission controller: a bounded intake queue that sheds
+//	               load (429 + Retry-After) when queueing.Admission — the
+//	               M/D/1 wait of §IV-C evaluated at the live EWMA arrival
+//	               estimate — predicts a latency-bound breach
+//	            ─► session pool: pipelines keyed by (model, plan, quant),
+//	               opened lazily, retired when down devices make the plan
+//	               unservable (the PR 5 fault machinery handles everything
+//	               short of that: deadlines, retries, redials, re-balance)
+//	            ─► micro-batcher: coalesces queued requests into pipeline
+//	               submission bursts within BatchWindow
+//	            ─► demux: Pipeline.Results() routed back to per-request
+//	               waiters by task id
+//
+// GET /healthz exposes each session's runtime.Health snapshot, GET /stats
+// the gateway counters. Shutdown drains gracefully: stop admitting, wait
+// for in-flight requests, flush and close every pipeline.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/nn"
+	"pico/internal/queueing"
+	"pico/internal/runtime"
+	"pico/internal/wire"
+)
+
+// Config assembles a Gateway.
+type Config struct {
+	// Cluster profiles the devices behind Addrs; the planner prices every
+	// session's plan against it.
+	Cluster *cluster.Cluster
+	// Addrs maps cluster device index to worker address.
+	Addrs map[int]string
+	// Models are the servable models by request name.
+	Models map[string]*nn.Model
+	// Seed is the shared weight seed (default 1).
+	Seed int64
+
+	// MaxQueue bounds the intake queue — requests admitted but not yet
+	// answered — across the gateway (default 64).
+	MaxQueue int
+	// LatencyBound is the admission controller's ceiling on the predicted
+	// wait, in seconds (default 30).
+	LatencyBound float64
+	// Beta and WindowSeconds parameterize the EWMA arrival estimator
+	// (defaults 0.5 and 10 — the framework's APICO defaults).
+	Beta          float64
+	WindowSeconds float64
+	// BatchWindow is how long the micro-batcher waits to coalesce queued
+	// requests into one submission burst (default 2ms; 0 disables
+	// coalescing — every request submits alone).
+	BatchWindow time.Duration
+	// MaxBatch caps one burst (default 16).
+	MaxBatch int
+	// Pipeline configures the pooled pipelines. Seed and Quantized are
+	// overridden per session.
+	Pipeline runtime.PipelineOptions
+}
+
+// Gateway is the HTTP serving front door.
+type Gateway struct {
+	cfg  Config
+	pool *pool
+	srv  *http.Server
+	ln   net.Listener
+
+	// estMu serializes the estimator, which is not goroutine-safe.
+	estMu   sync.Mutex
+	est     *queueing.Estimator
+	started time.Time
+
+	draining atomic.Bool
+	queued   atomic.Int64
+
+	admitted  atomic.Int64
+	shed      atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// New validates the config, applies defaults and builds the gateway. No
+// pipeline opens until the first request for its session key.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Cluster == nil || cfg.Cluster.Size() == 0 {
+		return nil, errors.New("serve: no cluster")
+	}
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("serve: no worker addresses")
+	}
+	if len(cfg.Models) == 0 {
+		return nil, errors.New("serve: no models")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.LatencyBound <= 0 {
+		cfg.LatencyBound = 30
+	}
+	if cfg.Beta <= 0 || cfg.Beta > 1 {
+		cfg.Beta = 0.5
+	}
+	if cfg.WindowSeconds <= 0 {
+		cfg.WindowSeconds = 10
+	}
+	if cfg.BatchWindow < 0 {
+		cfg.BatchWindow = 0
+	} else if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 2 * time.Millisecond
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	est, err := queueing.NewEstimator(cfg.Beta, cfg.WindowSeconds)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{cfg: cfg, est: est, started: time.Now()}
+	g.pool = newPool(&g.cfg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", g.handleInfer)
+	mux.HandleFunc("/healthz", g.handleHealth)
+	mux.HandleFunc("/stats", g.handleStats)
+	g.srv = &http.Server{Handler: mux}
+	return g, nil
+}
+
+// Handler exposes the gateway's routes for embedding and tests.
+func (g *Gateway) Handler() http.Handler { return g.srv.Handler }
+
+// Listen binds addr (":0" for an ephemeral port) and returns the bound
+// address. Call Serve to start handling requests.
+func (g *Gateway) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	g.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address, or "" before Listen.
+func (g *Gateway) Addr() string {
+	if g.ln == nil {
+		return ""
+	}
+	return g.ln.Addr().String()
+}
+
+// Serve handles requests on the listener bound by Listen until Shutdown.
+// It returns nil after a graceful shutdown.
+func (g *Gateway) Serve() error {
+	if g.ln == nil {
+		return errors.New("serve: Serve before Listen")
+	}
+	if err := g.srv.Serve(g.ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown drains the gateway: new requests are refused (503), the HTTP
+// server stops listening and waits for in-flight handlers — each of which
+// is waiting on its task — then every session flushes its queue, drains its
+// pipeline and disconnects its workers. With a generous ctx nothing
+// admitted is ever dropped; the drain is bounded even under faults because
+// every in-flight tile wait carries an exec deadline.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.draining.Store(true)
+	err := g.srv.Shutdown(ctx)
+	if cerr := g.pool.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// observeArrival feeds the estimator one arrival and returns the current
+// EWMA rate.
+func (g *Gateway) observeArrival() float64 {
+	g.estMu.Lock()
+	defer g.estMu.Unlock()
+	g.est.Observe(time.Since(g.started).Seconds())
+	return g.est.Rate()
+}
+
+// rate returns the EWMA estimate without recording an arrival.
+func (g *Gateway) rate() float64 {
+	g.estMu.Lock()
+	defer g.estMu.Unlock()
+	return g.est.Rate()
+}
+
+// sessionKey resolves a request's (model, plan, quant) triple. The model
+// parameter may be omitted when exactly one model is served. On error the
+// returned status is the HTTP code to answer with.
+func (g *Gateway) sessionKey(r *http.Request) (SessionKey, int, error) {
+	q := r.URL.Query()
+	name := q.Get("model")
+	if name == "" {
+		if len(g.cfg.Models) != 1 {
+			return SessionKey{}, http.StatusBadRequest, fmt.Errorf("model parameter required (serving %d models)", len(g.cfg.Models))
+		}
+		for only := range g.cfg.Models {
+			name = only
+		}
+	}
+	if g.cfg.Models[name] == nil {
+		return SessionKey{}, http.StatusNotFound, fmt.Errorf("unknown model %q", name)
+	}
+	plan := q.Get("plan")
+	if plan == "" {
+		plan = PlanPICO
+	}
+	if plan != PlanPICO && plan != PlanFused {
+		return SessionKey{}, http.StatusBadRequest, fmt.Errorf("unknown plan %q (want %s or %s)", plan, PlanPICO, PlanFused)
+	}
+	quant := false
+	switch v := q.Get("quant"); v {
+	case "", "0", "false":
+	case "1", "true":
+		quant = true
+	default:
+		return SessionKey{}, http.StatusBadRequest, fmt.Errorf("bad quant value %q", v)
+	}
+	return SessionKey{Model: name, Plan: plan, Quant: quant}, http.StatusOK, nil
+}
+
+// handleInfer is the inference endpoint: POST a raw little-endian float32
+// CHW feature map sized to the model's input shape, receive the output map
+// in the same encoding. Responses: 200 with the output, 429 + Retry-After
+// when load-shed, 503 while draining or when the session cannot open.
+func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if g.draining.Load() {
+		g.rejected.Add(1)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	key, status, err := g.sessionKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	sess, err := g.pool.get(key)
+	if err != nil {
+		g.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	// Validate the payload before admission so malformed requests never
+	// enter the ledger (admitted must equal completed + failed).
+	in := g.cfg.Models[key.Model].Input
+	wantBytes := 4 * in.C * in.H * in.W
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(wantBytes)))
+	if err != nil || len(body) != wantBytes {
+		http.Error(w, fmt.Sprintf("body must be exactly %d little-endian float32 bytes (CHW %dx%dx%d)",
+			wantBytes, in.C, in.H, in.W), http.StatusBadRequest)
+		return
+	}
+	input, err := wire.DecodeTensor(in.C, in.H, in.W, body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Admission: every arrival feeds the EWMA estimator; the session's
+	// M/D/1 predicate sheds when the predicted wait breaches the bound or
+	// the intake queue is full.
+	rate := g.observeArrival()
+	dec := sess.adm.Decide(rate, int(g.queued.Load()))
+	if !dec.Admit {
+		g.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(dec.RetryAfter)))
+		http.Error(w, fmt.Sprintf("overloaded: predicted wait %.3gs exceeds bound %.3gs (rate %.3g/s)",
+			dec.PredictedWait, sess.adm.Bound, rate), http.StatusTooManyRequests)
+		return
+	}
+	g.admitted.Add(1)
+	g.queued.Add(1)
+	defer g.queued.Add(-1)
+
+	res, err := sess.infer(r.Context().Done(), input)
+	if err != nil {
+		if errors.Is(err, errRetired) {
+			g.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		// Client went away; nothing useful to write.
+		g.failed.Add(1)
+		return
+	}
+	if res.Err != nil {
+		g.failed.Add(1)
+		http.Error(w, "inference: "+res.Err.Error(), http.StatusInternalServerError)
+		return
+	}
+	g.completed.Add(1)
+	out := res.Output
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Pico-Shape", fmt.Sprintf("%d,%d,%d", out.C, out.H, out.W))
+	w.Header().Set("X-Pico-Task", strconv.FormatInt(res.ID, 10))
+	w.Header().Set("X-Pico-Latency", res.Done.Sub(res.Submitted).String())
+	payload := wire.EncodeTensor(out)
+	_, _ = w.Write(payload)
+	wire.PutBuffer(payload)
+}
+
+// retryAfterSeconds rounds a back-off up to whole seconds for the
+// Retry-After header (minimum 1).
+func retryAfterSeconds(s float64) int {
+	if math.IsNaN(s) || s < 1 {
+		return 1
+	}
+	return int(math.Ceil(s))
+}
+
+// SessionHealth is one pooled session's slice of the /healthz payload.
+type SessionHealth struct {
+	Key           SessionKey     `json:"key"`
+	PeriodSeconds float64        `json:"period_seconds"`
+	Stages        int            `json:"stages"`
+	Tasks         int64          `json:"tasks"`
+	Health        runtime.Health `json:"health"`
+}
+
+// handleHealth reports gateway liveness plus every session's pipeline
+// health snapshot. 200 when serving and every session servable; 503 while
+// draining or degraded past servability.
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	sessions := g.pool.snapshot()
+	resp := struct {
+		Status   string          `json:"status"`
+		Sessions []SessionHealth `json:"sessions"`
+	}{Status: "ok", Sessions: make([]SessionHealth, 0, len(sessions))}
+	status := http.StatusOK
+	for _, s := range sessions {
+		h := s.pipe.Health()
+		if !h.Servable {
+			resp.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+		resp.Sessions = append(resp.Sessions, SessionHealth{
+			Key:           s.key,
+			PeriodSeconds: s.period,
+			Stages:        len(s.plan.Stages),
+			Tasks:         s.tasks.Load(),
+			Health:        h,
+		})
+	}
+	if g.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	RateEstimate  float64        `json:"rate_estimate"`
+	Queued        int64          `json:"queued"`
+	Admitted      int64          `json:"admitted"`
+	Shed          int64          `json:"shed"`
+	Rejected      int64          `json:"rejected"`
+	Completed     int64          `json:"completed"`
+	Failed        int64          `json:"failed"`
+	Sessions      []SessionStats `json:"sessions"`
+}
+
+// SessionStats summarizes one session's batching behaviour.
+type SessionStats struct {
+	Key           SessionKey `json:"key"`
+	PeriodSeconds float64    `json:"period_seconds"`
+	Tasks         int64      `json:"tasks"`
+	Batches       int64      `json:"batches"`
+	BatchedTasks  int64      `json:"batched_tasks"`
+	MeanBatch     float64    `json:"mean_batch"`
+}
+
+// GatewayStats snapshots the gateway counters (also serialized by /stats).
+func (g *Gateway) GatewayStats() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(g.started).Seconds(),
+		RateEstimate:  g.rate(),
+		Queued:        g.queued.Load(),
+		Admitted:      g.admitted.Load(),
+		Shed:          g.shed.Load(),
+		Rejected:      g.rejected.Load(),
+		Completed:     g.completed.Load(),
+		Failed:        g.failed.Load(),
+	}
+	for _, s := range g.pool.snapshot() {
+		ss := SessionStats{
+			Key:           s.key,
+			PeriodSeconds: s.period,
+			Tasks:         s.tasks.Load(),
+			Batches:       s.batches.Load(),
+			BatchedTasks:  s.batched.Load(),
+		}
+		if ss.Batches > 0 {
+			ss.MeanBatch = float64(ss.BatchedTasks) / float64(ss.Batches)
+		}
+		st.Sessions = append(st.Sessions, ss)
+	}
+	return st
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.GatewayStats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

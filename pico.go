@@ -8,6 +8,7 @@ import (
 	"pico/internal/queueing"
 	"pico/internal/runtime"
 	"pico/internal/schemes"
+	"pico/internal/serve"
 	"pico/internal/simulate"
 	"pico/internal/tensor"
 )
@@ -99,6 +100,21 @@ type (
 	GridExecutor = runtime.GridExecutor
 	// StageSpan is one task's occupancy of one pipeline stage.
 	StageSpan = runtime.StageSpan
+	// Health is a pipeline's point-in-time operational snapshot.
+	Health = runtime.Health
+
+	// Gateway is the HTTP serving front door (picoserve's engine).
+	Gateway = serve.Gateway
+	// GatewayConfig assembles a Gateway.
+	GatewayConfig = serve.Config
+	// GatewayStats is the gateway's /stats counter snapshot.
+	GatewayStats = serve.Stats
+	// SessionKey identifies one pooled pipeline: (model, plan, quant).
+	SessionKey = serve.SessionKey
+	// Admission is the M/D/1 load-shedding predicate of the gateway.
+	Admission = queueing.Admission
+	// AdmissionDecision is one admit/shed verdict with its predicted wait.
+	AdmissionDecision = queueing.Decision
 )
 
 // Layer kinds, activations and block combination modes, re-exported for
@@ -258,6 +274,8 @@ var (
 	// NewGridExecutorQuant is the int8 grid distributor: quarter-size
 	// tile payloads, results byte-identical to a local whole-map RunQ.
 	NewGridExecutorQuant = runtime.NewGridExecutorQuant
+	// NewGateway builds the HTTP serving gateway over a worker cluster.
+	NewGateway = serve.New
 )
 
 // FullFeatureMap returns the Range covering all rows of height h.
