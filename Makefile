@@ -10,7 +10,7 @@ BENCH_KERNEL_OUT ?= BENCH_PR4.json
 BENCH_KERNEL_BASE ?= BENCH_PR4.json
 BENCH_QUANT_OUT ?= BENCH_PR7.json
 
-.PHONY: all build vet test race race-hot race-quant chaos bench bench-json bench-kernel bench-compare bench-quant bench-quant-smoke serve-smoke cross check
+.PHONY: all build vet test race race-hot race-quant chaos bench bench-json bench-kernel bench-kernel-smoke bench-compare bench-quant bench-quant-smoke serve-smoke cross check
 
 all: check
 
@@ -70,6 +70,13 @@ bench-quant:
 bench-quant-smoke:
 	$(GO) test -run NONE -bench QuantKernelKinds -benchtime=1x .
 
+# One-iteration pass over the float kernel-kind sweep: exercises every
+# float32 vector tile (conv/pointwise/depthwise/pool/gap/fc) through the
+# blocked dispatch without a full timing run. Anchored so the quant sweep
+# does not run twice inside `check`.
+bench-kernel-smoke:
+	$(GO) test -run NONE -bench '^BenchmarkKernelKinds$$' -benchtime=1x .
+
 # Serving-gateway smoke under the race detector: the full binary path
 # (loopback workers, HTTP, micro-batcher, drain) plus the end-to-end
 # byte-identity contract between /infer and a local run.
@@ -91,4 +98,4 @@ cross:
 bench-compare:
 	$(GO) run ./cmd/picobench -kerncompare $(BENCH_KERNEL_BASE)
 
-check: build vet cross test race race-quant chaos bench bench-quant-smoke bench-json serve-smoke
+check: build vet cross test race race-quant chaos bench bench-kernel-smoke bench-quant-smoke bench-json serve-smoke

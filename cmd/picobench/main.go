@@ -206,6 +206,10 @@ func runKernelBench(cfg experiments.Config, jsonPath, basePath string, stdout, s
 			fmt.Fprintf(stderr, "picobench: parse %s: %v\n", basePath, err)
 			return 1
 		}
+		if base.SIMDName != res.SIMDName {
+			fmt.Fprintf(stderr, "picobench: WARNING baseline simd_name %q != this host %q; blocked times are not comparable across vector ISAs\n",
+				base.SIMDName, res.SIMDName)
+		}
 		regs := experiments.CompareKernelBench(&base, res, 0.10)
 		for _, r := range regs {
 			fmt.Fprintf(stderr, "picobench: REGRESSION %s\n", r)

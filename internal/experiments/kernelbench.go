@@ -51,9 +51,15 @@ type ForwardBenchRow struct {
 type KernelBenchResult struct {
 	// GOMAXPROCS records the host parallelism the sweep ran under, since
 	// rows at par > 1 only separate from par = 1 on multi-core hosts.
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Kernels    []KernelBenchRow  `json:"kernels"`
-	Forward    []ForwardBenchRow `json:"forward"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// SIMD records whether the float32 kernels ran a vector ISA; blocked
+	// times measured without one are not comparable to SIMD hosts.
+	// SIMDName says which ("avx2", "neon"), mirroring the quantbench
+	// artefact so the two JSON files diff cleanly.
+	SIMD     bool              `json:"simd"`
+	SIMDName string            `json:"simd_name"`
+	Kernels  []KernelBenchRow  `json:"kernels"`
+	Forward  []ForwardBenchRow `json:"forward"`
 }
 
 // kernelCase is one single-layer model for the micro sweep. Shapes are
@@ -165,7 +171,11 @@ func benchPair(m *nn.Model, par, minIters int, minDur time.Duration) (float64, f
 // the full sweep.
 func RunKernelBench(cfg Config) (*KernelBenchResult, error) {
 	quick := cfg.ClosedLoopTasks < Full().ClosedLoopTasks
-	res := &KernelBenchResult{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	res := &KernelBenchResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SIMD:       tensor.FloatSIMD(),
+		SIMDName:   tensor.SIMDName(),
+	}
 
 	pars := []int{1}
 	if res.GOMAXPROCS > 1 {
@@ -259,7 +269,8 @@ func KernelBench(cfg Config) ([]Table, error) {
 		Title:   "per-layer-kind kernel time, reference vs cache-blocked engine",
 		Columns: []string{"kind", "shape", "par", "MMACs", "MB moved", "ref ms", "blocked ms", "speedup"},
 		Notes: []string{
-			fmt.Sprintf("GOMAXPROCS=%d; par rows beyond 1 appear only on multi-core hosts", res.GOMAXPROCS),
+			fmt.Sprintf("GOMAXPROCS=%d, float32 SIMD=%q; par rows beyond 1 appear only on multi-core hosts",
+				res.GOMAXPROCS, tensor.SIMDName()),
 			"MB moved = float32 input + output + weights touched per forward",
 		},
 	}

@@ -1,0 +1,61 @@
+package runtime
+
+import (
+	"testing"
+
+	"pico/internal/nn"
+	"pico/internal/partition"
+	"pico/internal/tensor"
+)
+
+// TestGridExecutorMatchesRun is the distributed float 2D-partition contract
+// under the vector kernels: a grid of float tiles executed on live TCP
+// workers and stitched must be byte-identical to the local whole-map Run.
+// The model mixes every vectorized conv kind (fused 3-tap, depthwise,
+// pointwise, stride-2) plus a 2x2 max-pool, so on SIMD hosts the workers'
+// rect tiles run the same vector paths the local executor does.
+func TestGridExecutorMatchesRun(t *testing.T) {
+	m := &nn.Model{
+		Name:  "fgrid-rt",
+		Input: nn.Shape{C: 6, H: 36, W: 36},
+		Layers: []nn.Layer{
+			{Name: "c3", Kind: nn.Conv, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, OutC: 6, Act: nn.ReLU},
+			{Name: "dw", Kind: nn.Conv, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, OutC: 6, Groups: 6, Act: nn.ReLU, BatchNorm: true},
+			{Name: "pw", Kind: nn.Conv, KH: 1, KW: 1, SH: 1, SW: 1, OutC: 12, Act: nn.ReLU, BatchNorm: true},
+			{Name: "s2", Kind: nn.Conv, KH: 3, KW: 3, SH: 2, SW: 2, PH: 1, PW: 1, OutC: 12, Act: nn.LeakyReLU},
+			{Name: "mp", Kind: nn.MaxPool, KH: 2, KW: 2, SH: 2, SW: 2, Act: nn.NoAct},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lc := startCluster(t, 4, nil)
+	out := m.Output()
+	tiles := partition.GridPartition(out.H, out.W, 2, 2)
+	addrs := []string{lc.Addrs[0], lc.Addrs[1], lc.Addrs[2], lc.Addrs[3]}
+	const seed = 8
+	ge, err := NewGridExecutor(m, 0, m.NumLayers(), tiles, addrs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ge.Close()
+	ref, err := tensor.NewExecutor(m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := int64(1); task <= 3; task++ {
+		in := tensor.RandomInput(m.Input, task)
+		want, err := ref.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ge.Infer(task, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(want, got) {
+			t.Fatalf("task %d: distributed float grid differs from local Run by %g",
+				task, tensor.MaxAbsDiff(want, got))
+		}
+	}
+}

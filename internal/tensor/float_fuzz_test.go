@@ -1,0 +1,269 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pico/internal/nn"
+)
+
+// FuzzFKernelTile drives every float32 vector tile wrapper against an inline
+// scalar reference over fuzzer-chosen sizes, strides and random data,
+// comparing exact bits. The scalar references chain operations in exactly
+// the order the kernels document (one statement per tap), so any vector
+// reordering — or an FMA where the host compiler rounds twice — shows up as
+// a bit mismatch. The parameter tuple matches FuzzConvGeometry and
+// FuzzQKernelTile so the three targets share crasher corpora. Run with
+// `go test -fuzz=FuzzFKernelTile ./internal/tensor` to explore beyond the
+// seeds.
+func FuzzFKernelTile(f *testing.F) {
+	// Seeds straddle each wrapper's vector/scalar split (8- and 16-column
+	// thresholds) plus pure-tail sizes.
+	f.Add(uint8(3), uint8(3), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint8(5), uint8(9), uint8(1))
+	f.Add(uint8(16), uint8(0), uint8(1), uint8(2), uint8(0), uint8(0), uint8(1), uint8(7), uint8(10), uint8(2))
+	f.Add(uint8(15), uint8(7), uint8(2), uint8(1), uint8(3), uint8(1), uint8(6), uint8(6), uint8(6), uint8(0))
+	f.Add(uint8(64), uint8(31), uint8(1), uint8(1), uint8(2), uint8(3), uint8(2), uint8(8), uint8(8), uint8(1))
+	f.Add(uint8(7), uint8(1), uint8(2), uint8(2), uint8(3), uint8(0), uint8(1), uint8(4), uint8(8), uint8(2))
+	f.Fuzz(func(t *testing.T, p0, p1, p2, p3, p4, p5, p6, p7, p8, p9 uint8) {
+		n := 1 + int(p0)%96
+		pad := int(p1) % 9
+		stride := n + pad
+		rng := rand.New(rand.NewSource(int64(p2)<<40 | int64(p3)<<32 | int64(p4)<<24 |
+			int64(p5)<<16 | int64(p6)<<8 | int64(p7)))
+		randF := func(k int) []float32 {
+			s := make([]float32, k)
+			for i := range s {
+				s[i] = (rng.Float32()*2 - 1) * 8
+			}
+			return s
+		}
+		bitsEq := func(a, b float32) bool {
+			return math.Float32bits(a) == math.Float32bits(b)
+		}
+
+		// macRows4F, both strides.
+		for _, sw := range []int{1, 2} {
+			src := randF((n-1)*sw + 1)
+			w := randF(4)
+			got := randF(4 * stride)
+			want := append([]float32(nil), got...)
+			macRows4F(got, stride, src, w, sw, n)
+			for r := 0; r < 4; r++ {
+				for i := 0; i < n; i++ {
+					want[r*stride+i] += w[r] * src[i*sw]
+				}
+			}
+			for i := range want {
+				if !bitsEq(got[i], want[i]) {
+					t.Fatalf("macRows4F sw=%d n=%d stride=%d: acc[%d]=%g want %g", sw, n, stride, i, got[i], want[i])
+				}
+			}
+		}
+
+		// mac3Rows4F: fused dense 3-tap, tap-major 12-weight row. The
+		// reference chains the taps one statement at a time — the exact
+		// order the fused kernel must preserve.
+		{
+			src := randF(n + 2)
+			w := randF(12)
+			got := randF(4 * stride)
+			want := append([]float32(nil), got...)
+			mac3Rows4F(got, stride, src, w, n)
+			for r := 0; r < 4; r++ {
+				for i := 0; i < n; i++ {
+					v := want[r*stride+i] + w[r]*src[i]
+					v += w[4+r] * src[i+1]
+					v += w[8+r] * src[i+2]
+					want[r*stride+i] = v
+				}
+			}
+			for i := range want {
+				if !bitsEq(got[i], want[i]) {
+					t.Fatalf("mac3Rows4F n=%d stride=%d: acc[%d]=%g want %g", n, stride, i, got[i], want[i])
+				}
+			}
+		}
+
+		// dw3RowF: fused depthwise 3-tap.
+		{
+			src := randF(n + 2)
+			var w [4]float32
+			copy(w[:], randF(4))
+			got := randF(n)
+			want := append([]float32(nil), got...)
+			dw3RowF(got, src, &w, n)
+			for i := 0; i < n; i++ {
+				v := want[i] + w[0]*src[i]
+				v += w[1] * src[i+1]
+				v += w[2] * src[i+2]
+				want[i] = v
+			}
+			for i := range want {
+				if !bitsEq(got[i], want[i]) {
+					t.Fatalf("dw3RowF n=%d: acc[%d]=%g want %g", n, i, got[i], want[i])
+				}
+			}
+		}
+
+		// macRowF: single-row saxpy.
+		{
+			src := randF(n)
+			w := randF(1)[0]
+			got := randF(n)
+			want := append([]float32(nil), got...)
+			macRowF(got, src, w)
+			for i := 0; i < n; i++ {
+				want[i] += w * src[i]
+			}
+			for i := range want {
+				if !bitsEq(got[i], want[i]) {
+					t.Fatalf("macRowF n=%d: dst[%d]=%g want %g", n, i, got[i], want[i])
+				}
+			}
+		}
+
+		// maxPairRowF: 2x2 stride-2 max-pool row pair, with NaN and
+		// signed-zero lanes sprinkled in so the `if v > acc` semantics
+		// (candidate NaNs and +0/-0 ties keep the accumulator) are covered.
+		{
+			a, b := randF(2*n), randF(2*n)
+			if p9%3 == 0 {
+				nan := float32(math.NaN())
+				negZero := float32(math.Copysign(0, -1))
+				for k := 0; k < 1+n/4; k++ {
+					a[rng.Intn(2*n)] = nan
+					b[rng.Intn(2*n)] = negZero
+					a[rng.Intn(2*n)] = 0
+				}
+			}
+			got := make([]float32, n)
+			maxPairRowF(got, a, b, n)
+			for i := 0; i < n; i++ {
+				v := negInf
+				if a[2*i] > v {
+					v = a[2*i]
+				}
+				if a[2*i+1] > v {
+					v = a[2*i+1]
+				}
+				if b[2*i] > v {
+					v = b[2*i]
+				}
+				if b[2*i+1] > v {
+					v = b[2*i+1]
+				}
+				if !bitsEq(got[i], v) {
+					t.Fatalf("maxPairRowF n=%d: dst[%d]=%g want %g (a %g %g b %g %g)",
+						n, i, got[i], v, a[2*i], a[2*i+1], b[2*i], b[2*i+1])
+				}
+			}
+		}
+
+		// gapSum8F: 8-channel sum reduction, each channel in ascending order.
+		{
+			chanStride := n + pad
+			src := randF(7*chanStride + n)
+			var got [8]float32
+			gapSum8F(&got, src, chanStride, n)
+			for c := 0; c < 8; c++ {
+				var acc float32
+				for _, v := range src[c*chanStride : c*chanStride+n] {
+					acc += v
+				}
+				if !bitsEq(got[c], acc) {
+					t.Fatalf("gapSum8F n=%d stride=%d: dst[%d]=%g want %g", n, chanStride, c, got[c], acc)
+				}
+			}
+		}
+
+		// finishRowF: the batch-norm + activation epilogue over every act x
+		// bn combination, with NaN and -0 lanes so the compare+mask select
+		// semantics are pinned.
+		for _, act := range []nn.Activation{nn.NoAct, nn.ReLU, nn.LeakyReLU} {
+			for _, bn := range []bool{false, true} {
+				scale, shift := randF(1)[0], randF(1)[0]
+				got := randF(n)
+				if p9%3 == 1 {
+					got[rng.Intn(n)] = float32(math.Copysign(0, -1))
+					got[rng.Intn(n)] = float32(math.NaN())
+				}
+				want := append([]float32(nil), got...)
+				finishRowF(got, scale, shift, bn, act)
+				if bn {
+					for i := range want {
+						want[i] = want[i]*scale + shift
+					}
+				}
+				switch act {
+				case nn.ReLU:
+					for i, v := range want {
+						if v < 0 {
+							want[i] = 0
+						}
+					}
+				case nn.LeakyReLU:
+					for i, v := range want {
+						if v < 0 {
+							want[i] = 0.1 * v
+						}
+					}
+				}
+				for i := range want {
+					if !bitsEq(got[i], want[i]) {
+						t.Fatalf("finishRowF act=%d bn=%v n=%d: dst[%d]=%g want %g", act, bn, n, i, got[i], want[i])
+					}
+				}
+			}
+		}
+
+		// The two register-resident tiles have no scalar tail of their own;
+		// drive the raw asm where the host has it.
+		if simdFloat {
+			// fpwTile16: bias-seeded 4-channel x 16-column pointwise tile.
+			{
+				inC := 1 + int(p8)%7
+				chanStride := 16 + pad
+				src := randF((inC-1)*chanStride + 16)
+				w := randF(inC * 4)
+				bias := randF(4)
+				accStride := 16 + int(p9)%5
+				got := randF(4 * accStride)
+				want := append([]float32(nil), got...)
+				fpwTile16(&got[0], accStride, &src[0], chanStride, &w[0], &bias[0], inC)
+				for b := 0; b < 4; b++ {
+					for j := 0; j < 16; j++ {
+						v := bias[b]
+						for g := 0; g < inC; g++ {
+							v += w[g*4+b] * src[g*chanStride+j]
+						}
+						want[b*accStride+j] = v
+					}
+				}
+				for i := range want {
+					if !bitsEq(got[i], want[i]) {
+						t.Fatalf("fpwTile16 inC=%d: acc[%d]=%g want %g", inC, i, got[i], want[i])
+					}
+				}
+			}
+
+			// ffcPanel16: 16 features from a transposed weight panel.
+			{
+				panel := randF(n * 16)
+				src := randF(n)
+				bias := randF(16)
+				var got [16]float32
+				ffcPanel16(&got[0], &panel[0], &src[0], &bias[0], n)
+				for l := 0; l < 16; l++ {
+					acc := bias[l]
+					for i := 0; i < n; i++ {
+						acc += panel[i*16+l] * src[i]
+					}
+					if !bitsEq(got[l], acc) {
+						t.Fatalf("ffcPanel16 n=%d: dst[%d]=%g want %g", n, l, got[l], acc)
+					}
+				}
+			}
+		}
+	})
+}

@@ -35,6 +35,9 @@ func convForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, 
 	case groups > 1 && icg == 1 && ocg == 1:
 		return convForwardDepthwise(in, inLo, inHGlobal, l, wts, outLo, outHi, par)
 	case groups == 1 && l.KH == 1 && l.KW == 1 && l.SH == 1 && l.SW == 1 && l.PH == 0 && l.PW == 0:
+		if floatPointwiseAvailable((outHi - outLo) * in.W) {
+			return convForwardPointwiseSIMD(in, inLo, inHGlobal, l, wts, outLo, outHi, par)
+		}
 		return convForwardPointwise(in, inLo, inHGlobal, l, wts, outLo, outHi, par)
 	default:
 		return convForwardBlocked(in, inLo, inHGlobal, l, wts, outLo, outHi, par)
@@ -113,6 +116,7 @@ func convForwardBlocked(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWe
 	}
 	icg := in.C / groups
 	grain := grainFor(ocBlockWidth * icg * l.KH * l.KW * outW)
+	accStride := outRows * outW
 	parallelForGrain(len(wts.blocks)*outRows, par, grain, func(lo, hi int) {
 		var accs [ocBlockWidth][]float32
 		for u := lo; u < hi; u++ {
@@ -127,6 +131,10 @@ func convForwardBlocked(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWe
 				}
 				accs[b] = acc
 			}
+			// The four accumulator rows of a full-width block are evenly
+			// strided in out.Data, which is what the packed row primitive
+			// (and its vector tiles) wants.
+			accBase := out.Data[(blk.oc0*outRows+or)*outW:]
 			for g := 0; g < icg; g++ {
 				ic := blk.icBase + g
 				for kh := 0; kh < l.KH; kh++ {
@@ -141,7 +149,7 @@ func convForwardBlocked(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWe
 					inRow := in.Data[(ic*in.H+ih)*in.W : (ic*in.H+ih+1)*in.W]
 					if blk.packed != nil {
 						pk := blk.packed[(g*l.KH+kh)*l.KW*ocBlockWidth:]
-						convRowBlock4(&accs, inRow, pk, l.KW, l.SW, l.PW, in.W, outW)
+						convRowBlk(accBase, accStride, inRow, pk, l.KW, l.SW, l.PW, 0, 0, in.W, outW)
 					} else {
 						for b := 0; b < blk.width; b++ {
 							oc := blk.oc0 + b
@@ -221,6 +229,64 @@ func convForwardPointwise(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *conv
 	return out
 }
 
+// convForwardPointwiseSIMD is the vector form of convForwardPointwise: the
+// 1:1 row mapping lets the whole strip flatten into n = outRows*outW
+// contiguous columns per channel, walked in 4-channel x 16-column tiles whose
+// 64 float32 accumulators live in registers across the entire input-channel
+// reduction. The tile seeds itself from the bias and accumulates channels in
+// ascending order — the scalar kernel's exact chain per output element — and
+// the overlapped final tile recomputes its columns from the bias again, so
+// the overlap changes nothing.
+func convForwardPointwiseSIMD(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *convWeights, outLo, outHi, par int) Tensor {
+	outW := in.W
+	outRows := outHi - outLo
+	out := Alloc(l.OutC, outRows, outW)
+	n := outRows * outW
+	ihBase := outLo - inLo
+	if ihBase < 0 || ihBase+outRows > in.H {
+		panic(fmt.Sprintf("tensor: conv needs global rows [%d,%d) outside tile [%d,%d)", outLo, outHi, inLo, inLo+in.H))
+	}
+	chanStride := in.H * in.W
+	base := ihBase * in.W
+	parallelForGrain(len(wts.blocks), par, grainFor(ocBlockWidth*in.C*n), func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			blk := &wts.blocks[u]
+			if blk.packed == nil {
+				// Ragged or sparse block: flattened per-channel sweep.
+				for b := 0; b < blk.width; b++ {
+					oc := blk.oc0 + b
+					acc := out.Data[oc*n : (oc+1)*n]
+					for i := range acc {
+						acc[i] = wts.bias[oc]
+					}
+					for g := 0; g < in.C; g++ {
+						src := in.Data[g*chanStride+base:][:n]
+						row := &wts.rows[oc*in.C+g]
+						convRow(acc, src, row, 1, 0, n, n)
+					}
+					finishChannel(acc, wts, oc, l.Act)
+				}
+				continue
+			}
+			acc := out.Data[blk.oc0*n:]
+			for x0 := 0; ; x0 += fpwTileCols {
+				if x0+fpwTileCols > n {
+					x0 = n - fpwTileCols // overlapped tail, recomputed bit-identically
+				}
+				fpwTile16(&acc[x0], n, &in.Data[base+x0], chanStride, &blk.packed[0], &wts.bias[blk.oc0], in.C)
+				if x0+fpwTileCols >= n {
+					break
+				}
+			}
+			for b := 0; b < blk.width; b++ {
+				oc := blk.oc0 + b
+				finishChannel(out.Data[oc*n:(oc+1)*n], wts, oc, l.Act)
+			}
+		}
+	})
+	return out
+}
+
 // convForwardDepthwise handles groups == channels convolutions — half of
 // MobileNetV1's layers — where each output channel reads exactly one input
 // channel. Register blocking across channels is impossible (adjacent output
@@ -270,12 +336,10 @@ func convForwardDepthwise(in Tensor, inLo, inHGlobal int, l *nn.Layer, wts *conv
 // one finished output-channel row.
 func finishChannel(acc []float32, wts *convWeights, oc int, act nn.Activation) {
 	if wts.bnScale != nil {
-		s, sh := wts.bnScale[oc], wts.bnShift[oc]
-		for i := range acc {
-			acc[i] = acc[i]*s + sh
-		}
+		finishRowF(acc, wts.bnScale[oc], wts.bnShift[oc], true, act)
+		return
 	}
-	applyActivation(acc, act)
+	finishRowF(acc, 0, 0, false, act)
 }
 
 // convRow accumulates one compacted kernel row over one input row. The taps
@@ -364,70 +428,89 @@ func convRow3(acc, inRow []float32, w0, w1, w2 float32, pw, inW, outW int) {
 	}
 	if loI < hiI {
 		n := hiI - loI
-		s0 := inRow[loI-pw:][:n]
-		s1 := inRow[loI-pw+1:][:n]
-		s2 := inRow[loI-pw+2:][:n]
-		dst := acc[loI:][:n]
-		for i := range dst {
-			v := dst[i] + w0*s0[i]
-			v += w1 * s1[i]
-			v += w2 * s2[i]
-			dst[i] = v
-		}
+		w4 := [4]float32{w0, w1, w2, 0}
+		dw3RowF(acc[loI:][:n], inRow[loI-pw:], &w4, n)
 	}
 }
 
-// convRowBlock4 accumulates one dense packed kernel row into four output
+// convRowBlk accumulates one dense packed kernel row into four output
 // channels' accumulator rows in a single sweep over the input row. pk holds
 // the row's taps tap-major: pk[kw*ocBlockWidth+b] is channel b's weight for
 // horizontal tap kw. Each channel's adds happen in ascending kw, identical
 // to convRow over a dense compacted row, so per-channel accumulation chains
 // are bit-identical to the reference.
-func convRowBlock4(accs *[ocBlockWidth][]float32, inRow, pk []float32, kw, sw, pw, inW, outW int) {
-	a0, a1, a2, a3 := accs[0], accs[1], accs[2], accs[3]
-	if sw == 1 {
-		for x := 0; x < kw; x++ {
-			iwOff := x - pw
-			owLo := 0
-			if iwOff < 0 {
-				owLo = -iwOff
-			}
-			owHi := outW
-			if maxOw := inW - 1 - iwOff; maxOw+1 < owHi {
-				owHi = maxOw + 1
-			}
-			if owLo >= owHi {
-				continue
-			}
-			w0, w1, w2, w3 := pk[x*ocBlockWidth], pk[x*ocBlockWidth+1], pk[x*ocBlockWidth+2], pk[x*ocBlockWidth+3]
-			n := owHi - owLo
-			src := inRow[owLo+iwOff:][:n]
-			d0 := a0[owLo:][:n]
-			d1 := a1[owLo:][:n]
-			d2 := a2[owLo:][:n]
-			d3 := a3[owLo:][:n]
-			for i, v := range src {
-				d0[i] += w0 * v
-				d1[i] += w1 * v
-				d2[i] += w2 * v
-				d3[i] += w3 * v
-			}
+//
+// Coordinates are global like the int8 twin: the block covers output columns
+// [outColLo, outColLo+outCols) of a map whose true width is inWGlobal, and
+// inRow is the local slice starting at global input column inColLo. Strip
+// execution passes outColLo = inColLo = 0 and inWGlobal = in.W; rect tiles
+// pass their halo geometry.
+func convRowBlk(accBuf []float32, accStride int, inRow, pk []float32, kw, sw, pw, outColLo, inColLo, inWGlobal, outCols int) {
+	if kw == 3 && sw == 1 && simdFloat {
+		// Dense interior where all three taps land in-bounds: run the fused
+		// 3-tap kernel there and sweep only the edge columns tap-by-tap.
+		// Per element the fused kernel chains the taps in ascending order —
+		// the identical float sequence to three per-tap passes — so the
+		// regrouping is bit-identical.
+		olo := pw - outColLo
+		if olo < 0 {
+			olo = 0
 		}
-		return
+		ohi := inWGlobal - 2 + pw - outColLo
+		if ohi > outCols {
+			ohi = outCols
+		}
+		if olo < ohi && ohi-olo >= 8 {
+			convRowBlkTaps(accBuf, accStride, inRow, pk, kw, sw, pw, outColLo, inColLo, inWGlobal, 0, olo)
+			n := ohi - olo
+			iwFirst := outColLo + olo - pw - inColLo
+			if iwFirst < 0 || iwFirst+n+1 >= len(inRow) {
+				panic(fmt.Sprintf("tensor: conv fused taps need cols [%d,%d] outside local row [0,%d)", iwFirst, iwFirst+n+1, len(inRow)))
+			}
+			mac3Rows4F(accBuf[olo:], accStride, inRow[iwFirst:], pk, n)
+			convRowBlkTaps(accBuf, accStride, inRow, pk, kw, sw, pw, outColLo, inColLo, inWGlobal, ohi, outCols)
+			return
+		}
 	}
+	convRowBlkTaps(accBuf, accStride, inRow, pk, kw, sw, pw, outColLo, inColLo, inWGlobal, 0, outCols)
+}
+
+// convRowBlkTaps sweeps taps one at a time over output columns [oclA,oclB)
+// of the row block; it is the edge/general form behind convRowBlk.
+func convRowBlkTaps(accBuf []float32, accStride int, inRow, pk []float32, kw, sw, pw, outColLo, inColLo, inWGlobal, oclA, oclB int) {
 	for x := 0; x < kw; x++ {
-		iwOff := x - pw
-		owLo := 0
-		if iwOff < 0 {
-			owLo = (-iwOff + sw - 1) / sw
+		// Global input column touched by tap x of the first output column.
+		base := outColLo*sw - pw + x
+		oclLo := oclA
+		if base < 0 {
+			if lo := (-base + sw - 1) / sw; lo > oclLo {
+				oclLo = lo
+			}
 		}
-		owHi := outW
-		if maxOw := (inW - 1 - iwOff) / sw; maxOw+1 < owHi {
-			owHi = maxOw + 1
+		oclHi := oclB
+		if maxO := (inWGlobal - 1 - base) / sw; maxO+1 < oclHi {
+			oclHi = maxO + 1
 		}
-		w0, w1, w2, w3 := pk[x*ocBlockWidth], pk[x*ocBlockWidth+1], pk[x*ocBlockWidth+2], pk[x*ocBlockWidth+3]
-		iw := owLo*sw + iwOff
-		for ow := owLo; ow < owHi; ow++ {
+		if oclLo >= oclHi {
+			continue
+		}
+		n := oclHi - oclLo
+		iwFirst := base + oclLo*sw - inColLo
+		if iwFirst < 0 || iwFirst+(n-1)*sw >= len(inRow) {
+			panic(fmt.Sprintf("tensor: conv tap needs cols [%d,%d] outside local row [0,%d)", iwFirst, iwFirst+(n-1)*sw, len(inRow)))
+		}
+		w := pk[x*ocBlockWidth : x*ocBlockWidth+ocBlockWidth]
+		if sw <= 2 {
+			macRows4F(accBuf[oclLo:], accStride, inRow[iwFirst:], w, sw, n)
+			continue
+		}
+		w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
+		a0 := accBuf
+		a1 := accBuf[accStride:]
+		a2 := accBuf[2*accStride:]
+		a3 := accBuf[3*accStride:]
+		iw := iwFirst
+		for ow := oclLo; ow < oclHi; ow++ {
 			v := inRow[iw]
 			a0[ow] += w0 * v
 			a1[ow] += w1 * v
@@ -456,6 +539,10 @@ func poolForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi, par 
 	out := Alloc(in.C, outRows, outW)
 	isMax := l.Kind == nn.MaxPool
 	grain := grainFor(l.KH * l.KW * outW)
+	// Unpadded 2x2 stride-2 max pool (every MobileNet/Inception reduction):
+	// both taps of both rows are always in bounds, so the whole output row is
+	// one vectorizable pair reduction with the scalar `if v > acc` semantics.
+	fast := isMax && l.KH == 2 && l.KW == 2 && l.SH == 2 && l.SW == 2 && l.PH == 0 && l.PW == 0
 	parallelForGrain(in.C*outRows, par, grain, func(lo, hi int) {
 		var cnt []int32
 		if !isMax {
@@ -466,6 +553,17 @@ func poolForward(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi, par 
 			or := t % outRows
 			dst := out.Data[t*outW : (t+1)*outW]
 			ohGlobal := outLo + or
+			if fast {
+				ihA := ohGlobal*2 - inLo
+				if ihA < 0 || ihA+1 >= in.H {
+					panic(fmt.Sprintf("tensor: pool needs global rows %d,%d outside tile [%d,%d)", ohGlobal*2, ohGlobal*2+1, inLo, inLo+in.H))
+				}
+				rowA := in.Data[(c*in.H+ihA)*in.W : (c*in.H+ihA+1)*in.W]
+				rowB := in.Data[(c*in.H+ihA+1)*in.W : (c*in.H+ihA+2)*in.W]
+				maxPairRowF(dst, rowA, rowB, outW)
+				applyActivation(dst, l.Act)
+				continue
+			}
 			init := float32(0)
 			if isMax {
 				init = negInf
@@ -607,8 +705,29 @@ func poolForwardRef(in Tensor, inLo, inHGlobal int, l *nn.Layer, outLo, outHi, p
 func fcForward(in Tensor, l *nn.Layer, wts *fcWeights, par int) Tensor {
 	out := Alloc(l.OutF, 1, 1)
 	n := in.Elems()
+	nf := 0
+	if wts.panels != nil && n > 0 {
+		nf = len(wts.panels) / n
+	}
 	parallelForGrain(l.OutF, par, grainFor(n), func(lo, hi int) {
 		o := lo
+		if nf > 0 {
+			// Transposed-panel vector path: 16 output features per call,
+			// lanes are features, each feature's dot product still sums in
+			// ascending element order. Walk scalar singles up to the next
+			// panel boundary first so chunk splits land anywhere.
+			for ; o < hi && o%16 != 0; o++ {
+				acc := wts.bias[o]
+				row := wts.w[o*n:][:n]
+				for i, v := range in.Data[:n] {
+					acc += row[i] * v
+				}
+				out.Data[o] = acc
+			}
+			for ; o+16 <= hi && o+16 <= nf; o += 16 {
+				ffcPanel16(&out.Data[o], &wts.panels[o*n], &in.Data[0], &wts.bias[o], n)
+			}
+		}
 		for ; o+ocBlockWidth <= hi; o += ocBlockWidth {
 			acc0 := wts.bias[o]
 			acc1 := wts.bias[o+1]
@@ -669,7 +788,18 @@ func gapForward(in Tensor, l *nn.Layer, par int) Tensor {
 	out := Alloc(in.C, 1, 1)
 	per := in.H * in.W
 	parallelForGrain(in.C, par, grainFor(per), func(lo, hi int) {
-		for c := lo; c < hi; c++ {
+		c := lo
+		// Vector path: 8 channels reduce at once with lanes holding
+		// channels, each channel still summing its elements in ascending
+		// order (see gapSum8F).
+		var sums [8]float32
+		for ; c+8 <= hi; c += 8 {
+			gapSum8F(&sums, in.Data[c*per:], per, per)
+			for b := 0; b < 8; b++ {
+				out.Data[c+b] = sums[b] / float32(per)
+			}
+		}
+		for ; c < hi; c++ {
 			var acc float32
 			for _, v := range in.Data[c*per : (c+1)*per] {
 				acc += v

@@ -19,8 +19,83 @@ import (
 // convForwardRect computes the output rectangle out of a convolution from a
 // tile holding input rows [inRowLo, inRowLo+in.H) and columns
 // [inColLo, inColLo+in.W) of a feature map with global extent
-// inHGlobal x inWGlobal.
+// inHGlobal x inWGlobal. With a register-tile plan it dispatches to the
+// blocked kernel, which shares convRowBlk (and its vector tiles) with the
+// strip path; hand-built weights keep the original per-channel sweep.
 func convForwardRect(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *nn.Layer, wts *convWeights, out partition.Rect, par int) Tensor {
+	if len(wts.blocks) > 0 {
+		return convForwardRectBlocked(in, inRowLo, inColLo, inHGlobal, inWGlobal, l, wts, out, par)
+	}
+	return convForwardRectRef(in, inRowLo, inColLo, inHGlobal, inWGlobal, l, wts, out, par)
+}
+
+// convForwardRectBlocked is the register-tiled rect conv: one work unit per
+// (oc-block, output row), exactly like convForwardBlocked, with the packed
+// row primitive receiving the tile's global column geometry. Per output
+// element the accumulation order (bias, then g, kh, kw ascending) is the
+// per-channel sweep's order, so blocked rect tiles stitch byte-identically.
+func convForwardRectBlocked(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *nn.Layer, wts *convWeights, out partition.Rect, par int) Tensor {
+	outRows := out.Rows.Len()
+	outCols := out.Cols.Len()
+	res := Alloc(l.OutC, outRows, outCols)
+	groups := l.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	icg := in.C / groups
+	grain := grainFor(ocBlockWidth * icg * l.KH * l.KW * outCols)
+	accStride := outRows * outCols
+	parallelForGrain(len(wts.blocks)*outRows, par, grain, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			blk := &wts.blocks[u/outRows]
+			or := u % outRows
+			ohGlobal := out.Rows.Lo + or
+			for b := 0; b < blk.width; b++ {
+				oc := blk.oc0 + b
+				acc := res.Data[(oc*outRows+or)*outCols : (oc*outRows+or+1)*outCols]
+				for i := range acc {
+					acc[i] = wts.bias[oc]
+				}
+			}
+			accBase := res.Data[(blk.oc0*outRows+or)*outCols:]
+			for g := 0; g < icg; g++ {
+				ic := blk.icBase + g
+				for kh := 0; kh < l.KH; kh++ {
+					ihGlobal := ohGlobal*l.SH - l.PH + kh
+					if ihGlobal < 0 || ihGlobal >= inHGlobal {
+						continue // true top/bottom padding
+					}
+					ih := ihGlobal - inRowLo
+					if ih < 0 || ih >= in.H {
+						panic(fmt.Sprintf("tensor: rect conv needs global row %d outside tile [%d,%d)", ihGlobal, inRowLo, inRowLo+in.H))
+					}
+					inRow := in.Data[(ic*in.H+ih)*in.W : (ic*in.H+ih+1)*in.W]
+					if blk.packed != nil {
+						pk := blk.packed[(g*l.KH+kh)*l.KW*ocBlockWidth:]
+						convRowBlk(accBase, accStride, inRow, pk, l.KW, l.SW, l.PW, out.Cols.Lo, inColLo, inWGlobal, outCols)
+					} else {
+						for b := 0; b < blk.width; b++ {
+							oc := blk.oc0 + b
+							row := &wts.rows[(oc*icg+g)*l.KH+kh]
+							acc := res.Data[(oc*outRows+or)*outCols : (oc*outRows+or+1)*outCols]
+							convRowRect(acc, inRow, row, l.SW, l.PW, out.Cols.Lo, inColLo, inWGlobal, in.W, outCols)
+						}
+					}
+				}
+			}
+			for b := 0; b < blk.width; b++ {
+				oc := blk.oc0 + b
+				finishChannel(res.Data[(oc*outRows+or)*outCols:(oc*outRows+or+1)*outCols], wts, oc, l.Act)
+			}
+		}
+	})
+	return res
+}
+
+// convForwardRectRef is the original per-channel rect sweep, retained for
+// hand-built weights without a register-tile plan (tests) and as the
+// behavioural reference for the blocked kernel.
+func convForwardRectRef(in Tensor, inRowLo, inColLo, inHGlobal, inWGlobal int, l *nn.Layer, wts *convWeights, out partition.Rect, par int) Tensor {
 	outRows := out.Rows.Len()
 	outCols := out.Cols.Len()
 	res := Alloc(l.OutC, outRows, outCols)
@@ -97,11 +172,7 @@ func convRowRect(acc, inRow []float32, row *kernelRow, sw, pw, outColLo, inColLo
 			panic(fmt.Sprintf("tensor: rect conv needs global col %d outside tile [%d,%d)", bad, inColLo, inColLo+inW))
 		}
 		if sw == 1 {
-			src := inRow[iwFirst : iwFirst+(oclHi-oclLo)]
-			dst := acc[oclLo:oclHi]
-			for i, v := range src {
-				dst[i] += w * v
-			}
+			macRowF(acc[oclLo:oclHi], inRow[iwFirst:iwFirst+(oclHi-oclLo)], w)
 			continue
 		}
 		iw := iwFirst

@@ -117,7 +117,73 @@ func qpwTileDispatch(tile *[ocBlockWidth * qpwTileCols]int32, src []int8, blk *q
 // for a strip of n flattened output columns.
 func pointwiseSIMDAvailable(n int) bool { return hasAVX2 && n >= qpwTileCols }
 
+// simdFloatAvailable reports whether the vectorized float32 kernel surface
+// runs on this host. The AVX2 float tiles use separate VMULPS/VADDPS — the
+// same two roundings gc emits for x*y + z at the default GOAMD64 level — so
+// enabling them never changes an output bit.
+func simdFloatAvailable() bool { return hasAVX2 }
+
+// fmacRows4 accumulates acc[r*accStride+i] += wgt[r]*src[i] for four float32
+// rows (see simd_amd64.s).
+//
+//go:noescape
+func fmacRows4(acc *float32, accStride int, src *float32, wgt *float32, n int)
+
+// fmacRows4S2 is the stride-2 form: acc[r*accStride+i] += wgt[r]*src[2*i]
+// (see simd_amd64.s).
+//
+//go:noescape
+func fmacRows4S2(acc *float32, accStride int, src *float32, wgt *float32, n int)
+
+// fmac3Rows4 is the fused dense stride-1 3-tap form of fmacRows4 for 3-wide
+// kernel rows (see simd_amd64.s).
+//
+//go:noescape
+func fmac3Rows4(acc *float32, accStride int, src *float32, wgt *float32, n int)
+
+// fdw3Row fuses the three float depthwise taps of one stride-1 row sweep
+// (see simd_amd64.s).
+//
+//go:noescape
+func fdw3Row(acc *float32, src *float32, wgt *float32, n int)
+
+// fmacRow is the single-row float saxpy dst[i] += w*src[i]
+// (see simd_amd64.s).
+//
+//go:noescape
+func fmacRow(dst *float32, src *float32, w float32, n int)
+
+// fmaxPair8 reduces a 2x2 stride-2 float max-pool row pair
+// (see simd_amd64.s).
+//
+//go:noescape
+func fmaxPair8(dst *float32, a, b *float32, n int)
+
+// fpwTile16 computes a bias-seeded 4-channel x 16-column float pointwise
+// accumulator tile directly into the output (see simd_amd64.s).
+//
+//go:noescape
+func fpwTile16(acc *float32, accStride int, src *float32, chanStride int, wgt *float32, bias *float32, inC int)
+
+// ffcPanel16 computes 16 fully-connected output features from a transposed
+// weight panel (see simd_amd64.s).
+//
+//go:noescape
+func ffcPanel16(dst *float32, panel *float32, src *float32, bias *float32, n int)
+
+// fgapSum8 sums 8 channel spans for the global-average-pool reduction
+// (see simd_amd64.s).
+//
+//go:noescape
+func fgapSum8(dst *float32, src *float32, chanStride, n int)
+
 // PointwiseSIMD reports whether the host runs the vectorized int8 pointwise
 // tile. Benchmark artefacts record it: without SIMD the int8 path cannot
 // beat float32 FMA and measured speedups are not comparable across hosts.
 func PointwiseSIMD() bool { return hasAVX2 }
+
+// fepiRow is the vector batch-norm + activation epilogue for one finished
+// float output row (see simd_amd64.s).
+//
+//go:noescape
+func fepiRow(dst *float32, scale, shift float32, bn, act, n int)

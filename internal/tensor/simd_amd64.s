@@ -599,3 +599,497 @@ mac3loop:
 	JNZ  mac3loop
 	VZEROUPPER
 	RET
+
+// ---------------------------------------------------------------------------
+// Float32 kernels. Float addition is not associative, so unlike the int8
+// tiles these may not reorder anything: every vector lane holds an
+// INDEPENDENT output element and chains its taps in exactly the scalar
+// kernel's order, with separate VMULPS/VADDPS (never FMA — gc at the default
+// GOAMD64 level rounds the multiply and the add separately). Operand order
+// matters for the semantics-bearing ops: VADDPS always has the running
+// accumulator as src1, and VMAXPS has the incoming value as src1 so the
+// NaN/equal cases return the accumulator, matching Go's `if v > acc`.
+
+// -Inf seeds the max-pool accumulators so padding never wins.
+DATA fninf<>+0(SB)/4, $0xff800000
+GLOBL fninf<>(SB), RODATA, $4
+
+// func fmacRows4(acc *float32, accStride int, src *float32, wgt *float32, n int)
+//
+// acc[r*accStride+i] += wgt[r] * src[i] for r in [0,4), i in [0,n).
+// n must be a positive multiple of 8; the caller guarantees n readable
+// float32s at src and 3*accStride+n float32s at acc.
+TEXT ·fmacRows4(SB), NOSPLIT, $0-40
+	MOVQ acc+0(FP), DI
+	MOVQ accStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ wgt+24(FP), DX
+	MOVQ n+32(FP), CX
+	LEAQ (DI)(R8*4), R9
+	LEAQ (R9)(R8*4), R10
+	LEAQ (R10)(R8*4), R11
+	VBROADCASTSS (DX), Y12
+	VBROADCASTSS 4(DX), Y13
+	VBROADCASTSS 8(DX), Y14
+	VBROADCASTSS 12(DX), Y15
+	XORQ BX, BX
+fmac4loop:
+	VMOVUPS (SI), Y8
+	VMULPS Y8, Y12, Y9
+	VMOVUPS (DI)(BX*1), Y10
+	VADDPS Y9, Y10, Y10
+	VMOVUPS Y10, (DI)(BX*1)
+	VMULPS Y8, Y13, Y9
+	VMOVUPS (R9)(BX*1), Y10
+	VADDPS Y9, Y10, Y10
+	VMOVUPS Y10, (R9)(BX*1)
+	VMULPS Y8, Y14, Y9
+	VMOVUPS (R10)(BX*1), Y10
+	VADDPS Y9, Y10, Y10
+	VMOVUPS Y10, (R10)(BX*1)
+	VMULPS Y8, Y15, Y9
+	VMOVUPS (R11)(BX*1), Y10
+	VADDPS Y9, Y10, Y10
+	VMOVUPS Y10, (R11)(BX*1)
+	ADDQ $32, SI
+	ADDQ $32, BX
+	SUBQ $8, CX
+	JNZ  fmac4loop
+	VZEROUPPER
+	RET
+
+// func fmacRows4S2(acc *float32, accStride int, src *float32, wgt *float32, n int)
+//
+// Stride-2 form of fmacRows4: acc[r*accStride+i] += wgt[r] * src[2*i].
+// Each 8-column step loads 16 source floats and compacts the even lanes with
+// VSHUFPS+VPERMPD, so the caller must guarantee 2*n readable float32s at
+// src. n must be a positive multiple of 8.
+TEXT ·fmacRows4S2(SB), NOSPLIT, $0-40
+	MOVQ acc+0(FP), DI
+	MOVQ accStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ wgt+24(FP), DX
+	MOVQ n+32(FP), CX
+	LEAQ (DI)(R8*4), R9
+	LEAQ (R9)(R8*4), R10
+	LEAQ (R10)(R8*4), R11
+	VBROADCASTSS (DX), Y12
+	VBROADCASTSS 4(DX), Y13
+	VBROADCASTSS 8(DX), Y14
+	VBROADCASTSS 12(DX), Y15
+	XORQ BX, BX
+fmac4s2loop:
+	VMOVUPS (SI), Y8
+	VMOVUPS 32(SI), Y9
+	VSHUFPS $0x88, Y9, Y8, Y8 // even lanes per 128-bit half
+	VPERMPD $0xD8, Y8, Y8     // restore cross-lane column order
+	VMULPS Y8, Y12, Y9
+	VMOVUPS (DI)(BX*1), Y10
+	VADDPS Y9, Y10, Y10
+	VMOVUPS Y10, (DI)(BX*1)
+	VMULPS Y8, Y13, Y9
+	VMOVUPS (R9)(BX*1), Y10
+	VADDPS Y9, Y10, Y10
+	VMOVUPS Y10, (R9)(BX*1)
+	VMULPS Y8, Y14, Y9
+	VMOVUPS (R10)(BX*1), Y10
+	VADDPS Y9, Y10, Y10
+	VMOVUPS Y10, (R10)(BX*1)
+	VMULPS Y8, Y15, Y9
+	VMOVUPS (R11)(BX*1), Y10
+	VADDPS Y9, Y10, Y10
+	VMOVUPS Y10, (R11)(BX*1)
+	ADDQ $64, SI
+	ADDQ $32, BX
+	SUBQ $8, CX
+	JNZ  fmac4s2loop
+	VZEROUPPER
+	RET
+
+// func fmac3Rows4(acc *float32, accStride int, src *float32, wgt *float32, n int)
+//
+// Fused dense stride-1 3-tap form of fmacRows4 for 3-wide kernel rows:
+//
+//	acc[r*accStride+i] += wgt[r]*src[i]; += wgt[4+r]*src[i+1]; += wgt[8+r]*src[i+2]
+//
+// (wgt in the packed tap-major layout pk[x*4+b]), each element chaining its
+// three mul-adds in ascending tap order — the identical float sequence to
+// three per-tap passes — while each accumulator row is loaded and stored
+// once per 8 columns instead of once per tap. n must be a positive multiple
+// of 8 with n+2 readable float32s at src.
+TEXT ·fmac3Rows4(SB), NOSPLIT, $0-40
+	MOVQ acc+0(FP), DI
+	MOVQ accStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ wgt+24(FP), DX
+	MOVQ n+32(FP), CX
+	LEAQ (DI)(R8*4), R9
+	LEAQ (R9)(R8*4), R10
+	LEAQ (R10)(R8*4), R11
+	VBROADCASTSS (DX), Y4    // tap0 weights, channels 0..3
+	VBROADCASTSS 4(DX), Y5
+	VBROADCASTSS 8(DX), Y6
+	VBROADCASTSS 12(DX), Y7
+	VBROADCASTSS 16(DX), Y8  // tap1
+	VBROADCASTSS 20(DX), Y9
+	VBROADCASTSS 24(DX), Y10
+	VBROADCASTSS 28(DX), Y11
+	VBROADCASTSS 32(DX), Y12 // tap2
+	VBROADCASTSS 36(DX), Y13
+	VBROADCASTSS 40(DX), Y14
+	VBROADCASTSS 44(DX), Y15
+	XORQ BX, BX
+fmac3loop:
+	VMOVUPS (DI)(BX*1), Y0
+	VMULPS (SI), Y4, Y1
+	VADDPS Y1, Y0, Y0
+	VMULPS 4(SI), Y8, Y1
+	VADDPS Y1, Y0, Y0
+	VMULPS 8(SI), Y12, Y1
+	VADDPS Y1, Y0, Y0
+	VMOVUPS Y0, (DI)(BX*1)
+	VMOVUPS (R9)(BX*1), Y0
+	VMULPS (SI), Y5, Y1
+	VADDPS Y1, Y0, Y0
+	VMULPS 4(SI), Y9, Y1
+	VADDPS Y1, Y0, Y0
+	VMULPS 8(SI), Y13, Y1
+	VADDPS Y1, Y0, Y0
+	VMOVUPS Y0, (R9)(BX*1)
+	VMOVUPS (R10)(BX*1), Y0
+	VMULPS (SI), Y6, Y1
+	VADDPS Y1, Y0, Y0
+	VMULPS 4(SI), Y10, Y1
+	VADDPS Y1, Y0, Y0
+	VMULPS 8(SI), Y14, Y1
+	VADDPS Y1, Y0, Y0
+	VMOVUPS Y0, (R10)(BX*1)
+	VMOVUPS (R11)(BX*1), Y0
+	VMULPS (SI), Y7, Y1
+	VADDPS Y1, Y0, Y0
+	VMULPS 4(SI), Y11, Y1
+	VADDPS Y1, Y0, Y0
+	VMULPS 8(SI), Y15, Y1
+	VADDPS Y1, Y0, Y0
+	VMOVUPS Y0, (R11)(BX*1)
+	ADDQ $32, SI
+	ADDQ $32, BX
+	SUBQ $8, CX
+	JNZ  fmac3loop
+	VZEROUPPER
+	RET
+
+// func fdw3Row(acc *float32, src *float32, wgt *float32, n int)
+//
+// Fused 3-tap float depthwise row: acc[i] += w0*src[i]; += w1*src[i+1];
+// += w2*src[i+2], chained in tap order per element. n must be a positive
+// multiple of 8 with n+2 readable float32s at src; wgt points at 4 float32s
+// (the fourth is ignored padding).
+TEXT ·fdw3Row(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ wgt+16(FP), DX
+	MOVQ n+24(FP), CX
+	VBROADCASTSS (DX), Y13
+	VBROADCASTSS 4(DX), Y14
+	VBROADCASTSS 8(DX), Y15
+fdw3loop:
+	VMOVUPS (DI), Y0
+	VMULPS (SI), Y13, Y1
+	VADDPS Y1, Y0, Y0
+	VMULPS 4(SI), Y14, Y1
+	VADDPS Y1, Y0, Y0
+	VMULPS 8(SI), Y15, Y1
+	VADDPS Y1, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JNZ  fdw3loop
+	VZEROUPPER
+	RET
+
+// func fmacRow(dst *float32, src *float32, w float32, n int)
+//
+// Single-row float saxpy: dst[i] += w * src[i] for i in [0,n). n must be a
+// positive multiple of 8.
+TEXT ·fmacRow(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	VBROADCASTSS w+16(FP), Y12
+	MOVQ n+24(FP), CX
+fmacrowloop:
+	VMOVUPS (DI), Y0
+	VMULPS (SI), Y12, Y1
+	VADDPS Y1, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JNZ  fmacrowloop
+	VZEROUPPER
+	RET
+
+// func fmaxPair8(dst *float32, a *float32, b *float32, n int)
+//
+// 2x2 stride-2 float max-pool row pair: dst[i] folds a[2i], a[2i+1], b[2i],
+// b[2i+1] into a -Inf-seeded accumulator in that tap order. Each fold is
+// VMAXPS with the incoming value as src1: the NaN and equal (including
+// signed-zero) cases return src2 — the accumulator — exactly like Go's
+// `if v > acc { acc = v }`. n must be a positive multiple of 8 with 2*n
+// readable float32s at a and b.
+TEXT ·fmaxPair8(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	VBROADCASTSS fninf<>(SB), Y15
+fmaxloop:
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VSHUFPS $0x88, Y1, Y0, Y2 // a evens
+	VPERMPD $0xD8, Y2, Y2
+	VSHUFPS $0xDD, Y1, Y0, Y3 // a odds
+	VPERMPD $0xD8, Y3, Y3
+	VMOVUPS (DX), Y0
+	VMOVUPS 32(DX), Y1
+	VSHUFPS $0x88, Y1, Y0, Y4 // b evens
+	VPERMPD $0xD8, Y4, Y4
+	VSHUFPS $0xDD, Y1, Y0, Y5 // b odds
+	VPERMPD $0xD8, Y5, Y5
+	VMOVAPS Y15, Y6
+	VMAXPS Y6, Y2, Y6
+	VMAXPS Y6, Y3, Y6
+	VMAXPS Y6, Y4, Y6
+	VMAXPS Y6, Y5, Y6
+	VMOVUPS Y6, (DI)
+	ADDQ $64, SI
+	ADDQ $64, DX
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JNZ  fmaxloop
+	VZEROUPPER
+	RET
+
+// func fpwTile16(acc *float32, accStride int, src *float32, chanStride int, wgt *float32, bias *float32, inC int)
+//
+// Bias-seeded 4-output-channel x 16-column float pointwise tile written
+// directly into the output rows:
+//
+//	acc[b*accStride+j] = bias[b] + sum over g of wgt[g*4+b]*src[g*chanStride+j]
+//
+// for b in [0,4), j in [0,16). The 64 float32 accumulators live in eight YMM
+// registers across the whole input-channel reduction; each lane is one
+// output pixel chaining its channels in ascending order from its bias,
+// exactly the scalar kernel's sequence. The caller guarantees inC >= 1 and
+// 16 readable float32s at every src[g*chanStride].
+TEXT ·fpwTile16(SB), NOSPLIT, $0-56
+	MOVQ acc+0(FP), DI
+	MOVQ accStride+8(FP), R8
+	MOVQ src+16(FP), SI
+	MOVQ chanStride+24(FP), BX
+	MOVQ wgt+32(FP), DX
+	MOVQ bias+40(FP), AX
+	MOVQ inC+48(FP), CX
+	SHLQ $2, BX // channel stride in bytes
+	VBROADCASTSS (AX), Y0
+	VMOVAPS Y0, Y1
+	VBROADCASTSS 4(AX), Y2
+	VMOVAPS Y2, Y3
+	VBROADCASTSS 8(AX), Y4
+	VMOVAPS Y4, Y5
+	VBROADCASTSS 12(AX), Y6
+	VMOVAPS Y6, Y7
+fpwloop:
+	VMOVUPS (SI), Y8         // columns 0..7 of this input channel
+	VMOVUPS 32(SI), Y9       // columns 8..15
+	VBROADCASTSS (DX), Y10   // channel b=0 weight
+	VMULPS Y8, Y10, Y14
+	VADDPS Y14, Y0, Y0
+	VMULPS Y9, Y10, Y15
+	VADDPS Y15, Y1, Y1
+	VBROADCASTSS 4(DX), Y11  // b=1
+	VMULPS Y8, Y11, Y14
+	VADDPS Y14, Y2, Y2
+	VMULPS Y9, Y11, Y15
+	VADDPS Y15, Y3, Y3
+	VBROADCASTSS 8(DX), Y12  // b=2
+	VMULPS Y8, Y12, Y14
+	VADDPS Y14, Y4, Y4
+	VMULPS Y9, Y12, Y15
+	VADDPS Y15, Y5, Y5
+	VBROADCASTSS 12(DX), Y13 // b=3
+	VMULPS Y8, Y13, Y14
+	VADDPS Y14, Y6, Y6
+	VMULPS Y9, Y13, Y15
+	VADDPS Y15, Y7, Y7
+	ADDQ BX, SI
+	ADDQ $16, DX
+	DECQ CX
+	JNZ  fpwloop
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	LEAQ (DI)(R8*4), DI
+	VMOVUPS Y2, (DI)
+	VMOVUPS Y3, 32(DI)
+	LEAQ (DI)(R8*4), DI
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y5, 32(DI)
+	LEAQ (DI)(R8*4), DI
+	VMOVUPS Y6, (DI)
+	VMOVUPS Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func ffcPanel16(dst *float32, panel *float32, src *float32, bias *float32, n int)
+//
+// 16 fully-connected output features at once from a transposed weight panel
+// (panel[i*16+l] = w[(o+l)*n+i]): dst[l] = bias[l] + sum over i of
+// panel[i*16+l]*src[i]. Lanes are independent output features; each chains
+// its dot product in ascending element order from its bias, exactly like
+// the scalar per-feature loop. Any n >= 0 is fine — the reduction walks
+// elements one broadcast at a time.
+TEXT ·ffcPanel16(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ panel+8(FP), DX
+	MOVQ src+16(FP), SI
+	MOVQ bias+24(FP), AX
+	MOVQ n+32(FP), CX
+	VMOVUPS (AX), Y0
+	VMOVUPS 32(AX), Y1
+	TESTQ CX, CX
+	JZ   ffcdone
+ffcloop:
+	VBROADCASTSS (SI), Y2
+	VMULPS (DX), Y2, Y3
+	VADDPS Y3, Y0, Y0
+	VMULPS 32(DX), Y2, Y3
+	VADDPS Y3, Y1, Y1
+	ADDQ $4, SI
+	ADDQ $64, DX
+	DECQ CX
+	JNZ  ffcloop
+ffcdone:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func fgapSum8(dst *float32, src *float32, chanStride, n int)
+//
+// Global-average-pool reduction over 8 channels at once:
+//
+//	dst[c] = sum over i in [0,n) of src[c*chanStride+i]
+//
+// Lanes are channels. Each 8-column block is 8x8-transposed (VUNPCK,
+// VSHUFPS, VPERM2F128) so the 8 adds into the running sums apply the
+// elements in ascending order — per channel the chain is exactly the scalar
+// left fold from 0. n must be a positive multiple of 8.
+TEXT ·fgapSum8(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), R8
+	MOVQ src+8(FP), DI
+	MOVQ chanStride+16(FP), AX
+	MOVQ n+24(FP), CX
+	SHLQ $2, AX // channel stride in bytes
+	LEAQ (DI)(AX*1), R9
+	LEAQ (R9)(AX*1), R10
+	LEAQ (R10)(AX*1), R11
+	LEAQ (R11)(AX*1), R12
+	LEAQ (R12)(AX*1), R13
+	LEAQ (R13)(AX*1), BX
+	LEAQ (BX)(AX*1), SI
+	XORQ DX, DX
+	VXORPS Y15, Y15, Y15
+fgaploop:
+	VMOVUPS (DI)(DX*1), Y0  // channel rows a..h
+	VMOVUPS (R9)(DX*1), Y1
+	VMOVUPS (R10)(DX*1), Y2
+	VMOVUPS (R11)(DX*1), Y3
+	VMOVUPS (R12)(DX*1), Y4
+	VMOVUPS (R13)(DX*1), Y5
+	VMOVUPS (BX)(DX*1), Y6
+	VMOVUPS (SI)(DX*1), Y7
+	VUNPCKLPS Y1, Y0, Y8    // a0 b0 a1 b1 | a4 b4 a5 b5
+	VUNPCKHPS Y1, Y0, Y9    // a2 b2 a3 b3 | a6 b6 a7 b7
+	VUNPCKLPS Y3, Y2, Y0    // c0 d0 c1 d1 | c4 d4 c5 d5
+	VUNPCKHPS Y3, Y2, Y1    // c2 d2 c3 d3 | c6 d6 c7 d7
+	VUNPCKLPS Y5, Y4, Y2    // e0 f0 e1 f1 | ...
+	VUNPCKHPS Y5, Y4, Y3
+	VUNPCKLPS Y7, Y6, Y4    // g0 h0 g1 h1 | ...
+	VUNPCKHPS Y7, Y6, Y5
+	VSHUFPS $0x44, Y0, Y8, Y6  // a0 b0 c0 d0 | a4 b4 c4 d4
+	VSHUFPS $0xEE, Y0, Y8, Y7  // a1 b1 c1 d1 | a5 b5 c5 d5
+	VSHUFPS $0x44, Y1, Y9, Y8  // a2 b2 c2 d2 | a6 b6 c6 d6
+	VSHUFPS $0xEE, Y1, Y9, Y0  // a3 b3 c3 d3 | a7 b7 c7 d7
+	VSHUFPS $0x44, Y4, Y2, Y9  // e0 f0 g0 h0 | e4 f4 g4 h4
+	VSHUFPS $0xEE, Y4, Y2, Y1  // e1 f1 g1 h1 | e5 f5 g5 h5
+	VSHUFPS $0x44, Y5, Y3, Y2  // e2 f2 g2 h2 | e6 f6 g6 h6
+	VSHUFPS $0xEE, Y5, Y3, Y4  // e3 f3 g3 h3 | e7 f7 g7 h7
+	VPERM2F128 $0x20, Y9, Y6, Y3 // element 0 across channels a..h
+	VADDPS Y3, Y15, Y15
+	VPERM2F128 $0x20, Y1, Y7, Y3 // element 1
+	VADDPS Y3, Y15, Y15
+	VPERM2F128 $0x20, Y2, Y8, Y3 // element 2
+	VADDPS Y3, Y15, Y15
+	VPERM2F128 $0x20, Y4, Y0, Y3 // element 3
+	VADDPS Y3, Y15, Y15
+	VPERM2F128 $0x31, Y9, Y6, Y3 // element 4
+	VADDPS Y3, Y15, Y15
+	VPERM2F128 $0x31, Y1, Y7, Y3 // element 5
+	VADDPS Y3, Y15, Y15
+	VPERM2F128 $0x31, Y2, Y8, Y3 // element 6
+	VADDPS Y3, Y15, Y15
+	VPERM2F128 $0x31, Y4, Y0, Y3 // element 7
+	VADDPS Y3, Y15, Y15
+	ADDQ $32, DX
+	SUBQ $8, CX
+	JNZ  fgaploop
+	VMOVUPS Y15, (R8)
+	VZEROUPPER
+	RET
+
+// func fepiRow(dst *float32, scale, shift float32, bn, act, n int)
+//
+// Vector batch-norm + activation epilogue for one finished float output
+// row: when bn != 0, dst[i] = dst[i]*scale + shift as separate
+// VMULPS/VADDPS (never FMA - gc on amd64 rounds the multiply and add
+// separately), then act: 0 none, 1 ReLU, 2 LeakyReLU. Both activations
+// replicate the scalar `if v < 0` select through a compare+mask rather
+// than VMAXPS, so NaN and -0 lanes keep their exact bits. n must be a
+// positive multiple of 8.
+TEXT ·fepiRow(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	VBROADCASTSS scale+8(FP), Y1
+	VBROADCASTSS shift+12(FP), Y2
+	MOVQ bn+16(FP), R8
+	MOVQ act+24(FP), AX
+	MOVQ n+32(FP), CX
+	VXORPS Y3, Y3, Y3              // 0 for the v < 0 compares
+	VBROADCASTSS qftenth<>(SB), Y4 // 0.1, the LeakyReLU slope
+fepiloop:
+	VMOVUPS (DI), Y0
+	TESTQ R8, R8
+	JZ    fepiact
+	VMULPS Y1, Y0, Y0
+	VADDPS Y2, Y0, Y0
+fepiact:
+	CMPQ AX, $1
+	JEQ  fepirelu
+	CMPQ AX, $2
+	JEQ  fepileaky
+fepistore:
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JNZ  fepiloop
+	VZEROUPPER
+	RET
+fepirelu:
+	VCMPPS $1, Y3, Y0, Y5 // v < 0 (LT_OS)
+	VANDNPS Y0, Y5, Y0    // ~mask & v: negatives -> +0, NaN and -0 kept
+	JMP  fepistore
+fepileaky:
+	VMULPS Y4, Y0, Y6     // 0.1*v, float32-rounded exactly like Go
+	VCMPPS $1, Y3, Y0, Y5 // v < 0
+	VBLENDVPS Y5, Y6, Y0, Y0
+	JMP  fepistore

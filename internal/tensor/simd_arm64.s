@@ -425,3 +425,490 @@ qzloop:
 	SUBS $8, R2
 	BNE  qzloop
 	RET
+
+// ---------------------------------------------------------------------------
+// Float32 kernel tiles.
+//
+// The contract is bit-identity with the scalar Go kernels ON THIS
+// ARCHITECTURE: gc on arm64 fuses x*y + z into a single-rounding FMADD, so
+// these tiles accumulate through fused FMLA — one rounding per tap, exactly
+// like the scalar loop they replace. (The amd64 tiles keep multiply and add
+// separate for the same reason: gc there rounds twice.) Vector lanes always
+// hold independent output elements — output columns, features or channels —
+// and each element's taps chain in the scalar order, so no float addition is
+// ever reordered. Max-pool selection uses FCMGT+BSL rather than FMAX to
+// replicate the scalar `if v > acc` exactly around NaNs and signed zeros.
+
+// FMLA Vd.4S, Vn.4S, Vm.4S - fused multiply-accumulate: Vd += Vn*Vm.
+#define FMLA4S(rm, rn, rd) WORD $(0x4E20CC00 | rm<<16 | rn<<5 | rd)
+// FCMGT Vd.4S, Vn.4S, Vm.4S - lane mask of Vn > Vm.
+#define FCMGT4S(rm, rn, rd) WORD $(0x6EA0E400 | rm<<16 | rn<<5 | rd)
+// TRN1 Vd.4S, Vn.4S, Vm.4S - [Vn.0, Vm.0, Vn.2, Vm.2].
+#define TRN14S(rm, rn, rd) WORD $(0x4E802800 | rm<<16 | rn<<5 | rd)
+// TRN2 Vd.4S, Vn.4S, Vm.4S - [Vn.1, Vm.1, Vn.3, Vm.3].
+#define TRN24S(rm, rn, rd) WORD $(0x4E806800 | rm<<16 | rn<<5 | rd)
+// TRN1 Vd.2D, Vn.2D, Vm.2D - [Vn.d0, Vm.d0].
+#define TRN12D(rm, rn, rd) WORD $(0x4EC02800 | rm<<16 | rn<<5 | rd)
+// TRN2 Vd.2D, Vn.2D, Vm.2D - [Vn.d1, Vm.d1].
+#define TRN22D(rm, rn, rd) WORD $(0x4EC06800 | rm<<16 | rn<<5 | rd)
+
+// func fmacRows4(acc *float32, accStride int, src *float32, wgt *float32, n int)
+//
+// acc[r*accStride+i] += wgt[r]*src[i] for r in [0,4), i in [0,n).
+// n must be a positive multiple of 8.
+TEXT ·fmacRows4(SB), NOSPLIT, $0-40
+	MOVD acc+0(FP), R0
+	MOVD accStride+8(FP), R1
+	MOVD src+16(FP), R2
+	MOVD wgt+24(FP), R3
+	MOVD n+32(FP), R4
+	LSL  $2, R1, R1
+	ADD  R1, R0, R5
+	ADD  R1, R5, R6
+	ADD  R1, R6, R7
+	VLD1 (R3), [V20.S4]
+	VDUP V20.S[0], V21.S4
+	VDUP V20.S[1], V22.S4
+	VDUP V20.S[2], V23.S4
+	VDUP V20.S[3], V24.S4
+fmacloop:
+	VLD1.P 32(R2), [V16.S4, V17.S4]
+	VLD1 (R0), [V0.S4, V1.S4]
+	FMLA4S(21, 16, 0)
+	FMLA4S(21, 17, 1)
+	VST1.P [V0.S4, V1.S4], 32(R0)
+	VLD1 (R5), [V2.S4, V3.S4]
+	FMLA4S(22, 16, 2)
+	FMLA4S(22, 17, 3)
+	VST1.P [V2.S4, V3.S4], 32(R5)
+	VLD1 (R6), [V0.S4, V1.S4]
+	FMLA4S(23, 16, 0)
+	FMLA4S(23, 17, 1)
+	VST1.P [V0.S4, V1.S4], 32(R6)
+	VLD1 (R7), [V2.S4, V3.S4]
+	FMLA4S(24, 16, 2)
+	FMLA4S(24, 17, 3)
+	VST1.P [V2.S4, V3.S4], 32(R7)
+	SUBS $8, R4
+	BNE  fmacloop
+	RET
+
+// func fmacRows4S2(acc *float32, accStride int, src *float32, wgt *float32, n int)
+//
+// The stride-2 form: acc[r*accStride+i] += wgt[r]*src[2*i]. Each step loads
+// 16 source floats and keeps the even ones via the VLD2 deinterleave, so src
+// must have 2n readable floats (the Go wrapper shaves blocks until that
+// holds). n must be a positive multiple of 8.
+TEXT ·fmacRows4S2(SB), NOSPLIT, $0-40
+	MOVD acc+0(FP), R0
+	MOVD accStride+8(FP), R1
+	MOVD src+16(FP), R2
+	MOVD wgt+24(FP), R3
+	MOVD n+32(FP), R4
+	LSL  $2, R1, R1
+	ADD  R1, R0, R5
+	ADD  R1, R5, R6
+	ADD  R1, R6, R7
+	VLD1 (R3), [V20.S4]
+	VDUP V20.S[0], V21.S4
+	VDUP V20.S[1], V22.S4
+	VDUP V20.S[2], V23.S4
+	VDUP V20.S[3], V24.S4
+fmacs2loop:
+	VLD2.P 32(R2), [V16.S4, V17.S4]
+	VLD2.P 32(R2), [V18.S4, V19.S4]
+	VLD1 (R0), [V0.S4, V1.S4]
+	FMLA4S(21, 16, 0)
+	FMLA4S(21, 18, 1)
+	VST1.P [V0.S4, V1.S4], 32(R0)
+	VLD1 (R5), [V2.S4, V3.S4]
+	FMLA4S(22, 16, 2)
+	FMLA4S(22, 18, 3)
+	VST1.P [V2.S4, V3.S4], 32(R5)
+	VLD1 (R6), [V0.S4, V1.S4]
+	FMLA4S(23, 16, 0)
+	FMLA4S(23, 18, 1)
+	VST1.P [V0.S4, V1.S4], 32(R6)
+	VLD1 (R7), [V2.S4, V3.S4]
+	FMLA4S(24, 16, 2)
+	FMLA4S(24, 18, 3)
+	VST1.P [V2.S4, V3.S4], 32(R7)
+	SUBS $8, R4
+	BNE  fmacs2loop
+	RET
+
+// func fmac3Rows4(acc *float32, accStride int, src *float32, wgt *float32, n int)
+//
+// The fused dense stride-1 3-tap row block: acc[r*accStride+i] +=
+// wgt[0*4+r]*src[i] + wgt[1*4+r]*src[i+1] + wgt[2*4+r]*src[i+2], taps
+// chained per element in ascending order. src must have n+2 readable
+// floats (tap 2 loads 8 floats from offset i+2). n must be a positive
+// multiple of 8.
+TEXT ·fmac3Rows4(SB), NOSPLIT, $0-40
+	MOVD acc+0(FP), R0
+	MOVD accStride+8(FP), R1
+	MOVD src+16(FP), R2
+	MOVD wgt+24(FP), R3
+	MOVD n+32(FP), R4
+	LSL  $2, R1, R1
+	ADD  R1, R0, R5
+	ADD  R1, R5, R6
+	ADD  R1, R6, R7
+	VLD1 (R3), [V24.S4, V25.S4, V26.S4]
+	VDUP V24.S[0], V8.S4
+	VDUP V24.S[1], V9.S4
+	VDUP V24.S[2], V10.S4
+	VDUP V24.S[3], V11.S4
+	VDUP V25.S[0], V12.S4
+	VDUP V25.S[1], V13.S4
+	VDUP V25.S[2], V14.S4
+	VDUP V25.S[3], V15.S4
+	VDUP V26.S[0], V20.S4
+	VDUP V26.S[1], V21.S4
+	VDUP V26.S[2], V22.S4
+	VDUP V26.S[3], V23.S4
+f3loop:
+	ADD  $4, R2, R12
+	ADD  $8, R2, R13
+	VLD1 (R2), [V16.S4, V17.S4]
+	VLD1 (R12), [V18.S4, V19.S4]
+	VLD1 (R13), [V4.S4, V5.S4]
+	ADD  $32, R2
+	VLD1 (R0), [V0.S4, V1.S4]
+	FMLA4S(8, 16, 0)
+	FMLA4S(12, 18, 0)
+	FMLA4S(20, 4, 0)
+	FMLA4S(8, 17, 1)
+	FMLA4S(12, 19, 1)
+	FMLA4S(20, 5, 1)
+	VST1.P [V0.S4, V1.S4], 32(R0)
+	VLD1 (R5), [V0.S4, V1.S4]
+	FMLA4S(9, 16, 0)
+	FMLA4S(13, 18, 0)
+	FMLA4S(21, 4, 0)
+	FMLA4S(9, 17, 1)
+	FMLA4S(13, 19, 1)
+	FMLA4S(21, 5, 1)
+	VST1.P [V0.S4, V1.S4], 32(R5)
+	VLD1 (R6), [V0.S4, V1.S4]
+	FMLA4S(10, 16, 0)
+	FMLA4S(14, 18, 0)
+	FMLA4S(22, 4, 0)
+	FMLA4S(10, 17, 1)
+	FMLA4S(14, 19, 1)
+	FMLA4S(22, 5, 1)
+	VST1.P [V0.S4, V1.S4], 32(R6)
+	VLD1 (R7), [V0.S4, V1.S4]
+	FMLA4S(11, 16, 0)
+	FMLA4S(15, 18, 0)
+	FMLA4S(23, 4, 0)
+	FMLA4S(11, 17, 1)
+	FMLA4S(15, 19, 1)
+	FMLA4S(23, 5, 1)
+	VST1.P [V0.S4, V1.S4], 32(R7)
+	SUBS $8, R4
+	BNE  f3loop
+	RET
+
+// func fdw3Row(acc *float32, src *float32, wgt *float32, n int)
+//
+// The fused depthwise 3-tap row sweep: acc[i] += wgt[0]*src[i] +
+// wgt[1]*src[i+1] + wgt[2]*src[i+2], taps chained per element in ascending
+// order. wgt points at 4 floats (the wrapper pads); src must have n+2
+// readable floats. n must be a positive multiple of 8.
+TEXT ·fdw3Row(SB), NOSPLIT, $0-32
+	MOVD acc+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD wgt+16(FP), R2
+	MOVD n+24(FP), R3
+	VLD1 (R2), [V24.S4]
+	VDUP V24.S[0], V8.S4
+	VDUP V24.S[1], V9.S4
+	VDUP V24.S[2], V10.S4
+fdwloop:
+	ADD  $4, R1, R12
+	ADD  $8, R1, R13
+	VLD1 (R1), [V16.S4, V17.S4]
+	VLD1 (R12), [V18.S4, V19.S4]
+	VLD1 (R13), [V4.S4, V5.S4]
+	ADD  $32, R1
+	VLD1 (R0), [V0.S4, V1.S4]
+	FMLA4S(8, 16, 0)
+	FMLA4S(9, 18, 0)
+	FMLA4S(10, 4, 0)
+	FMLA4S(8, 17, 1)
+	FMLA4S(9, 19, 1)
+	FMLA4S(10, 5, 1)
+	VST1.P [V0.S4, V1.S4], 32(R0)
+	SUBS $8, R3
+	BNE  fdwloop
+	RET
+
+// func fmacRow(dst *float32, src *float32, w float32, n int)
+//
+// The single-row saxpy: dst[i] += w*src[i]. n must be a positive multiple
+// of 8.
+TEXT ·fmacRow(SB), NOSPLIT, $0-32
+	MOVD  dst+0(FP), R0
+	MOVD  src+8(FP), R1
+	FMOVS w+16(FP), F2
+	MOVD  n+24(FP), R3
+	VDUP  V2.S[0], V20.S4
+fsaxloop:
+	VLD1.P 32(R1), [V4.S4, V5.S4]
+	VLD1 (R0), [V0.S4, V1.S4]
+	FMLA4S(20, 4, 0)
+	FMLA4S(20, 5, 1)
+	VST1.P [V0.S4, V1.S4], 32(R0)
+	SUBS $8, R3
+	BNE  fsaxloop
+	RET
+
+// func fmaxPair8(dst *float32, a, b *float32, n int)
+//
+// One output row of an unpadded 2x2 stride-2 float max pool: dst[i] folds
+// a[2i], a[2i+1], b[2i], b[2i+1] into a -Inf-seeded accumulator with the
+// scalar `if v > acc` semantics — FCMGT+BSL keeps the accumulator on NaN
+// candidates and signed-zero ties exactly like the scalar compare, which
+// FMAX would not. a and b must have 2n readable floats; n must be a
+// positive multiple of 8 (each step emits 4 outputs).
+TEXT ·fmaxPair8(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD n+24(FP), R3
+	MOVD $0xff800000, R4 // float32 -Inf
+	VDUP R4, V20.S4
+fmaxloop:
+	VLD2.P 32(R1), [V0.S4, V1.S4]
+	VLD2.P 32(R2), [V2.S4, V3.S4]
+	VMOV V20.B16, V4.B16
+	FCMGT4S(4, 0, 5)             // V5 = a-even > acc
+	VBSL V4.B16, V0.B16, V5.B16
+	VMOV V5.B16, V4.B16
+	FCMGT4S(4, 1, 5)             // a-odd
+	VBSL V4.B16, V1.B16, V5.B16
+	VMOV V5.B16, V4.B16
+	FCMGT4S(4, 2, 5)             // b-even
+	VBSL V4.B16, V2.B16, V5.B16
+	VMOV V5.B16, V4.B16
+	FCMGT4S(4, 3, 5)             // b-odd
+	VBSL V4.B16, V3.B16, V5.B16
+	VST1.P [V5.S4], 16(R0)
+	SUBS $4, R3
+	BNE  fmaxloop
+	RET
+
+// func fpwTile16(acc *float32, accStride int, src *float32, chanStride int, wgt *float32, bias *float32, inC int)
+//
+// The 4-output-channel x 16-column float pointwise tile: for b in [0,4),
+// j in [0,16): acc[b*accStride+j] = bias[b] + sum over g of wgt[g*4+b] *
+// src[g*chanStride+j]. The 64 float32 accumulators live in V0-V15 across
+// the whole channel reduction, seeded from the bias so overlapped tail
+// tiles recompute bit-identically. inC >= 1; the tile is fully written.
+TEXT ·fpwTile16(SB), NOSPLIT, $0-56
+	MOVD acc+0(FP), R0
+	MOVD accStride+8(FP), R3
+	MOVD src+16(FP), R1
+	MOVD chanStride+24(FP), R4
+	MOVD wgt+32(FP), R2
+	MOVD bias+40(FP), R5
+	MOVD inC+48(FP), R6
+	LSL  $2, R4, R4
+	VLD1 (R5), [V24.S4]
+	VDUP V24.S[0], V0.S4
+	VDUP V24.S[0], V1.S4
+	VDUP V24.S[0], V2.S4
+	VDUP V24.S[0], V3.S4
+	VDUP V24.S[1], V4.S4
+	VDUP V24.S[1], V5.S4
+	VDUP V24.S[1], V6.S4
+	VDUP V24.S[1], V7.S4
+	VDUP V24.S[2], V8.S4
+	VDUP V24.S[2], V9.S4
+	VDUP V24.S[2], V10.S4
+	VDUP V24.S[2], V11.S4
+	VDUP V24.S[3], V12.S4
+	VDUP V24.S[3], V13.S4
+	VDUP V24.S[3], V14.S4
+	VDUP V24.S[3], V15.S4
+fpwloop:
+	VLD1 (R1), [V16.S4, V17.S4, V18.S4, V19.S4]
+	ADD  R4, R1
+	VLD1.P 16(R2), [V20.S4]
+	VDUP V20.S[0], V21.S4
+	FMLA4S(21, 16, 0)
+	FMLA4S(21, 17, 1)
+	FMLA4S(21, 18, 2)
+	FMLA4S(21, 19, 3)
+	VDUP V20.S[1], V21.S4
+	FMLA4S(21, 16, 4)
+	FMLA4S(21, 17, 5)
+	FMLA4S(21, 18, 6)
+	FMLA4S(21, 19, 7)
+	VDUP V20.S[2], V21.S4
+	FMLA4S(21, 16, 8)
+	FMLA4S(21, 17, 9)
+	FMLA4S(21, 18, 10)
+	FMLA4S(21, 19, 11)
+	VDUP V20.S[3], V21.S4
+	FMLA4S(21, 16, 12)
+	FMLA4S(21, 17, 13)
+	FMLA4S(21, 18, 14)
+	FMLA4S(21, 19, 15)
+	SUBS $1, R6
+	BNE  fpwloop
+	LSL  $2, R3, R3
+	VST1 [V0.S4, V1.S4, V2.S4, V3.S4], (R0)
+	ADD  R3, R0
+	VST1 [V4.S4, V5.S4, V6.S4, V7.S4], (R0)
+	ADD  R3, R0
+	VST1 [V8.S4, V9.S4, V10.S4, V11.S4], (R0)
+	ADD  R3, R0
+	VST1 [V12.S4, V13.S4, V14.S4, V15.S4], (R0)
+	RET
+
+// func ffcPanel16(dst *float32, panel *float32, src *float32, bias *float32, n int)
+//
+// 16 fully-connected output features from a transposed weight panel:
+// dst[l] = bias[l] + sum over i of panel[i*16+l]*src[i]. Lanes are
+// features; each feature's dot product sums in ascending element order.
+// n may be zero (dst = bias).
+TEXT ·ffcPanel16(SB), NOSPLIT, $0-40
+	MOVD dst+0(FP), R0
+	MOVD panel+8(FP), R1
+	MOVD src+16(FP), R2
+	MOVD bias+24(FP), R3
+	MOVD n+32(FP), R4
+	VLD1 (R3), [V0.S4, V1.S4, V2.S4, V3.S4]
+	CBZ  R4, ffcdone
+ffcloop:
+	MOVW.P 4(R2), R5
+	VDUP R5, V4.S4
+	VLD1.P 64(R1), [V16.S4, V17.S4, V18.S4, V19.S4]
+	FMLA4S(4, 16, 0)
+	FMLA4S(4, 17, 1)
+	FMLA4S(4, 18, 2)
+	FMLA4S(4, 19, 3)
+	SUBS $1, R4
+	BNE  ffcloop
+ffcdone:
+	VST1 [V0.S4, V1.S4, V2.S4, V3.S4], (R0)
+	RET
+
+// func fgapSum8(dst *float32, src *float32, chanStride, n int)
+//
+// Sums 8 channel spans at once: dst[c] = sum over i in [0,n) of
+// src[c*chanStride+i]. Lanes are channels: each 4-element block transposes
+// 4x4 (TRN pairs) so the four adds per block apply elements in ascending
+// order per channel — the scalar reduction's exact chain. n must be a
+// positive multiple of 8 (blocks of 4 divide it).
+TEXT ·fgapSum8(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD chanStride+16(FP), R2
+	MOVD n+24(FP), R3
+	LSL  $2, R2, R4
+	ADD  R4, R1, R5
+	ADD  R4, R5, R6
+	ADD  R4, R6, R7
+	ADD  R4, R7, R8
+	ADD  R4, R8, R9
+	ADD  R4, R9, R10
+	ADD  R4, R10, R11
+	VEOR V30.B16, V30.B16, V30.B16
+	VEOR V31.B16, V31.B16, V31.B16
+fgaploop:
+	VLD1.P 16(R1), [V0.S4]
+	VLD1.P 16(R5), [V1.S4]
+	VLD1.P 16(R6), [V2.S4]
+	VLD1.P 16(R7), [V3.S4]
+	TRN14S(1, 0, 4)  // [a0,b0,a2,b2]
+	TRN24S(1, 0, 5)  // [a1,b1,a3,b3]
+	TRN14S(3, 2, 6)  // [c0,d0,c2,d2]
+	TRN24S(3, 2, 7)  // [c1,d1,c3,d3]
+	TRN12D(6, 4, 16) // [a0,b0,c0,d0]
+	TRN12D(7, 5, 17) // [a1,b1,c1,d1]
+	TRN22D(6, 4, 18) // [a2,b2,c2,d2]
+	TRN22D(7, 5, 19) // [a3,b3,c3,d3]
+	FADD4S(16, 30, 30)
+	FADD4S(17, 30, 30)
+	FADD4S(18, 30, 30)
+	FADD4S(19, 30, 30)
+	VLD1.P 16(R8), [V0.S4]
+	VLD1.P 16(R9), [V1.S4]
+	VLD1.P 16(R10), [V2.S4]
+	VLD1.P 16(R11), [V3.S4]
+	TRN14S(1, 0, 4)
+	TRN24S(1, 0, 5)
+	TRN14S(3, 2, 6)
+	TRN24S(3, 2, 7)
+	TRN12D(6, 4, 16)
+	TRN12D(7, 5, 17)
+	TRN22D(6, 4, 18)
+	TRN22D(7, 5, 19)
+	FADD4S(16, 31, 31)
+	FADD4S(17, 31, 31)
+	FADD4S(18, 31, 31)
+	FADD4S(19, 31, 31)
+	SUBS $4, R3
+	BNE  fgaploop
+	VST1 [V30.S4, V31.S4], (R0)
+	RET
+
+// func fepiRow(dst *float32, scale, shift float32, bn, act, n int)
+//
+// NEON batch-norm + activation epilogue. The affine uses fused FMLA into a
+// shift-seeded accumulator because gc on arm64 compiles acc*s + sh to
+// FMADDS (one rounding); the activations replicate the scalar `if v < 0`
+// select through FCMGT+BSL, so NaN and -0 lanes keep their exact bits
+// (FMAX would not). n must be a positive multiple of 8.
+TEXT ·fepiRow(SB), NOSPLIT, $0-40
+	MOVD  dst+0(FP), R0
+	FMOVS scale+8(FP), F1
+	VDUP  V1.S[0], V1.S4
+	FMOVS shift+12(FP), F2
+	VDUP  V2.S[0], V2.S4
+	MOVD  bn+16(FP), R1
+	MOVD  act+24(FP), R2
+	MOVD  n+32(FP), R3
+	VEOR  V26.B16, V26.B16, V26.B16 // 0 for the v < 0 compares
+	MOVD  $0x3dcccccd, R4           // 0.1, the LeakyReLU slope
+	VDUP  R4, V27.S4
+fepiloop:
+	VLD1 (R0), [V3.S4, V4.S4]
+	CBZ  R1, fepiact
+	VMOV V2.B16, V5.B16
+	VMOV V2.B16, V6.B16
+	FMLA4S(1, 3, 5)  // V5 = shift + v*scale, fused like scalar FMADDS
+	FMLA4S(1, 4, 6)
+	VMOV V5.B16, V3.B16
+	VMOV V6.B16, V4.B16
+fepiact:
+	CMP  $1, R2
+	BEQ  fepirelu
+	CMP  $2, R2
+	BEQ  fepileaky
+fepistore:
+	VST1.P [V3.S4, V4.S4], 32(R0)
+	SUBS $8, R3
+	BNE  fepiloop
+	RET
+fepirelu:
+	FCMGT4S(3, 26, 5)            // V5 = 0 > v
+	VBSL V3.B16, V26.B16, V5.B16 // V5 = mask ? 0 : v
+	VMOV V5.B16, V3.B16
+	FCMGT4S(4, 26, 6)
+	VBSL V4.B16, V26.B16, V6.B16
+	VMOV V6.B16, V4.B16
+	B    fepistore
+fepileaky:
+	FMUL4S(27, 3, 7)             // leak = v * 0.1
+	FCMGT4S(3, 26, 5)            // V5 = 0 > v
+	VBSL V3.B16, V7.B16, V5.B16  // V5 = mask ? leak : v
+	VMOV V5.B16, V3.B16
+	FMUL4S(27, 4, 7)
+	FCMGT4S(4, 26, 6)
+	VBSL V4.B16, V7.B16, V6.B16
+	VMOV V6.B16, V4.B16
+	B    fepistore

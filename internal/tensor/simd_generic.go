@@ -56,3 +56,45 @@ func qrequantRow8(dst *int8, acc *int32, scale, bias float32, act, n int) {
 func qquantizeRow8(dst *int8, src *float32, inv float32, n int) {
 	panic("tensor: qquantizeRow8 without SIMD support")
 }
+
+func simdFloatAvailable() bool { return false }
+
+func fmacRows4(acc *float32, accStride int, src *float32, wgt *float32, n int) {
+	panic("tensor: fmacRows4 without SIMD support")
+}
+
+func fmacRows4S2(acc *float32, accStride int, src *float32, wgt *float32, n int) {
+	panic("tensor: fmacRows4S2 without SIMD support")
+}
+
+func fmac3Rows4(acc *float32, accStride int, src *float32, wgt *float32, n int) {
+	panic("tensor: fmac3Rows4 without SIMD support")
+}
+
+func fdw3Row(acc *float32, src *float32, wgt *float32, n int) {
+	panic("tensor: fdw3Row without SIMD support")
+}
+
+func fmacRow(dst *float32, src *float32, w float32, n int) {
+	panic("tensor: fmacRow without SIMD support")
+}
+
+func fmaxPair8(dst *float32, a, b *float32, n int) {
+	panic("tensor: fmaxPair8 without SIMD support")
+}
+
+func fpwTile16(acc *float32, accStride int, src *float32, chanStride int, wgt *float32, bias *float32, inC int) {
+	panic("tensor: fpwTile16 without SIMD support")
+}
+
+func ffcPanel16(dst *float32, panel *float32, src *float32, bias *float32, n int) {
+	panic("tensor: ffcPanel16 without SIMD support")
+}
+
+func fgapSum8(dst *float32, src *float32, chanStride, n int) {
+	panic("tensor: fgapSum8 without SIMD support")
+}
+
+func fepiRow(dst *float32, scale, shift float32, bn, act, n int) {
+	panic("tensor: fepiRow without SIMD support")
+}

@@ -138,6 +138,17 @@ func (cw *convWeights) compact(l *nn.Layer, icg int) {
 type fcWeights struct {
 	w    []float32
 	bias []float32
+
+	// panels, when non-nil, repacks the first OutF&^15 weight rows
+	// transposed in 16-feature panels for the vector fc kernel:
+	//
+	//	panels[(p*inElems+i)*16 + l] = w[(16*p+l)*inElems + i]
+	//
+	// so each input element's 16 per-feature weights are contiguous. Lanes
+	// are output features; each feature's dot product still sums elements
+	// in ascending order, so the panel kernel is bit-identical to the row
+	// sweep. Built only on hosts with float SIMD.
+	panels []float32
 }
 
 // weightRNG derives a deterministic random source for a layer key: the same
@@ -194,7 +205,18 @@ func genFC(seed int64, key string, l *nn.Layer, inElems int) *fcWeights {
 	for i := range bias {
 		bias[i] = (rng.Float32()*2 - 1) * 0.01
 	}
-	return &fcWeights{w: w, bias: bias}
+	fw := &fcWeights{w: w, bias: bias}
+	if nf := l.OutF &^ 15; simdFloat && nf > 0 && inElems > 0 {
+		fw.panels = make([]float32, nf*inElems)
+		for p := 0; p < nf/16; p++ {
+			for i := 0; i < inElems; i++ {
+				for lane := 0; lane < 16; lane++ {
+					fw.panels[(p*inElems+i)*16+lane] = w[(16*p+lane)*inElems+i]
+				}
+			}
+		}
+	}
+	return fw
 }
 
 // RandomInput generates a deterministic input tensor for the given shape —
