@@ -9,8 +9,9 @@ BENCH_WIRE_OUT ?= BENCH_PR2.json
 BENCH_KERNEL_OUT ?= BENCH_PR4.json
 BENCH_KERNEL_BASE ?= BENCH_PR4.json
 BENCH_QUANT_OUT ?= BENCH_PR7.json
+BENCH_TELEM_OUT ?= BENCH_PR10.json
 
-.PHONY: all build vet test race race-hot race-quant chaos bench bench-json bench-kernel bench-kernel-smoke bench-compare bench-quant bench-quant-smoke serve-smoke cross check
+.PHONY: all build vet test race race-hot race-quant chaos bench bench-json bench-kernel bench-kernel-smoke bench-compare bench-quant bench-quant-smoke bench-telem bench-telem-smoke serve-smoke metrics-smoke cross check
 
 all: check
 
@@ -83,6 +84,22 @@ bench-kernel-smoke:
 serve-smoke:
 	$(GO) test -race -count=1 -run 'PicoserveSmoke|GatewayInferMatchesLocalRun$$' ./cmd/picoserve ./internal/serve
 
+# Full telemetry-overhead guard (closed-loop throughput bare vs
+# instrumented, plus record/snapshot micro-costs), written as JSON.
+bench-telem:
+	$(GO) run ./cmd/picobench -telemjson $(BENCH_TELEM_OUT)
+
+# One-iteration pass over the instrumented-vs-bare pipeline benchmark:
+# catches hot-path regressions in the telemetry ring without a timing run.
+bench-telem-smoke:
+	$(GO) test -run NONE -bench RuntimeTelemetryOverhead -benchtime=1x .
+
+# Metrics/SLO smoke under the race detector: boots the full picoserve binary
+# with the watcher armed, scrapes GET /metrics for every instrumented series,
+# and drives an injected SLO breach through the re-balancer.
+metrics-smoke:
+	$(GO) test -race -count=1 -run 'PicoserveMetricsSmoke|MetricsEndpoint|SLOBreachTriggersRebalance' ./cmd/picoserve ./internal/serve
+
 # Cross-compile gate for the per-architecture asm surface: the NEON (arm64)
 # kernels must assemble and the pure-Go fallback must build on an arch with
 # no asm at all. Neither binary runs here — bit-identity on arm64 is
@@ -98,4 +115,4 @@ cross:
 bench-compare:
 	$(GO) run ./cmd/picobench -kerncompare $(BENCH_KERNEL_BASE)
 
-check: build vet cross test race race-quant chaos bench bench-kernel-smoke bench-quant-smoke bench-json serve-smoke
+check: build vet cross test race race-quant chaos bench bench-kernel-smoke bench-quant-smoke bench-telem-smoke bench-json serve-smoke metrics-smoke

@@ -36,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kernJSON  = fs.String("kernjson", "", "run the kernel benchmarks and write the JSON result to this file, then exit")
 		kernBase  = fs.String("kerncompare", "", "re-run the kernel benchmarks and fail if any regresses >10% vs this baseline JSON, then exit")
 		quantJSON = fs.String("quantjson", "", "run the int8-vs-float32 benchmarks and write the JSON result to this file, then exit")
+		telemJSON = fs.String("telemjson", "", "run the telemetry-overhead benchmarks and write the JSON result to this file, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,6 +90,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runQuantBench(cfg, *quantJSON, stdout, stderr)
 	}
 
+	if *telemJSON != "" {
+		return runTelemetryBench(cfg, *telemJSON, stdout, stderr)
+	}
+
 	var ids []string
 	if *expFlag == "all" {
 		ids = experiments.IDs()
@@ -126,6 +131,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	return 0
+}
+
+// runTelemetryBench runs the telemetry overhead guard and writes the result
+// (the BENCH_PR10.json artefact).
+func runTelemetryBench(cfg experiments.Config, jsonPath string, stdout, stderr io.Writer) int {
+	res, err := experiments.RunTelemetryBench(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "picobench: telemetry bench: %v\n", err)
+		return 1
+	}
+	for _, row := range res.Overhead {
+		fmt.Fprintf(stdout, "telemetry %-12s: %d tasks in %.3fs, %.2f tasks/s (overhead %.2f%%)\n",
+			row.Mode, row.Tasks, row.Seconds, row.TasksPerSec, row.OverheadPct)
+	}
+	for _, row := range res.Micro {
+		fmt.Fprintf(stdout, "telemetry %-12s: %.2f ns/op over %d samples\n", row.Op, row.NsPerOp, row.N)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "picobench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "picobench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
 	return 0
 }
 

@@ -24,6 +24,7 @@ import (
 	"pico/internal/core"
 	"pico/internal/nn"
 	"pico/internal/runtime"
+	"pico/internal/telemetry"
 	"pico/internal/tensor"
 )
 
@@ -134,11 +135,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i, a := range addrs {
 		addrMap[i] = strings.TrimSpace(a)
 	}
+	// The registry collects per-task, per-stage and per-device latency
+	// samples for the end-of-run percentile table; a picorun batch fits one
+	// generous window.
+	telem := telemetry.New(telemetry.Options{Window: time.Hour})
 	p, err := runtime.NewPipeline(plan, addrMap, runtime.PipelineOptions{
 		Seed:        *seed,
 		StageWindow: *window,
 		ExecTimeout: *execTimeout,
 		Quantized:   *quant,
+		Telemetry:   telem,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "picorun: connect: %v\n", err)
@@ -248,6 +254,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintln(stdout)
+	if stats := telem.Snapshot(); len(stats) > 0 && completed > 0 {
+		fmt.Fprint(stdout, "latency percentiles:\n")
+		fmt.Fprint(stdout, telemetry.Table(stats))
+	}
 	health := p.Health()
 	printFaults(stdout, health, failed)
 	printKindSeconds(stdout, health)

@@ -112,6 +112,98 @@ func TestPicoserveSmoke(t *testing.T) {
 	}
 }
 
+// TestPicoserveMetricsSmoke boots the full binary path with the SLO watcher
+// armed, serves a handful of requests, and scrapes GET /metrics: the
+// plaintext exposition must carry windowed latency percentiles for every
+// instrumented kind plus the gateway counters. This is the `make
+// metrics-smoke` gate.
+func TestPicoserveMetricsSmoke(t *testing.T) {
+	ready := make(chan *serve.Gateway, 1)
+	var stdout, stderr strings.Builder
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-local", "2",
+			"-models", "toy",
+			"-seed", "7",
+			"-slo-p99", "30",
+			"-slo-interval", "1s",
+			"-telemetry-window", "1m",
+		}, &stdout, &stderr, ready)
+	}()
+	var g *serve.Gateway
+	select {
+	case g = <-ready:
+	case c := <-code:
+		t.Fatalf("picoserve exited %d before ready: %s%s", c, stdout.String(), stderr.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("picoserve never became ready")
+	}
+	base := "http://" + g.Addr()
+
+	m, err := modelByName("toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.RandomInput(m.Input, 3)
+	b := wire.EncodeTensor(in)
+	payload := append([]byte(nil), b...)
+	wire.PutBuffer(b)
+	const requests = 6
+	for i := 0; i < requests; i++ {
+		resp, err := http.Post(base+"/infer?model=toy", "application/octet-stream", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatalf("infer %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("infer %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d err %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q, want text/plain", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`kind="e2e"`, `kind="request"`, `kind="stage"`, `kind="exec"`,
+		`quantile="0.99"`, `model="toy/pico"`,
+		"pico_latency_seconds",
+		`pico_gateway_requests_total{outcome="completed"} ` + "6",
+		"pico_gateway_queued 0",
+		"pico_gateway_slo_breaches_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := g.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("picoserve exited %d: %s%s", c, stdout.String(), stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("picoserve never exited after drain")
+	}
+}
+
 // TestPicoserveFlagValidation pins the CLI error surface.
 func TestPicoserveFlagValidation(t *testing.T) {
 	cases := []struct {

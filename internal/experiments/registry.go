@@ -33,6 +33,7 @@ var registry = map[string]Func{
 	"wire":             WireBench,
 	"kern":             KernelBench,
 	"quant":            QuantBench,
+	"telem":            TelemetryBench,
 }
 
 // order fixes the presentation sequence for "run everything".
@@ -41,7 +42,7 @@ var order = []string{
 	"table2", "fig13", "bandwidth",
 	"ablation-greedy", "ablation-strips", "ablation-tlim", "ablation-ewma",
 	"ablation-rfmode", "ablation-grid", "ablation-overlap", "ext-mobilenet",
-	"wire", "kern", "quant",
+	"wire", "kern", "quant", "telem",
 }
 
 // IDs returns every registered experiment in presentation order.

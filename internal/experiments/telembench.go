@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/core"
+	"pico/internal/nn"
+	"pico/internal/runtime"
+	"pico/internal/telemetry"
+	"pico/internal/tensor"
+)
+
+// TelemetryOverheadRow is one closed-loop pipeline run with or without the
+// streaming-percentile engine attached.
+type TelemetryOverheadRow struct {
+	// Mode is "bare" or "instrumented".
+	Mode  string `json:"mode"`
+	Tasks int    `json:"tasks"`
+	// Seconds is the best (minimum) closed-loop wall time across trials;
+	// the minimum estimates the noise-free cost, which is what the
+	// overhead comparison needs on a shared machine.
+	Seconds     float64 `json:"seconds"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+	// OverheadPct is the throughput cost versus the bare row (0 for bare;
+	// negative means the instrumented run measured faster, i.e. noise).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// TelemetryMicroRow times the engine's primitive operations in isolation.
+type TelemetryMicroRow struct {
+	// Op names the primitive: "record" (one lock-free ring write),
+	// "snapshot" (fold + quickselect p50/p95/p99 over a full window).
+	Op string `json:"op"`
+	// N is how many samples the measured structure held.
+	N int `json:"n"`
+	// NsPerOp is the measured cost.
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// TelemetryBenchResult is the machine-readable artefact for the telemetry
+// PR (BENCH_PR10.json): the closed-loop overhead guard plus primitive
+// micro-timings.
+type TelemetryBenchResult struct {
+	Overhead []TelemetryOverheadRow `json:"overhead"`
+	Micro    []TelemetryMicroRow    `json:"micro"`
+}
+
+// telemPipelineSeconds runs one closed loop of tasks over a fresh local
+// cluster, optionally instrumented, and returns the wall time.
+func telemPipelineSeconds(plan *core.Plan, m *nn.Model, devices, tasks int, reg *telemetry.Registry) (float64, error) {
+	lc, err := runtime.StartLocalCluster(devices, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = lc.Close() }()
+	p, err := runtime.NewPipeline(plan, lc.Addrs, runtime.PipelineOptions{Seed: 1, Telemetry: reg})
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = p.Close() }()
+	in := tensor.RandomInput(m.Input, 1)
+	if _, err := p.Submit(in); err != nil {
+		return 0, err
+	}
+	if res := <-p.Results(); res.Err != nil {
+		return 0, res.Err
+	}
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < tasks; i++ {
+			if _, err := p.Submit(in); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < tasks; i++ {
+		if res := <-p.Results(); res.Err != nil {
+			return 0, res.Err
+		}
+	}
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// RunTelemetryBench measures the streaming-percentile engine: closed-loop
+// pipeline throughput with and without instrumentation (the ≤2% overhead
+// guard), and the primitive record/snapshot costs. Modes are interleaved
+// across trials and the best time kept, so machine noise hits both evenly.
+func RunTelemetryBench(cfg Config) (*TelemetryBenchResult, error) {
+	m := nn.ToyChain("telem-bench", 6, 2, 8, 32)
+	const devices = 3
+	cl := cluster.Homogeneous(devices, 600e6)
+	plan, err := core.PlanPipeline(m, cl, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tasks := cfg.ClosedLoopTasks
+	if tasks > 400 {
+		tasks = 400
+	}
+
+	const trials = 5
+	var bare, inst []float64
+	for t := 0; t < trials; t++ {
+		s, err := telemPipelineSeconds(plan, m, devices, tasks, nil)
+		if err != nil {
+			return nil, err
+		}
+		bare = append(bare, s)
+		s, err = telemPipelineSeconds(plan, m, devices, tasks, telemetry.New(telemetry.Options{}))
+		if err != nil {
+			return nil, err
+		}
+		inst = append(inst, s)
+	}
+	sort.Float64s(bare)
+	sort.Float64s(inst)
+	bareSec, instSec := bare[0], inst[0]
+
+	res := &TelemetryBenchResult{}
+	res.Overhead = append(res.Overhead, TelemetryOverheadRow{
+		Mode: "bare", Tasks: tasks, Seconds: bareSec,
+		TasksPerSec: float64(tasks) / bareSec,
+	})
+	res.Overhead = append(res.Overhead, TelemetryOverheadRow{
+		Mode: "instrumented", Tasks: tasks, Seconds: instSec,
+		TasksPerSec: float64(tasks) / instSec,
+		OverheadPct: 100 * (instSec - bareSec) / bareSec,
+	})
+
+	// Primitive costs: one ring write, and one full fold+quickselect
+	// snapshot over a populated window.
+	reg := telemetry.New(telemetry.Options{RingSlots: 1 << 14})
+	s := reg.Series(telemetry.Key{Model: "micro", Stage: 0, Device: 0, Kind: telemetry.KindExec})
+	prod := s.Producer()
+	const recN = 1 << 14
+	start := time.Now()
+	for i := 0; i < recN; i++ {
+		prod.Record(0.001)
+	}
+	res.Micro = append(res.Micro, TelemetryMicroRow{
+		Op: "record", N: recN,
+		NsPerOp: float64(time.Since(start).Nanoseconds()) / recN,
+	})
+	const snapN = 50
+	start = time.Now()
+	for i := 0; i < snapN; i++ {
+		_ = s.Stats()
+	}
+	res.Micro = append(res.Micro, TelemetryMicroRow{
+		Op: "snapshot", N: recN,
+		NsPerOp: float64(time.Since(start).Nanoseconds()) / snapN,
+	})
+	return res, nil
+}
+
+// TelemetryBench renders RunTelemetryBench as picobench tables (experiment
+// id "telem").
+func TelemetryBench(cfg Config) ([]Table, error) {
+	res, err := RunTelemetryBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	over := Table{
+		ID:      "telem-overhead",
+		Title:   "closed-loop pipeline throughput, bare vs telemetry-instrumented",
+		Columns: []string{"mode", "tasks", "seconds", "tasks/s", "overhead"},
+		Notes: []string{
+			"instrumented: e2e + per-stage + per-device exec samples on every task",
+			"guard: overhead stays within ~2% (best of interleaved trials)",
+		},
+	}
+	for _, r := range res.Overhead {
+		over.AddRow(r.Mode, fmt.Sprintf("%d", r.Tasks), secs(r.Seconds),
+			f2(r.TasksPerSec), fmt.Sprintf("%.2f%%", r.OverheadPct))
+	}
+	micro := Table{
+		ID:      "telem-micro",
+		Title:   "telemetry primitive costs",
+		Columns: []string{"op", "samples", "ns/op"},
+	}
+	for _, r := range res.Micro {
+		micro.AddRow(r.Op, fmt.Sprintf("%d", r.N), f2(r.NsPerOp))
+	}
+	return []Table{over, micro}, nil
+}

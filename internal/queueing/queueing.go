@@ -89,7 +89,9 @@ func NewEstimator(beta, windowSeconds float64) (*Estimator, error) {
 // Observe records a task arrival at time t (seconds, non-decreasing). When a
 // window closes, the measured rate folds into the EWMA. Quiet periods
 // spanning multiple windows fold in zero-rate measurements, so the estimate
-// decays when the workload stops.
+// decays when the workload stops — computed in closed form, so an arrival
+// after a long idle gap costs O(1), not one loop iteration per elapsed
+// window: k empty windows shrink the rate by exactly (1−β)^k.
 func (e *Estimator) Observe(t float64) {
 	if !e.started {
 		e.started = true
@@ -97,10 +99,17 @@ func (e *Estimator) Observe(t float64) {
 		e.windowCount = 1
 		return
 	}
-	for t >= e.windowStart+e.WindowSeconds {
+	if elapsed := t - e.windowStart; elapsed >= e.WindowSeconds {
+		k := math.Floor(elapsed / e.WindowSeconds)
+		// The first closing window folds in whatever it counted...
 		measured := float64(e.windowCount) / e.WindowSeconds
 		e.rate = e.Beta*measured + (1-e.Beta)*e.rate
-		e.windowStart += e.WindowSeconds
+		// ...and the k−1 after it were empty: each is a zero-rate fold
+		// rate = (1−β)·rate, collapsed into one power.
+		if k > 1 {
+			e.rate *= math.Pow(1-e.Beta, k-1)
+		}
+		e.windowStart += k * e.WindowSeconds
 		e.windowCount = 0
 	}
 	e.windowCount++

@@ -2,8 +2,10 @@ package queueing
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestTheorem2Basics(t *testing.T) {
@@ -199,5 +201,88 @@ func TestSwitcherValidation(t *testing.T) {
 	}
 	if _, err := NewSwitcher([]Candidate{{Name: "x", Period: 1, Latency: 1}}, -1); err == nil {
 		t.Fatal("negative hysteresis accepted")
+	}
+}
+
+// loopObserve is the pre-closed-form Observe: one EWMA fold per elapsed
+// window. Kept as the reference implementation for the decay property test.
+func loopObserve(e *Estimator, t float64) {
+	if !e.started {
+		e.started = true
+		e.windowStart = t
+		e.windowCount = 1
+		return
+	}
+	for t >= e.windowStart+e.WindowSeconds {
+		measured := float64(e.windowCount) / e.WindowSeconds
+		e.rate = e.Beta*measured + (1-e.Beta)*e.rate
+		e.windowStart += e.WindowSeconds
+		e.windowCount = 0
+	}
+	e.windowCount++
+}
+
+// TestEstimatorClosedFormMatchesLoop drives the closed-form Observe and the
+// per-window loop through identical random arrival schedules (gaps up to a
+// few dozen windows) and demands matching estimates throughout.
+func TestEstimatorClosedFormMatchesLoop(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		closed, _ := NewEstimator(0.5, 2)
+		ref, _ := NewEstimator(0.5, 2)
+		now := 0.0
+		for i := 0; i < 300; i++ {
+			// Mix dense arrivals with gaps spanning 0..40 windows.
+			switch rng.Intn(3) {
+			case 0:
+				now += rng.Float64() * 0.5
+			case 1:
+				now += rng.Float64() * 4
+			default:
+				now += rng.Float64() * 80
+			}
+			closed.Observe(now)
+			loopObserve(ref, now)
+			if closed.windowCount != ref.windowCount {
+				return false
+			}
+			diff := math.Abs(closed.Rate() - ref.Rate())
+			scale := math.Max(math.Abs(ref.Rate()), 1e-9)
+			if diff/scale > 1e-9 && diff > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimatorLongIdleGap pins the O(gap/window) regression: an arrival
+// after ~3e9 idle windows must return immediately (the loop form would spin
+// for minutes) and decay the rate to zero rather than NaN or a stale value.
+func TestEstimatorLongIdleGap(t *testing.T) {
+	e, _ := NewEstimator(0.5, 1)
+	for i := 0; i < 100; i++ {
+		e.Observe(float64(i) * 0.1) // 10/s for 10s
+	}
+	if e.Rate() <= 0 {
+		t.Fatalf("warm rate %v, want > 0", e.Rate())
+	}
+	start := time.Now()
+	e.Observe(3e9) // ~95 years idle at 1s windows
+	if took := time.Since(start); took > 100*time.Millisecond {
+		t.Fatalf("post-idle Observe took %v, want O(1)", took)
+	}
+	if r := e.Rate(); r != 0 && !(r > 0 && r < 1e-300) {
+		t.Fatalf("post-idle rate %v, want fully decayed", r)
+	}
+	// The estimator keeps working after the jump.
+	for i := 0; i < 100; i++ {
+		e.Observe(3e9 + float64(i)*0.1)
+	}
+	if e.Rate() <= 0 {
+		t.Fatalf("rate after recovery %v, want > 0", e.Rate())
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"pico/internal/core"
 	"pico/internal/partition"
+	"pico/internal/telemetry"
 	"pico/internal/tensor"
 	"pico/internal/wire"
 )
@@ -85,9 +86,13 @@ type stageDriver struct {
 	window int
 	// timeout bounds each tile round trip on this stage.
 	timeout time.Duration
-	// record accumulates per-device compute time into the pipeline stats.
+	// record accumulates per-device compute time into the pipeline stats
+	// (and, when telemetry is attached, the per-device exec series).
 	record func(deviceIdx int, seconds float64)
-	p      *Pipeline
+	// stageProd records this stage's per-task round trip; nil without
+	// telemetry.
+	stageProd *telemetry.Producer
+	p         *Pipeline
 
 	// topoMu guards the live strip layout, which re-balancing rewrites
 	// when a device goes down.
@@ -246,10 +251,14 @@ func (sd *stageDriver) gather(fw *flightWork) {
 		return // flight failed before this stage
 	}
 	defer func() {
+		end := time.Now()
 		f.spans = append(f.spans, StageSpan{
 			From: sd.stage.From, To: sd.stage.To,
-			Start: fw.start, End: time.Now(),
+			Start: fw.start, End: end,
 		})
+		if sd.stageProd != nil && f.err == nil {
+			sd.stageProd.RecordAt(end, end.Sub(fw.start).Seconds())
+		}
 	}()
 	outs := make([]stripData, 0, len(fw.calls))
 	los := make([]int, 0, len(fw.calls))
@@ -508,6 +517,73 @@ func (sd *stageDriver) rebalance() {
 	})
 }
 
+// minMeasuredSamples is how many windowed exec samples a device needs before
+// its measured speed overrides the planner's static profile in a measured
+// re-balance.
+const minMeasuredSamples = 8
+
+// rebalanceMeasured re-splits the stage's strips using measured per-device
+// execution times from the telemetry window: a device that computed rows_k
+// rows in p50_k seconds weighs rows_k/p50_k, so a straggler the static
+// profile did not predict sheds rows to its faster peers. Devices without
+// enough windowed samples keep their profile speed. Returns whether the
+// layout changed.
+func (sd *stageDriver) rebalanceMeasured(window time.Duration) bool {
+	if sd.p.telem == nil {
+		return false
+	}
+	sd.topoMu.Lock()
+	parts := append([]partition.Range(nil), sd.parts...)
+	dead := sd.dead
+	sd.topoMu.Unlock()
+	if dead {
+		return false
+	}
+	weights := make([]float64, len(sd.slots))
+	live, measured := 0, 0
+	for k, slot := range sd.slots {
+		if slot == nil || slot.isDown() {
+			continue
+		}
+		w := sd.p.speedOf(slot.deviceIdx)
+		if w <= 0 {
+			w = 1
+		}
+		if rows := float64(parts[k].Len()); rows > 0 {
+			st := sd.p.telem.Series(telemetry.Key{
+				Model: sd.p.telemLabel, Stage: sd.index, Device: slot.deviceIdx, Kind: telemetry.KindExec,
+			}).StatsWindow(window)
+			if st.WindowCount >= minMeasuredSamples && st.P50 > 0 {
+				w = rows / st.P50
+				measured++
+			}
+		}
+		weights[k] = w
+		live++
+	}
+	if live == 0 || measured < 2 {
+		// Fewer than two measured devices gives the balancer nothing to
+		// trade off against.
+		return false
+	}
+	next := sd.calc.Balanced(sd.stage.From, sd.stage.To, weights)
+	same := len(next) == len(parts)
+	for k := 0; same && k < len(next); k++ {
+		same = next[k] == parts[k]
+	}
+	if same {
+		return false
+	}
+	sd.topoMu.Lock()
+	sd.parts = next
+	sd.topoMu.Unlock()
+	sd.p.faults.add(FaultEvent{
+		Stage: sd.index, Device: -1, Kind: FaultRebalanced,
+		Detail: fmt.Sprintf("slo: measured re-split over %d device(s): %v", live, next),
+	})
+	return true
+}
+
 // Pipeline executes a PICO plan over TCP workers, one stage driver per
 // stage, all running concurrently so tasks overlap in the pipeline.
 type Pipeline struct {
@@ -557,6 +633,14 @@ type Pipeline struct {
 	// out-of-band requests (worker stats); a device serving several
 	// stages keeps its first connection here.
 	byDevice map[int]*workerClient
+
+	// telem, when attached, receives latency samples keyed under telemLabel:
+	// whole-task e2e in the sink, per-stage round trips in gather, per-device
+	// exec seconds through record. All writes go through lock-free ring
+	// producers, so the hot path cost is a few atomic stores.
+	telem      *telemetry.Registry
+	telemLabel string
+	e2eProd    *telemetry.Producer
 }
 
 // deviceCounter accumulates one device's activity with atomics.
@@ -627,6 +711,16 @@ type PipelineOptions struct {
 	// float32), workers execute the quantized kernels, and the final output
 	// is dequantized into TaskResult.Output.
 	Quantized bool
+
+	// Telemetry, when non-nil, receives latency samples from the pipeline's
+	// hot paths: whole-task end-to-end ("e2e"), per-stage round trips
+	// ("stage") and per-device worker compute ("exec"). Nil keeps the
+	// pipeline telemetry-free.
+	Telemetry *telemetry.Registry
+	// TelemetryLabel is the model label telemetry series are keyed under
+	// (default: the plan's model name). The gateway sets it to the session
+	// key so concurrent model variants stay distinguishable.
+	TelemetryLabel string
 }
 
 // Deadline-derivation defaults: a hung worker is detected after
@@ -680,6 +774,16 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 		byDevice:       make(map[int]*workerClient),
 	}
 	p.spec = wire.SpecFromModel(plan.Model)
+	if opts.Telemetry != nil {
+		p.telem = opts.Telemetry
+		p.telemLabel = opts.TelemetryLabel
+		if p.telemLabel == "" {
+			p.telemLabel = plan.Model.Name
+		}
+		p.e2eProd = p.telem.Series(telemetry.Key{
+			Model: p.telemLabel, Stage: -1, Device: -1, Kind: telemetry.KindE2E,
+		}).Producer()
+	}
 	if p.quant {
 		scales, err := tensor.QuantScales(plan.Model, opts.Seed)
 		if err != nil {
@@ -719,6 +823,25 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 		sd.ref.name = plan.Model.Name
 		sd.ref.seed = opts.Seed
 		sd.record = p.recordCompute
+		if p.telem != nil {
+			sd.stageProd = p.telem.Series(telemetry.Key{
+				Model: p.telemLabel, Stage: si, Device: -1, Kind: telemetry.KindStage,
+			}).Producer()
+			execProd := make(map[int]*telemetry.Producer, len(st.DeviceIdx))
+			for _, di := range st.DeviceIdx {
+				if execProd[di] == nil {
+					execProd[di] = p.telem.Series(telemetry.Key{
+						Model: p.telemLabel, Stage: si, Device: di, Kind: telemetry.KindExec,
+					}).Producer()
+				}
+			}
+			sd.record = func(deviceIdx int, seconds float64) {
+				p.recordCompute(deviceIdx, seconds)
+				if pr := execProd[deviceIdx]; pr != nil {
+					pr.Record(seconds)
+				}
+			}
+		}
 		for k, di := range st.DeviceIdx {
 			if st.Parts[k].Empty() {
 				continue
@@ -770,12 +893,16 @@ func NewPipeline(plan *core.Plan, addrs map[int]string, opts PipelineOptions) (*
 					tensor.RecycleQ(f.q)
 				}
 			}
+			done := time.Now()
+			if p.e2eProd != nil && f.err == nil {
+				p.e2eProd.RecordAt(done, done.Sub(f.submitted).Seconds())
+			}
 			p.results <- TaskResult{
 				ID:        f.id,
 				Output:    f.t,
 				Err:       f.err,
 				Submitted: f.submitted,
-				Done:      time.Now(),
+				Done:      done,
 				Spans:     f.spans,
 			}
 		}
@@ -880,6 +1007,30 @@ func (p *Pipeline) DownDevices() []int {
 	sort.Ints(down)
 	return down
 }
+
+// SLORebalance re-splits every stage's strips from measured per-device
+// execution times in the given telemetry window — the SLO watcher's control
+// action, reusing the same divide-and-conquer balancer the fault path runs
+// when a device dies. It returns how many stages changed layout. A pipeline
+// built without telemetry returns 0.
+func (p *Pipeline) SLORebalance(window time.Duration) int {
+	if p.telem == nil {
+		return 0
+	}
+	if window <= 0 {
+		window = p.telem.Window()
+	}
+	n := 0
+	for _, sd := range p.stages {
+		if sd.rebalanceMeasured(window) {
+			n++
+		}
+	}
+	return n
+}
+
+// Telemetry returns the registry attached at construction, or nil.
+func (p *Pipeline) Telemetry() *telemetry.Registry { return p.telem }
 
 // recordCompute accumulates a worker-reported tile execution. Lock-free:
 // the counter map is immutable after construction and each counter is

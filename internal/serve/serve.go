@@ -41,8 +41,15 @@ import (
 	"pico/internal/nn"
 	"pico/internal/queueing"
 	"pico/internal/runtime"
+	"pico/internal/telemetry"
 	"pico/internal/wire"
 )
+
+// BatchWindowNone disables micro-batch coalescing: every request submits to
+// the pipeline alone. Any negative BatchWindow means the same; the named
+// sentinel exists because a zero Config.BatchWindow cannot be told apart
+// from "unset" and therefore takes the default instead.
+const BatchWindowNone time.Duration = -1
 
 // Config assembles a Gateway.
 type Config struct {
@@ -67,14 +74,34 @@ type Config struct {
 	Beta          float64
 	WindowSeconds float64
 	// BatchWindow is how long the micro-batcher waits to coalesce queued
-	// requests into one submission burst (default 2ms; 0 disables
-	// coalescing — every request submits alone).
+	// requests into one submission burst. Zero (unset) takes the default
+	// 2ms; BatchWindowNone (any negative value) disables coalescing — every
+	// request submits alone.
 	BatchWindow time.Duration
 	// MaxBatch caps one burst (default 16).
 	MaxBatch int
 	// Pipeline configures the pooled pipelines. Seed and Quantized are
-	// overridden per session.
+	// overridden per session; Telemetry and TelemetryLabel are managed by
+	// the gateway (set Telemetry here only to share a registry with other
+	// components).
 	Pipeline runtime.PipelineOptions
+
+	// TelemetryWindow is the sliding window /metrics percentiles aggregate
+	// over (default: the telemetry package default, 60s).
+	TelemetryWindow time.Duration
+	// SLOP99Bound, when > 0, arms the SLO watcher's latency check: a
+	// session whose windowed end-to-end p99 exceeds it (seconds) triggers a
+	// measured re-balance of that session's pipeline.
+	SLOP99Bound float64
+	// SLOSkewFactor, when > 1, arms the watcher's skew check: a stage whose
+	// slowest device's exec p99 exceeds its fastest's by more than this
+	// factor triggers the same re-balance.
+	SLOSkewFactor float64
+	// SLOInterval is the watcher tick period (default 5s).
+	SLOInterval time.Duration
+	// SLOCooldown suppresses repeat triggers per series while a re-balance
+	// takes effect (default 30s).
+	SLOCooldown time.Duration
 }
 
 // Gateway is the HTTP serving front door.
@@ -97,6 +124,17 @@ type Gateway struct {
 	rejected  atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+	// canceled counts admitted requests whose client went away before the
+	// result; the ledger invariant is
+	// admitted == completed + failed + canceled once the queue drains.
+	canceled atomic.Int64
+
+	// telem aggregates latency percentiles across every session's pipeline
+	// plus the gateway's own request series; watcher closes the SLO loop.
+	telem         *telemetry.Registry
+	watcher       *telemetry.Watcher
+	sloBreaches   atomic.Int64
+	sloRebalanced atomic.Int64
 }
 
 // New validates the config, applies defaults and builds the gateway. No
@@ -127,25 +165,70 @@ func New(cfg Config) (*Gateway, error) {
 		cfg.WindowSeconds = 10
 	}
 	if cfg.BatchWindow < 0 {
-		cfg.BatchWindow = 0
+		cfg.BatchWindow = 0 // BatchWindowNone: coalescing off
 	} else if cfg.BatchWindow == 0 {
-		cfg.BatchWindow = 2 * time.Millisecond
+		cfg.BatchWindow = 2 * time.Millisecond // unset: default window
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 16
+	}
+	if cfg.Pipeline.Telemetry == nil {
+		cfg.Pipeline.Telemetry = telemetry.New(telemetry.Options{Window: cfg.TelemetryWindow})
 	}
 	est, err := queueing.NewEstimator(cfg.Beta, cfg.WindowSeconds)
 	if err != nil {
 		return nil, err
 	}
-	g := &Gateway{cfg: cfg, est: est, started: time.Now()}
+	g := &Gateway{cfg: cfg, est: est, started: time.Now(), telem: cfg.Pipeline.Telemetry}
 	g.pool = newPool(&g.cfg)
+	if cfg.SLOP99Bound > 0 || cfg.SLOSkewFactor > 0 {
+		g.watcher, err = telemetry.NewWatcher(g.telem, telemetry.Policy{
+			P99Bound:   cfg.SLOP99Bound,
+			SkewFactor: cfg.SLOSkewFactor,
+			Window:     cfg.TelemetryWindow,
+			Cooldown:   cfg.SLOCooldown,
+		}, g.onBreach)
+		if err != nil {
+			return nil, err
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/infer", g.handleInfer)
 	mux.HandleFunc("/healthz", g.handleHealth)
 	mux.HandleFunc("/stats", g.handleStats)
+	mux.HandleFunc("/metrics", g.handleMetrics)
 	g.srv = &http.Server{Handler: mux}
 	return g, nil
+}
+
+// Telemetry exposes the gateway's latency registry (shared with every
+// pooled pipeline).
+func (g *Gateway) Telemetry() *telemetry.Registry { return g.telem }
+
+// onBreach is the SLO watcher's control action: the breached series' model
+// label is a session key string, and that session's pipeline re-balances its
+// strips from measured per-device execution times — the same machinery the
+// fault path runs when a device dies.
+func (g *Gateway) onBreach(b telemetry.Breach) {
+	g.sloBreaches.Add(1)
+	for _, s := range g.pool.snapshot() {
+		if s.key.String() != b.Key.Model {
+			continue
+		}
+		if n := s.pipe.SLORebalance(g.telem.Window()); n > 0 {
+			g.sloRebalanced.Add(int64(n))
+		}
+	}
+}
+
+// CheckSLO runs one deterministic SLO watcher evaluation (the same one the
+// background tick runs), triggering re-balances for any breaches found, and
+// returns them. Nil when no SLO policy is configured.
+func (g *Gateway) CheckSLO(now time.Time) []telemetry.Breach {
+	if g.watcher == nil {
+		return nil
+	}
+	return g.watcher.Check(now)
 }
 
 // Handler exposes the gateway's routes for embedding and tests.
@@ -176,6 +259,9 @@ func (g *Gateway) Serve() error {
 	if g.ln == nil {
 		return errors.New("serve: Serve before Listen")
 	}
+	if g.watcher != nil {
+		g.watcher.Start(g.cfg.SLOInterval)
+	}
 	if err := g.srv.Serve(g.ln); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
@@ -190,6 +276,9 @@ func (g *Gateway) Serve() error {
 // every in-flight tile wait carries an exec deadline.
 func (g *Gateway) Shutdown(ctx context.Context) error {
 	g.draining.Store(true)
+	if g.watcher != nil {
+		g.watcher.Stop()
+	}
 	err := g.srv.Shutdown(ctx)
 	if cerr := g.pool.close(); err == nil {
 		err = cerr
@@ -293,10 +382,16 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 	// Admission: every arrival feeds the EWMA estimator; the session's
 	// M/D/1 predicate sheds when the predicted wait breaches the bound or
-	// the intake queue is full.
+	// the intake queue is full. The queue slot is reserved *before* the
+	// decision — increment first, undo on shed — so N concurrent arrivals
+	// each judge a distinct occupancy and the intake queue can never
+	// overshoot MaxQueue (deciding on a stale Load let a burst all see the
+	// same pre-increment count and all pass).
 	rate := g.observeArrival()
-	dec := sess.adm.Decide(rate, int(g.queued.Load()))
+	queued := g.queued.Add(1)
+	dec := sess.adm.Decide(rate, int(queued-1))
 	if !dec.Admit {
+		g.queued.Add(-1)
 		g.shed.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(dec.RetryAfter)))
 		http.Error(w, fmt.Sprintf("overloaded: predicted wait %.3gs exceeds bound %.3gs (rate %.3g/s)",
@@ -304,7 +399,6 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.admitted.Add(1)
-	g.queued.Add(1)
 	defer g.queued.Add(-1)
 
 	res, err := sess.infer(r.Context().Done(), input)
@@ -315,7 +409,12 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
-		// Client went away; nothing useful to write.
+		if errors.Is(err, errCanceled) {
+			// Client went away; nothing useful to write, and not a failure
+			// of ours — ledger it separately.
+			g.canceled.Add(1)
+			return
+		}
 		g.failed.Add(1)
 		return
 	}
@@ -386,14 +485,21 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // Stats is the /stats payload.
 type Stats struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	RateEstimate  float64        `json:"rate_estimate"`
-	Queued        int64          `json:"queued"`
-	Admitted      int64          `json:"admitted"`
-	Shed          int64          `json:"shed"`
-	Rejected      int64          `json:"rejected"`
-	Completed     int64          `json:"completed"`
-	Failed        int64          `json:"failed"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	RateEstimate  float64 `json:"rate_estimate"`
+	Queued        int64   `json:"queued"`
+	Admitted      int64   `json:"admitted"`
+	Shed          int64   `json:"shed"`
+	Rejected      int64   `json:"rejected"`
+	Completed     int64   `json:"completed"`
+	Failed        int64   `json:"failed"`
+	// Canceled counts admitted requests abandoned by their client before
+	// the result; admitted == completed + failed + canceled once drained.
+	Canceled int64 `json:"canceled"`
+	// SLOBreaches and SLORebalanced count watcher detections and the stage
+	// re-splits they triggered.
+	SLOBreaches   int64          `json:"slo_breaches"`
+	SLORebalanced int64          `json:"slo_rebalanced"`
 	Sessions      []SessionStats `json:"sessions"`
 }
 
@@ -418,6 +524,9 @@ func (g *Gateway) GatewayStats() Stats {
 		Rejected:      g.rejected.Load(),
 		Completed:     g.completed.Load(),
 		Failed:        g.failed.Load(),
+		Canceled:      g.canceled.Load(),
+		SLOBreaches:   g.sloBreaches.Load(),
+		SLORebalanced: g.sloRebalanced.Load(),
 	}
 	for _, s := range g.pool.snapshot() {
 		ss := SessionStats{
@@ -437,6 +546,36 @@ func (g *Gateway) GatewayStats() Stats {
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, g.GatewayStats())
+}
+
+// handleMetrics is GET /metrics: the latency percentile series of every
+// pooled pipeline plus the gateway's own request series and counters, in
+// plaintext exposition format. Quantiles are computed on scrape by
+// quickselect over each series' sliding window.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := g.telem.WriteMetrics(w); err != nil {
+		return
+	}
+	st := g.GatewayStats()
+	fmt.Fprintf(w, "# TYPE pico_gateway_requests_total counter\n")
+	for _, c := range [...]struct {
+		outcome string
+		n       int64
+	}{
+		{"admitted", st.Admitted}, {"shed", st.Shed}, {"rejected", st.Rejected},
+		{"completed", st.Completed}, {"failed", st.Failed}, {"canceled", st.Canceled},
+	} {
+		fmt.Fprintf(w, "pico_gateway_requests_total{outcome=%q} %d\n", c.outcome, c.n)
+	}
+	fmt.Fprintf(w, "# TYPE pico_gateway_queued gauge\n")
+	fmt.Fprintf(w, "pico_gateway_queued %d\n", st.Queued)
+	fmt.Fprintf(w, "# TYPE pico_gateway_rate_estimate gauge\n")
+	fmt.Fprintf(w, "pico_gateway_rate_estimate %g\n", st.RateEstimate)
+	fmt.Fprintf(w, "# TYPE pico_gateway_slo_breaches_total counter\n")
+	fmt.Fprintf(w, "pico_gateway_slo_breaches_total %d\n", st.SLOBreaches)
+	fmt.Fprintf(w, "# TYPE pico_gateway_slo_rebalanced_total counter\n")
+	fmt.Fprintf(w, "pico_gateway_slo_rebalanced_total %d\n", st.SLORebalanced)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

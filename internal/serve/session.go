@@ -10,6 +10,7 @@ import (
 	"pico/internal/core"
 	"pico/internal/queueing"
 	"pico/internal/runtime"
+	"pico/internal/telemetry"
 	"pico/internal/tensor"
 )
 
@@ -41,6 +42,11 @@ func (k SessionKey) String() string {
 // errRetired marks a session that stopped accepting work (retired by the
 // pool or drained by Shutdown); the caller should re-acquire from the pool.
 var errRetired = errors.New("serve: session retired")
+
+// errCanceled marks a request abandoned by its client (context done) before
+// the result came back — counted as canceled in the gateway ledger, not as
+// a failure.
+var errCanceled = errors.New("serve: request canceled by client")
 
 // waiter is one admitted request parked until its task's result returns.
 type waiter struct {
@@ -88,6 +94,11 @@ type session struct {
 	tasks   atomic.Int64
 	batches atomic.Int64
 	batched atomic.Int64
+
+	// reqProd records whole-request latency (enqueue through result, so
+	// batch-window wait included) into the gateway's telemetry registry;
+	// nil without telemetry.
+	reqProd *telemetry.Producer
 }
 
 // openSession plans (or re-plans) the key's scheme and connects its
@@ -120,6 +131,9 @@ func openSession(cfg *Config, key SessionKey) (*session, error) {
 	opts := cfg.Pipeline
 	opts.Seed = cfg.Seed
 	opts.Quantized = key.Quant
+	// Label the session's series by its key so concurrent model/plan/quant
+	// variants stay distinguishable in one registry.
+	opts.TelemetryLabel = key.String()
 	pipe, err := runtime.NewPipeline(plan, cfg.Addrs, opts)
 	if err != nil {
 		return nil, fmt.Errorf("serve: open %s: %w", key, err)
@@ -135,6 +149,11 @@ func openSession(cfg *Config, key SessionKey) (*session, error) {
 		maxBatch: cfg.MaxBatch,
 		waiters:  make(map[int64]*waiter),
 		orphans:  make(map[int64]runtime.TaskResult),
+	}
+	if opts.Telemetry != nil {
+		s.reqProd = opts.Telemetry.Series(telemetry.Key{
+			Model: key.String(), Stage: -1, Device: -1, Kind: telemetry.KindRequest,
+		}).Producer()
 	}
 	s.batchWG.Add(1)
 	go s.batchLoop()
@@ -161,14 +180,18 @@ func (s *session) infer(done <-chan struct{}, input tensor.Tensor) (runtime.Task
 		s.inMu.RUnlock()
 	case <-done:
 		s.inMu.RUnlock()
-		return runtime.TaskResult{}, errors.New("serve: request cancelled before submission")
+		return runtime.TaskResult{}, fmt.Errorf("%w before submission", errCanceled)
 	}
 	select {
 	case res := <-w.ch:
 		s.tasks.Add(1)
+		if s.reqProd != nil && res.Err == nil {
+			now := time.Now()
+			s.reqProd.RecordAt(now, now.Sub(w.enq).Seconds())
+		}
 		return res, nil
 	case <-done:
-		return runtime.TaskResult{}, errors.New("serve: request cancelled in flight")
+		return runtime.TaskResult{}, fmt.Errorf("%w in flight", errCanceled)
 	}
 }
 

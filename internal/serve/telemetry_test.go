@@ -1,0 +1,410 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pico/internal/cluster"
+	"pico/internal/nn"
+	"pico/internal/runtime"
+	"pico/internal/telemetry"
+	"pico/internal/tensor"
+)
+
+// startGatewaySpeeds is startGateway with per-worker emulated speeds, for
+// tests that need a straggler the planner's homogeneous profile cannot see.
+func startGatewaySpeeds(t *testing.T, profileHz float64, speeds []float64, mut func(*Config)) *fixture {
+	t.Helper()
+	lc, err := runtime.StartLocalCluster(len(speeds), speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := lc.Close(); err != nil {
+			t.Errorf("cluster close: %v", err)
+		}
+	})
+	m := nn.ToyChain("srv", 6, 2, 6, 32)
+	cfg := Config{
+		Cluster: cluster.Homogeneous(len(speeds), profileHz),
+		Addrs:   lc.Addrs,
+		Models:  map[string]*nn.Model{"toy": m},
+		Seed:    99,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := g.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{g: g, base: "http://" + addr, model: m, serveErr: make(chan error, 1)}
+	go func() { f.serveErr <- g.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := g.Shutdown(ctx); err != nil {
+			t.Errorf("gateway shutdown: %v", err)
+		}
+		if err := <-f.serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return f
+}
+
+// TestBatchWindowContract pins the documented Config.BatchWindow mapping:
+// zero (unset) takes the 2ms default, BatchWindowNone (any negative)
+// disables coalescing, and an explicit positive value is kept.
+func TestBatchWindowContract(t *testing.T) {
+	cases := []struct {
+		name string
+		in   time.Duration
+		want time.Duration
+	}{
+		{"unset takes default", 0, 2 * time.Millisecond},
+		{"sentinel disables", BatchWindowNone, 0},
+		{"any negative disables", -5 * time.Second, 0},
+		{"explicit value kept", 7 * time.Millisecond, 7 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		g, err := New(Config{
+			Cluster:     cluster.Homogeneous(1, 600e6),
+			Addrs:       map[int]string{0: "127.0.0.1:1"},
+			Models:      map[string]*nn.Model{"toy": nn.ToyChain("toy", 6, 2, 6, 32)},
+			BatchWindow: tc.in,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.cfg.BatchWindow != tc.want {
+			t.Errorf("%s: BatchWindow %v -> %v, want %v", tc.name, tc.in, g.cfg.BatchWindow, tc.want)
+		}
+	}
+}
+
+// TestBatchWindowNoneSubmitsAlone drives a concurrent burst through a
+// coalescing-disabled gateway: with no batch window every request must be
+// its own submission burst (batches == tasks), where the default window
+// demonstrably coalesces (asserted by TestGatewayInferMatchesLocalRun).
+func TestBatchWindowNoneSubmitsAlone(t *testing.T) {
+	f := startGateway(t, 2, 600e6, nil, func(c *Config) {
+		c.MaxQueue = 128
+		c.LatencyBound = 300
+		c.BatchWindow = BatchWindowNone
+	})
+	in := tensor.RandomInput(f.model.Input, 3)
+	payload := encode(in)
+	const clients = 16
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if status, body, _ := f.post(t, "", payload); status != http.StatusOK {
+				t.Errorf("status %d: %s", status, body)
+			}
+		}()
+	}
+	wg.Wait()
+	st := f.g.GatewayStats()
+	if len(st.Sessions) != 1 {
+		t.Fatalf("want one session, got %+v", st.Sessions)
+	}
+	s := st.Sessions[0]
+	if s.Tasks != clients || s.Batches != clients || s.BatchedTasks != clients {
+		t.Fatalf("coalescing not disabled: %d tasks in %d batches (%d batched)",
+			s.Tasks, s.Batches, s.BatchedTasks)
+	}
+}
+
+// TestAdmissionHardCapUnderBurst pins the reserve-before-decide fix: N
+// simultaneous arrivals may never drive admitted-in-flight past MaxQueue.
+// Before the fix each arrival judged a stale queue Load taken before any of
+// the burst incremented it, so a simultaneous burst overshot the cap.
+func TestAdmissionHardCapUnderBurst(t *testing.T) {
+	const emulatedHz = 2e6 // each task takes emulated hundreds of ms
+	const maxQueue = 4
+	f := startGateway(t, 2, emulatedHz,
+		[]runtime.WorkerOption{runtime.WithEmulatedSpeed(emulatedHz)},
+		func(c *Config) {
+			c.MaxQueue = maxQueue
+			// Only the hard queue cap sheds: the latency bound is far out
+			// of reach.
+			c.LatencyBound = 1e9
+		})
+	in := tensor.RandomInput(f.model.Input, 5)
+	payload := encode(in)
+
+	// Warm the session (plan + dial) so the burst races only admission.
+	if status, body, _ := f.post(t, "", payload); status != http.StatusOK {
+		t.Fatalf("warm-up: status %d: %s", status, body)
+	}
+
+	// Sample the admitted-in-flight ledger while the burst runs. Reading
+	// admitted before the settled counters keeps the estimate conservative
+	// (a completion between the reads only shrinks it), so an overshoot
+	// report is never a sampling artifact.
+	stop := make(chan struct{})
+	overshoot := make(chan int64, 1)
+	go func() {
+		var worst int64
+		for {
+			select {
+			case <-stop:
+				overshoot <- worst
+				return
+			default:
+			}
+			admitted := f.g.admitted.Load()
+			inFlight := admitted - f.g.completed.Load() - f.g.failed.Load() - f.g.canceled.Load()
+			if inFlight > worst {
+				worst = inFlight
+			}
+		}
+	}()
+
+	const clients = 64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(f.base+"/infer", "application/octet-stream", bytes.NewReader(payload))
+			if err != nil {
+				t.Errorf("post: %v", err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				t.Errorf("unexpected status %d", resp.StatusCode)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(stop)
+	if worst := <-overshoot; worst > maxQueue {
+		t.Fatalf("admitted-in-flight reached %d, hard cap is %d", worst, maxQueue)
+	}
+	st := f.g.GatewayStats()
+	if st.Shed == 0 {
+		t.Fatalf("a %d-wide burst against MaxQueue=%d never shed: %+v", clients, maxQueue, st)
+	}
+	if st.Admitted != st.Completed+st.Failed+st.Canceled {
+		t.Fatalf("ledger: admitted %d != completed %d + failed %d + canceled %d",
+			st.Admitted, st.Completed, st.Failed, st.Canceled)
+	}
+}
+
+// TestCanceledMidFlightCountsSeparately cancels a request after admission
+// and checks it lands in the canceled counter — not failed — keeping
+// admitted == completed + failed + canceled.
+func TestCanceledMidFlightCountsSeparately(t *testing.T) {
+	const emulatedHz = 2e6 // slow enough to cancel mid-flight reliably
+	f := startGateway(t, 2, emulatedHz,
+		[]runtime.WorkerOption{runtime.WithEmulatedSpeed(emulatedHz)},
+		func(c *Config) {
+			c.MaxQueue = 16
+			c.LatencyBound = 1e9
+		})
+	in := tensor.RandomInput(f.model.Input, 5)
+	payload := encode(in)
+	if status, body, _ := f.post(t, "", payload); status != http.StatusOK {
+		t.Fatalf("warm-up: status %d: %s", status, body)
+	}
+	base := f.g.GatewayStats()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.base+"/infer", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+	// Wait until the request is admitted, then yank the client.
+	for deadline := time.Now().Add(30 * time.Second); f.g.admitted.Load() == base.Admitted; {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("canceled request returned a response")
+	}
+
+	// The handler observes the cancellation promptly; the pipeline task it
+	// abandoned still drains in the background.
+	var st Stats
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		st = f.g.GatewayStats()
+		if st.Canceled == base.Canceled+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled counter never moved: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Failed != base.Failed {
+		t.Fatalf("client cancellation counted as failure: %+v", st)
+	}
+	if st.Admitted != st.Completed+st.Failed+st.Canceled {
+		t.Fatalf("ledger: admitted %d != completed %d + failed %d + canceled %d",
+			st.Admitted, st.Completed, st.Failed, st.Canceled)
+	}
+}
+
+// TestMetricsEndpoint scrapes GET /metrics after live traffic and checks
+// the exposition carries the latency summary series (e2e, request, stage,
+// exec quantiles) and the gateway counters.
+func TestMetricsEndpoint(t *testing.T) {
+	f := startGateway(t, 2, 600e6, nil, func(c *Config) {
+		c.MaxQueue = 64
+		c.LatencyBound = 300
+	})
+	in := tensor.RandomInput(f.model.Input, 11)
+	payload := encode(in)
+	for i := 0; i < 8; i++ {
+		if status, body, _ := f.post(t, "", payload); status != http.StatusOK {
+			t.Fatalf("infer %d: status %d: %s", i, status, body)
+		}
+	}
+
+	resp, err := http.Get(f.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE pico_latency_seconds summary",
+		`kind="e2e",quantile="0.5"`,
+		`kind="e2e",quantile="0.99"`,
+		`kind="request",quantile="0.99"`,
+		`kind="stage",quantile="0.95"`,
+		`kind="exec",quantile="0.99"`,
+		`model="toy/pico"`,
+		`pico_gateway_requests_total{outcome="completed"} 8`,
+		`pico_gateway_requests_total{outcome="admitted"} 8`,
+		"pico_gateway_queued 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", out)
+	}
+}
+
+// TestSLOBreachTriggersRebalance closes the telemetry loop deterministically:
+// the cluster is profiled homogeneous so the planner splits strips evenly,
+// but one worker is emulated 8x slower. Measured exec-time skew breaches the
+// watcher policy, and the triggered re-balance must shift rows off the
+// straggler — the FaultRebalanced journal records the new layout.
+func TestSLOBreachTriggersRebalance(t *testing.T) {
+	const fastHz, slowHz = 4e7, 5e6
+	f := startGatewaySpeeds(t, fastHz, []float64{fastHz, fastHz, slowHz}, func(c *Config) {
+		c.MaxQueue = 64
+		c.LatencyBound = 1e9
+		c.SLOSkewFactor = 3
+		c.SLOInterval = time.Hour // ticks by hand via CheckSLO
+	})
+	in := tensor.RandomInput(f.model.Input, 17)
+	payload := encode(in)
+	// Enough traffic that every device's exec series passes the watcher's
+	// MinSamples floor.
+	for i := 0; i < 12; i++ {
+		if status, body, _ := f.post(t, "", payload); status != http.StatusOK {
+			t.Fatalf("infer %d: status %d: %s", i, status, body)
+		}
+	}
+
+	breaches := f.g.CheckSLO(time.Now())
+	if len(breaches) == 0 {
+		t.Fatal("8x emulated skew produced no SLO breach")
+	}
+	skew := false
+	for _, b := range breaches {
+		if b.Kind == telemetry.BreachSkew && b.Key.Device == 2 {
+			skew = true
+		}
+	}
+	if !skew {
+		t.Fatalf("no skew breach naming the slow device: %+v", breaches)
+	}
+	st := f.g.GatewayStats()
+	if st.SLOBreaches == 0 || st.SLORebalanced == 0 {
+		t.Fatalf("breach did not trigger a re-balance: breaches=%d rebalanced=%d",
+			st.SLOBreaches, st.SLORebalanced)
+	}
+
+	// The journal records the measured re-split.
+	sessions := f.g.pool.snapshot()
+	if len(sessions) != 1 {
+		t.Fatalf("want one session, got %d", len(sessions))
+	}
+	events, _ := sessions[0].pipe.FaultEvents()
+	found := false
+	for _, ev := range events {
+		if ev.Kind == runtime.FaultRebalanced && strings.Contains(ev.Detail, "slo:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no slo re-balance event in the fault journal: %+v", events)
+	}
+
+	// Within the cooldown the same breach stays quiet.
+	if again := f.g.CheckSLO(time.Now()); len(again) != 0 {
+		t.Fatalf("cooldown violated: %+v", again)
+	}
+
+	// Traffic keeps flowing on the re-balanced layout, byte-correct.
+	ref, err := tensor.NewExecutor(f.model, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body, _ := f.post(t, "", payload)
+	if status != http.StatusOK {
+		t.Fatalf("post-rebalance infer: status %d: %s", status, body)
+	}
+	if !bytes.Equal(body, encode(want)) {
+		t.Fatal("post-rebalance output differs from local reference")
+	}
+}

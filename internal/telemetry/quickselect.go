@@ -1,0 +1,77 @@
+package telemetry
+
+import "math"
+
+// Quantile returns the nearest-rank q-quantile (0 < q <= 1) of vals using
+// iterative quickselect with a median-of-three pivot: expected O(n), no full
+// sort. The slice is partially reordered in place; an empty slice returns 0.
+//
+// Nearest-rank: the value at index ceil(q*n)-1 of the sorted slice, so
+// Quantile(x, 1) is the maximum and Quantile(x, 0.5) of [1,2,3,4] is 2.
+func Quantile(vals []float64, q float64) float64 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	k := int(math.Ceil(q*float64(n))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return quickselect(vals, k)
+}
+
+// quickselect returns the k-th smallest element (0-based) of vals,
+// partially reordering the slice.
+func quickselect(vals []float64, k int) float64 {
+	lo, hi := 0, len(vals)-1
+	for lo < hi {
+		p := partition(vals, lo, hi)
+		switch {
+		case k == p:
+			return vals[k]
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+	return vals[k]
+}
+
+// partition orders vals[lo..hi] around a median-of-three pivot and returns
+// the pivot's final index: everything left is <=, everything right is >=.
+func partition(vals []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three: sort (lo, mid, hi) so vals[mid] is the median, then
+	// use it as the pivot (stashed at hi-1).
+	if vals[mid] < vals[lo] {
+		vals[mid], vals[lo] = vals[lo], vals[mid]
+	}
+	if vals[hi] < vals[lo] {
+		vals[hi], vals[lo] = vals[lo], vals[hi]
+	}
+	if vals[hi] < vals[mid] {
+		vals[hi], vals[mid] = vals[mid], vals[hi]
+	}
+	if hi-lo < 3 {
+		return mid
+	}
+	pivot := vals[mid]
+	vals[mid], vals[hi-1] = vals[hi-1], vals[mid]
+	i, j := lo, hi-1
+	for {
+		for i++; vals[i] < pivot; i++ {
+		}
+		for j--; vals[j] > pivot; j-- {
+		}
+		if i >= j {
+			break
+		}
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	vals[i], vals[hi-1] = vals[hi-1], vals[i]
+	return i
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import "sort"
+
+// Range is an immutable run of samples sorted by observation time. Ranges
+// are built once from a ring drain and never mutated; Partition returns
+// zero-copy sub-ranges of the same backing array, and Merge builds a new
+// range from two sorted inputs — the append-only time-series-log idiom
+// (sorted immutable runs, split by a pivot, merged when the run count
+// grows).
+type Range struct {
+	samples []Sample
+}
+
+// NewRange sorts samples by time (stable on equal timestamps) and freezes
+// them into a Range. The input slice is owned by the Range afterwards.
+func NewRange(samples []Sample) Range {
+	sort.SliceStable(samples, func(i, j int) bool { return samples[i].At < samples[j].At })
+	return Range{samples: samples}
+}
+
+// Len returns the number of samples.
+func (r Range) Len() int { return len(r.samples) }
+
+// At returns the i-th sample in time order.
+func (r Range) At(i int) Sample { return r.samples[i] }
+
+// MinAt and MaxAt bound the range's observation times; both 0 when empty.
+func (r Range) MinAt() int64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.samples[0].At
+}
+
+func (r Range) MaxAt() int64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.samples[len(r.samples)-1].At
+}
+
+// Partition splits the range at the pivot time: older holds samples with
+// At < pivot, newer the rest. Both share the receiver's backing array
+// (zero-copy), which is safe because ranges are immutable.
+func (r Range) Partition(pivot int64) (older, newer Range) {
+	i := sort.Search(len(r.samples), func(i int) bool { return r.samples[i].At >= pivot })
+	return Range{samples: r.samples[:i]}, Range{samples: r.samples[i:]}
+}
+
+// Merge combines two ranges into a new sorted range. Disjoint-in-time
+// inputs (the common case: consecutive fold buckets) append without an
+// element-wise merge.
+func Merge(a, b Range) Range {
+	if a.Len() == 0 {
+		return b
+	}
+	if b.Len() == 0 {
+		return a
+	}
+	// Keep time order cheap for the consecutive-bucket case.
+	if a.MinAt() > b.MaxAt() {
+		a, b = b, a
+	}
+	out := make([]Sample, 0, a.Len()+b.Len())
+	if a.MaxAt() <= b.MinAt() {
+		out = append(append(out, a.samples...), b.samples...)
+		return Range{samples: out}
+	}
+	i, j := 0, 0
+	for i < a.Len() && j < b.Len() {
+		if a.samples[i].At <= b.samples[j].At {
+			out = append(out, a.samples[i])
+			i++
+		} else {
+			out = append(out, b.samples[j])
+			j++
+		}
+	}
+	out = append(out, a.samples[i:]...)
+	out = append(out, b.samples[j:]...)
+	return Range{samples: out}
+}
+
+// AppendValues appends the range's sample values to dst and returns it.
+func (r Range) AppendValues(dst []float64) []float64 {
+	for _, s := range r.samples {
+		dst = append(dst, s.V)
+	}
+	return dst
+}

@@ -10,6 +10,7 @@ import (
 	"pico/internal/schemes"
 	"pico/internal/serve"
 	"pico/internal/simulate"
+	"pico/internal/telemetry"
 	"pico/internal/tensor"
 )
 
@@ -115,6 +116,25 @@ type (
 	Admission = queueing.Admission
 	// AdmissionDecision is one admit/shed verdict with its predicted wait.
 	AdmissionDecision = queueing.Decision
+
+	// Telemetry is the streaming-percentile latency registry.
+	Telemetry = telemetry.Registry
+	// TelemetryOptions size the registry's rings and windows.
+	TelemetryOptions = telemetry.Options
+	// TelemetryKey identifies one latency series: (model, stage, device,
+	// kind).
+	TelemetryKey = telemetry.Key
+	// TelemetrySeries is one keyed latency series (ring + sorted ranges).
+	TelemetrySeries = telemetry.Series
+	// TelemetryStats is one series' windowed percentile snapshot.
+	TelemetryStats = telemetry.SeriesStats
+	// SLOPolicy bounds windowed p99 and per-device skew.
+	SLOPolicy = telemetry.Policy
+	// SLOWatcher periodically evaluates an SLOPolicy over a Telemetry
+	// registry and fires breach callbacks.
+	SLOWatcher = telemetry.Watcher
+	// SLOBreach is one detected policy violation.
+	SLOBreach = telemetry.Breach
 )
 
 // Layer kinds, activations and block combination modes, re-exported for
@@ -276,6 +296,10 @@ var (
 	NewGridExecutorQuant = runtime.NewGridExecutorQuant
 	// NewGateway builds the HTTP serving gateway over a worker cluster.
 	NewGateway = serve.New
+	// NewTelemetry builds a streaming-percentile latency registry.
+	NewTelemetry = telemetry.New
+	// NewSLOWatcher builds an SLO watcher over a telemetry registry.
+	NewSLOWatcher = telemetry.NewWatcher
 )
 
 // FullFeatureMap returns the Range covering all rows of height h.
